@@ -1,0 +1,167 @@
+package bitkey
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file provides encoders that build hierarchical identifier keys from
+// application data. The paper's running examples are geographic quad-tree
+// keys (Mobiscope-style telematics, multiplayer game grids) and hierarchical
+// attribute encodings for content-based query systems.
+
+// ErrOutOfRange is returned when a coordinate or attribute value falls
+// outside the encoder's domain.
+var ErrOutOfRange = errors.New("bitkey: value out of encoder range")
+
+// QuadTreeEncoder encodes 2-D coordinates into an N-bit key by recursively
+// splitting a rectangular region into four quadrants; each level contributes
+// two bits (y bit then x bit), so Bits must be even. Points that are close
+// together share long key prefixes, which is exactly the clustering property
+// CLASH exploits.
+type QuadTreeEncoder struct {
+	// MinX, MinY, MaxX, MaxY bound the encoded region. Points outside are
+	// rejected.
+	MinX, MinY, MaxX, MaxY float64
+	// Bits is the total key length produced; it must be even and in
+	// [2, MaxBits].
+	Bits int
+}
+
+// NewQuadTreeEncoder returns an encoder for the region [minX,maxX)×[minY,maxY)
+// producing keys of the given even bit length.
+func NewQuadTreeEncoder(minX, minY, maxX, maxY float64, bits int) (*QuadTreeEncoder, error) {
+	if bits < 2 || bits > MaxBits || bits%2 != 0 {
+		return nil, fmt.Errorf("%w: quad-tree key length %d", ErrBadLength, bits)
+	}
+	if maxX <= minX || maxY <= minY {
+		return nil, fmt.Errorf("%w: empty region", ErrOutOfRange)
+	}
+	return &QuadTreeEncoder{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY, Bits: bits}, nil
+}
+
+// Encode maps a point to its quad-tree identifier key.
+func (e *QuadTreeEncoder) Encode(x, y float64) (Key, error) {
+	if x < e.MinX || x >= e.MaxX || y < e.MinY || y >= e.MaxY {
+		return Key{}, fmt.Errorf("%w: point (%g,%g)", ErrOutOfRange, x, y)
+	}
+	loX, hiX := e.MinX, e.MaxX
+	loY, hiY := e.MinY, e.MaxY
+	k := Key{}
+	for level := 0; level < e.Bits/2; level++ {
+		midX := loX + (hiX-loX)/2
+		midY := loY + (hiY-loY)/2
+		yBit := 0
+		if y >= midY {
+			yBit = 1
+			loY = midY
+		} else {
+			hiY = midY
+		}
+		xBit := 0
+		if x >= midX {
+			xBit = 1
+			loX = midX
+		} else {
+			hiX = midX
+		}
+		var err error
+		if k, err = k.Extend(yBit); err != nil {
+			return Key{}, err
+		}
+		if k, err = k.Extend(xBit); err != nil {
+			return Key{}, err
+		}
+	}
+	return k, nil
+}
+
+// CellBounds returns the rectangle covered by the given key group (a prefix
+// of a quad-tree key). Odd-depth groups cover a half cell split along y.
+func (e *QuadTreeEncoder) CellBounds(g Group) (minX, minY, maxX, maxY float64) {
+	loX, hiX := e.MinX, e.MaxX
+	loY, hiY := e.MinY, e.MaxY
+	p := g.Prefix
+	for i := 0; i < p.Bits; i++ {
+		if i%2 == 0 { // y bit
+			midY := loY + (hiY-loY)/2
+			if p.Bit(i) == 1 {
+				loY = midY
+			} else {
+				hiY = midY
+			}
+		} else { // x bit
+			midX := loX + (hiX-loX)/2
+			if p.Bit(i) == 1 {
+				loX = midX
+			} else {
+				hiX = midX
+			}
+		}
+	}
+	return loX, loY, hiX, hiY
+}
+
+// AttributeEncoder encodes a fixed-width path of categorical attribute values
+// into an identifier key. Each level i has a fan-out Fanout[i] (a power of two
+// is not required; values are packed with the minimum number of bits that
+// holds Fanout[i]-1). Objects that agree on the first attributes share key
+// prefixes, which clusters them into the same key groups.
+type AttributeEncoder struct {
+	fanout []int
+	widths []int
+	bits   int
+}
+
+// NewAttributeEncoder builds an encoder for the given per-level fan-outs.
+func NewAttributeEncoder(fanout ...int) (*AttributeEncoder, error) {
+	if len(fanout) == 0 {
+		return nil, fmt.Errorf("%w: no attribute levels", ErrBadLength)
+	}
+	e := &AttributeEncoder{fanout: append([]int(nil), fanout...)}
+	for _, f := range fanout {
+		if f < 2 {
+			return nil, fmt.Errorf("%w: fan-out %d", ErrOutOfRange, f)
+		}
+		w := bitsFor(f - 1)
+		e.widths = append(e.widths, w)
+		e.bits += w
+	}
+	if e.bits > MaxBits {
+		return nil, fmt.Errorf("%w: total width %d", ErrBadLength, e.bits)
+	}
+	return e, nil
+}
+
+// Bits returns the total key length produced by the encoder.
+func (e *AttributeEncoder) Bits() int { return e.bits }
+
+// Encode packs one value per level (0 ≤ values[i] < fanout[i]) into a key.
+func (e *AttributeEncoder) Encode(values ...int) (Key, error) {
+	if len(values) != len(e.fanout) {
+		return Key{}, fmt.Errorf("%w: got %d values, want %d", ErrOutOfRange, len(values), len(e.fanout))
+	}
+	k := Key{}
+	for i, v := range values {
+		if v < 0 || v >= e.fanout[i] {
+			return Key{}, fmt.Errorf("%w: level %d value %d (fan-out %d)", ErrOutOfRange, i, v, e.fanout[i])
+		}
+		for b := e.widths[i] - 1; b >= 0; b-- {
+			var err error
+			if k, err = k.Extend((v >> uint(b)) & 1); err != nil {
+				return Key{}, err
+			}
+		}
+	}
+	return k, nil
+}
+
+// bitsFor returns the number of bits needed to represent v (at least 1).
+func bitsFor(v int) int {
+	n := 1
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

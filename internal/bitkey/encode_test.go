@@ -1,0 +1,137 @@
+package bitkey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuadTreeEncoderValidation(t *testing.T) {
+	if _, err := NewQuadTreeEncoder(0, 0, 1, 1, 3); err == nil {
+		t.Error("odd bit length accepted, want error")
+	}
+	if _, err := NewQuadTreeEncoder(0, 0, 1, 1, 0); err == nil {
+		t.Error("zero bit length accepted, want error")
+	}
+	if _, err := NewQuadTreeEncoder(1, 0, 1, 1, 8); err == nil {
+		t.Error("empty region accepted, want error")
+	}
+}
+
+func TestQuadTreeEncodeQuadrants(t *testing.T) {
+	e, err := NewQuadTreeEncoder(0, 0, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, y float64
+		want string
+	}{
+		{0.1, 0.1, "00"}, // bottom-left
+		{0.9, 0.1, "01"}, // bottom-right
+		{0.1, 0.9, "10"}, // top-left
+		{0.9, 0.9, "11"}, // top-right
+	}
+	for _, tt := range tests {
+		k, err := e.Encode(tt.x, tt.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != tt.want {
+			t.Errorf("Encode(%g,%g) = %s, want %s", tt.x, tt.y, k.String(), tt.want)
+		}
+	}
+	if _, err := e.Encode(1.5, 0.5); err == nil {
+		t.Error("out-of-range point accepted, want error")
+	}
+}
+
+func TestQuadTreeNearbyPointsShareLongPrefixes(t *testing.T) {
+	e, err := NewQuadTreeEncoder(0, 0, 1024, 1024, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Encode(100.0, 200.0)
+	b, _ := e.Encode(100.5, 200.5) // ~0.7 units away
+	c, _ := e.Encode(900.0, 900.0) // far away
+	near := LongestCommonPrefix(a, b)
+	far := LongestCommonPrefix(a, c)
+	if near <= far {
+		t.Errorf("nearby points share prefix %d, distant points %d; expected nearby > distant", near, far)
+	}
+	if near < 16 {
+		t.Errorf("points <1 unit apart in a 1024-unit grid should share a long prefix, got %d", near)
+	}
+}
+
+func TestQuadTreeCellBoundsContainEncodedPoint(t *testing.T) {
+	e, err := NewQuadTreeEncoder(-180, -90, 180, 90, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		x := rng.Float64()*360 - 180
+		y := rng.Float64()*180 - 90
+		k, err := e.Encode(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d <= 24; d += 4 {
+			g, err := Shape(k, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minX, minY, maxX, maxY := e.CellBounds(g)
+			if x < minX || x >= maxX || y < minY || y >= maxY {
+				t.Fatalf("point (%g,%g) outside bounds of its depth-%d cell [%g,%g)x[%g,%g)",
+					x, y, d, minX, maxX, minY, maxY)
+			}
+		}
+	}
+}
+
+func TestAttributeEncoder(t *testing.T) {
+	// Three levels: region (4), city (8), category (16) → 2+3+4 = 9 bits.
+	e, err := NewAttributeEncoder(4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bits() != 9 {
+		t.Fatalf("Bits() = %d, want 9", e.Bits())
+	}
+	k, err := e.Encode(2, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "101011001" {
+		t.Errorf("Encode(2,5,9) = %s, want 101011001", k.String())
+	}
+	// Objects agreeing on leading attributes share prefixes.
+	k2, _ := e.Encode(2, 5, 15)
+	k3, _ := e.Encode(3, 5, 9)
+	if LongestCommonPrefix(k, k2) < 5 {
+		t.Error("same region+city should share at least the first 5 bits")
+	}
+	if LongestCommonPrefix(k, k3) >= 2 {
+		t.Error("different region should diverge within the first 2 bits")
+	}
+}
+
+func TestAttributeEncoderValidation(t *testing.T) {
+	if _, err := NewAttributeEncoder(); err == nil {
+		t.Error("no levels accepted, want error")
+	}
+	if _, err := NewAttributeEncoder(1); err == nil {
+		t.Error("fan-out 1 accepted, want error")
+	}
+	e, err := NewAttributeEncoder(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Encode(1); err == nil {
+		t.Error("wrong arity accepted, want error")
+	}
+	if _, err := e.Encode(4, 0); err == nil {
+		t.Error("out-of-range value accepted, want error")
+	}
+}

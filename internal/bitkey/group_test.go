@@ -1,0 +1,233 @@
+package bitkey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupStringAndParse(t *testing.T) {
+	g := MustParseGroup("0110*")
+	if g.Depth() != 4 {
+		t.Errorf("Depth() = %d, want 4", g.Depth())
+	}
+	if g.String() != "0110*" {
+		t.Errorf("String() = %q, want 0110*", g.String())
+	}
+	root := NewGroup(Key{})
+	if root.String() != "*" {
+		t.Errorf("root String() = %q, want *", root.String())
+	}
+	// Trailing '*' is optional.
+	g2, err := ParseGroup("0110")
+	if err != nil || !g2.Equal(g) {
+		t.Errorf("ParseGroup without star mismatch: %v %v", g2, err)
+	}
+	if _, err := ParseGroup("01a0*"); err == nil {
+		t.Error("ParseGroup with bad chars succeeded, want error")
+	}
+}
+
+func TestGroupContainsPaperExample(t *testing.T) {
+	// Paper §4: the key group "0110*" includes the 7-bit keys "0110101" and
+	// "0110111".
+	g := MustParseGroup("0110*")
+	for _, s := range []string{"0110101", "0110111", "0110000"} {
+		if !g.Contains(MustParse(s)) {
+			t.Errorf("group %v should contain %s", g, s)
+		}
+	}
+	for _, s := range []string{"0111101", "1110101"} {
+		if g.Contains(MustParse(s)) {
+			t.Errorf("group %v should not contain %s", g, s)
+		}
+	}
+}
+
+func TestGroupVirtualKey(t *testing.T) {
+	// Paper §4: virtual key for "0110*" in a 7-bit space is "0110000"
+	// (decimal 48) with depth 4.
+	g := MustParseGroup("0110*")
+	vk, err := g.VirtualKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vk.String() != "0110000" || vk.Value != 48 {
+		t.Errorf("VirtualKey = %v (%d), want 0110000 (48)", vk, vk.Value)
+	}
+	if _, err := g.VirtualKey(3); err == nil {
+		t.Error("VirtualKey with n < depth succeeded, want error")
+	}
+}
+
+func TestGroupSplitMatchesPaper(t *testing.T) {
+	// Paper §4: expanding "0110*" (depth 4) creates "01100*" and "01101*"
+	// (depth 5); "01100*" expands to the same 7-bit value as "0110*".
+	g := MustParseGroup("0110*")
+	left, right, err := g.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.String() != "01100*" || right.String() != "01101*" {
+		t.Errorf("Split = %v, %v; want 01100*, 01101*", left, right)
+	}
+	gv, _ := g.VirtualKey(7)
+	lv, _ := left.VirtualKey(7)
+	rv, _ := right.VirtualKey(7)
+	if !gv.Equal(lv) {
+		t.Errorf("left child virtual key %v must equal parent virtual key %v", lv, gv)
+	}
+	if rv.Equal(gv) {
+		t.Error("right child virtual key must differ from parent virtual key")
+	}
+}
+
+func TestGroupParentSibling(t *testing.T) {
+	g := MustParseGroup("01101*")
+	p, ok := g.Parent()
+	if !ok || p.String() != "0110*" {
+		t.Errorf("Parent = %v,%v; want 0110*", p, ok)
+	}
+	s, ok := g.Sibling()
+	if !ok || s.String() != "01100*" {
+		t.Errorf("Sibling = %v,%v; want 01100*", s, ok)
+	}
+	if g.IsLeftChild() {
+		t.Error("01101* should not be a left child")
+	}
+	if !s.IsLeftChild() {
+		t.Error("01100* should be a left child")
+	}
+	root := NewGroup(Key{})
+	if _, ok := root.Parent(); ok {
+		t.Error("root has no parent")
+	}
+	if _, ok := root.Sibling(); ok {
+		t.Error("root has no sibling")
+	}
+	if root.IsLeftChild() {
+		t.Error("root is not a left child")
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	// Paper §3: for an N-bit key, the group "11*" represents 2^(N-2) keys and
+	// "111*" represents 2^(N-3).
+	const n = 24
+	g2 := MustParseGroup("11*")
+	s2, err := g2.Size(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 1<<(n-2) {
+		t.Errorf("Size(11*) = %d, want %d", s2, 1<<(n-2))
+	}
+	g3 := MustParseGroup("111*")
+	s3, _ := g3.Size(n)
+	if s3 != 1<<(n-3) {
+		t.Errorf("Size(111*) = %d, want %d", s3, 1<<(n-3))
+	}
+	if !g2.ContainsGroup(g3) {
+		t.Error("11* must contain 111*")
+	}
+	if g3.ContainsGroup(g2) {
+		t.Error("111* must not contain 11*")
+	}
+}
+
+func TestShape(t *testing.T) {
+	// Shape(k, d) groups 2^(N-d) keys sharing the first d bits.
+	k := MustParse("0110101")
+	g, err := Shape(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != "0110*" {
+		t.Errorf("Shape = %v, want 0110*", g)
+	}
+	if _, err := Shape(k, 8); err == nil {
+		t.Error("Shape with depth > key length succeeded, want error")
+	}
+}
+
+func TestLongestCommonPrefix(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"0110101", "0110111", 5},
+		{"0110101", "0110101", 7},
+		{"0110101", "1110101", 0},
+		{"0110", "0110101", 4},
+	}
+	for _, tt := range tests {
+		if got := LongestCommonPrefix(MustParse(tt.a), MustParse(tt.b)); got != tt.want {
+			t.Errorf("LongestCommonPrefix(%s,%s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPropertySplitPartitionsGroup(t *testing.T) {
+	// Invariant: the two children of a group partition it — every key in the
+	// group is in exactly one child, and both children are contained in the
+	// parent.
+	const n = 24
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		depth := rng.Intn(n - 1)
+		prefix := MustNew(rng.Uint64()&(^uint64(0)>>uint(64-depth-1))>>1, depth)
+		g := NewGroup(prefix)
+		left, right, err := g.Split()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.ContainsGroup(left) || !g.ContainsGroup(right) {
+			t.Fatalf("children %v,%v not contained in %v", left, right, g)
+		}
+		key := MustNew(rng.Uint64()&(1<<n-1), n)
+		if !g.Contains(key) {
+			continue
+		}
+		inLeft := left.Contains(key)
+		inRight := right.Contains(key)
+		if inLeft == inRight {
+			t.Fatalf("key %v must be in exactly one child of %v (left=%v right=%v)", key, g, inLeft, inRight)
+		}
+	}
+}
+
+func TestPropertyShapeConsistentWithContains(t *testing.T) {
+	f := func(value uint64, depthRaw uint8) bool {
+		const n = 24
+		key := MustNew(value&(1<<n-1), n)
+		d := int(depthRaw) % (n + 1)
+		g, err := Shape(key, d)
+		if err != nil {
+			return false
+		}
+		return g.Contains(key) && g.Depth() == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParentChildRoundTrip(t *testing.T) {
+	f := func(value uint64, depthRaw uint8) bool {
+		d := int(depthRaw)%23 + 1
+		prefix := MustNew(value&(^uint64(0)>>uint(64-d)), d)
+		g := NewGroup(prefix)
+		parent, ok := g.Parent()
+		if !ok {
+			return false
+		}
+		left, right, err := parent.Split()
+		if err != nil {
+			return false
+		}
+		return g.Equal(left) || g.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package bitkey implements the hierarchical N-bit identifier keys used by
+// CLASH (Misra, Castro, Lee — ICDCS 2004).
+//
+// An identifier key is an N-bit string whose prefixes encode parent/child
+// clustering relationships: all keys sharing a d-bit prefix form a "key
+// group". CLASH identifies a key group by a virtual key (the prefix followed
+// by zeroes) together with its depth d. This package provides the key and key
+// group arithmetic (prefix extraction, virtual keys, splitting, containment,
+// wildcard formatting) as well as encoders that build hierarchical keys from
+// application data (quad-tree geographic coordinates and categorical
+// attribute paths).
+package bitkey
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxBits is the largest supported identifier key length in bits.
+const MaxBits = 64
+
+// Errors returned by key constructors and parsers.
+var (
+	ErrBadLength = errors.New("bitkey: key length out of range")
+	ErrBadDepth  = errors.New("bitkey: depth out of range")
+	ErrOverflow  = errors.New("bitkey: value does not fit in key length")
+	ErrBadSyntax = errors.New("bitkey: malformed key string")
+)
+
+// Key is an N-bit identifier key. The key value is stored right-aligned in
+// Value: bit 0 of the key (the most significant, first bit of the hierarchy)
+// is bit position Bits-1 of Value.
+//
+// The zero value is an empty (0-bit) key, which is only useful as the root of
+// the splitting hierarchy.
+type Key struct {
+	// Value holds the key bits right-aligned (the last bit of the key is the
+	// least significant bit of Value).
+	Value uint64
+	// Bits is the key length N.
+	Bits int
+}
+
+// New returns an N-bit key with the given value. It returns an error if bits
+// is outside [0, MaxBits] or value has bits set above position bits-1.
+func New(value uint64, bits int) (Key, error) {
+	if bits < 0 || bits > MaxBits {
+		return Key{}, fmt.Errorf("%w: %d", ErrBadLength, bits)
+	}
+	if bits < MaxBits && value>>uint(bits) != 0 {
+		return Key{}, fmt.Errorf("%w: value %#x needs more than %d bits", ErrOverflow, value, bits)
+	}
+	return Key{Value: value, Bits: bits}, nil
+}
+
+// MustNew is like New but panics on error. It is intended for constants and
+// tests.
+func MustNew(value uint64, bits int) Key {
+	k, err := New(value, bits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Parse parses a binary string such as "0110101" into a key whose length is
+// the number of characters. Characters other than '0' and '1' are rejected.
+func Parse(s string) (Key, error) {
+	if len(s) > MaxBits {
+		return Key{}, fmt.Errorf("%w: %d", ErrBadLength, len(s))
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		v <<= 1
+		switch s[i] {
+		case '0':
+		case '1':
+			v |= 1
+		default:
+			return Key{}, fmt.Errorf("%w: %q", ErrBadSyntax, s)
+		}
+	}
+	return Key{Value: v, Bits: len(s)}, nil
+}
+
+// MustParse is like Parse but panics on error.
+func MustParse(s string) Key {
+	k, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// String renders the key as a binary string of length Bits.
+func (k Key) String() string {
+	if k.Bits == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	b.Grow(k.Bits)
+	for i := 0; i < k.Bits; i++ {
+		b.WriteByte('0' + byte(k.Bit(i)))
+	}
+	return b.String()
+}
+
+// Bit returns the i-th bit of the key counted from the most significant
+// (first) bit. It returns 0 or 1. Bit panics if i is out of range; callers
+// iterate up to Bits.
+func (k Key) Bit(i int) int {
+	if i < 0 || i >= k.Bits {
+		panic(fmt.Sprintf("bitkey: bit index %d out of range for %d-bit key", i, k.Bits))
+	}
+	return int(k.Value>>uint(k.Bits-1-i)) & 1
+}
+
+// Prefix returns the first d bits of the key as a d-bit key.
+func (k Key) Prefix(d int) (Key, error) {
+	if d < 0 || d > k.Bits {
+		return Key{}, fmt.Errorf("%w: %d of %d", ErrBadDepth, d, k.Bits)
+	}
+	return Key{Value: k.Value >> uint(k.Bits-d), Bits: d}, nil
+}
+
+// HasPrefix reports whether p (of length ≤ k.Bits) is a prefix of k.
+func (k Key) HasPrefix(p Key) bool {
+	if p.Bits > k.Bits {
+		return false
+	}
+	return k.Value>>uint(k.Bits-p.Bits) == p.Value
+}
+
+// Extend appends the given bit (0 or 1) to the key, producing a key one bit
+// longer.
+func (k Key) Extend(bit int) (Key, error) {
+	if k.Bits >= MaxBits {
+		return Key{}, fmt.Errorf("%w: %d", ErrBadLength, k.Bits+1)
+	}
+	if bit != 0 && bit != 1 {
+		return Key{}, fmt.Errorf("%w: bit %d", ErrBadSyntax, bit)
+	}
+	return Key{Value: k.Value<<1 | uint64(bit), Bits: k.Bits + 1}, nil
+}
+
+// Equal reports whether two keys have the same length and bits.
+func (k Key) Equal(o Key) bool { return k.Bits == o.Bits && k.Value == o.Value }
+
+// Compare orders keys first by value of their common prefix and then by
+// length, giving a total order usable for sorting. It returns -1, 0 or +1.
+func (k Key) Compare(o Key) int {
+	// Compare bit by bit over the common prefix.
+	n := k.Bits
+	if o.Bits < n {
+		n = o.Bits
+	}
+	for i := 0; i < n; i++ {
+		a, b := k.Bit(i), o.Bit(i)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+	}
+	switch {
+	case k.Bits < o.Bits:
+		return -1
+	case k.Bits > o.Bits:
+		return 1
+	}
+	return 0
+}
+
+// Padded returns the key value left-aligned in an n-bit space: the key bits
+// become the most significant bits and the remaining n-Bits bits are zero.
+// This is exactly the paper's "virtual key" expansion ("k' padded by N-d
+// trailing zeroes"). It returns an error if n < k.Bits or n > MaxBits.
+func (k Key) Padded(n int) (uint64, error) {
+	if n < k.Bits || n > MaxBits {
+		return 0, fmt.Errorf("%w: pad %d-bit key to %d bits", ErrBadLength, k.Bits, n)
+	}
+	return k.Value << uint(n-k.Bits), nil
+}
+
+// Bytes returns a big-endian byte representation of the key padded to whole
+// bytes, prefixed with the key length. It is suitable as input to a hash
+// function: distinct (value, length) pairs produce distinct byte strings.
+func (k Key) Bytes() []byte {
+	out := make([]byte, 0, 9)
+	out = append(out, byte(k.Bits))
+	nBytes := (k.Bits + 7) / 8
+	padded := k.Value << uint((nBytes*8)-k.Bits)
+	for i := nBytes - 1; i >= 0; i-- {
+		out = append(out, byte(padded>>uint(8*i)))
+	}
+	return out
+}

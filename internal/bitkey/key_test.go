@@ -1,0 +1,279 @@
+package bitkey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name  string
+		value uint64
+		bits  int
+	}{
+		{"negative bits", 0, -1},
+		{"too many bits", 0, 65},
+		{"overflow", 0b1000, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.value, tt.bits); err == nil {
+				t.Fatalf("New(%#x, %d) succeeded, want error", tt.value, tt.bits)
+			}
+		})
+	}
+}
+
+func TestNewAcceptsBoundaryInput(t *testing.T) {
+	if _, err := New(0, 0); err != nil {
+		t.Errorf("New(0,0): %v", err)
+	}
+	if _, err := New(^uint64(0), 64); err != nil {
+		t.Errorf("New(max,64): %v", err)
+	}
+	if _, err := New(0b111, 3); err != nil {
+		t.Errorf("New(0b111,3): %v", err)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	tests := []struct {
+		s     string
+		value uint64
+		bits  int
+	}{
+		{"0", 0, 1},
+		{"1", 1, 1},
+		{"0110101", 0b0110101, 7},
+		{"0110111", 0b0110111, 7},
+		{"000000000000000000000000", 0, 24},
+		{"111111111111111111111111", 1<<24 - 1, 24},
+	}
+	for _, tt := range tests {
+		k, err := Parse(tt.s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tt.s, err)
+		}
+		if k.Value != tt.value || k.Bits != tt.bits {
+			t.Errorf("Parse(%q) = {%#x,%d}, want {%#x,%d}", tt.s, k.Value, k.Bits, tt.value, tt.bits)
+		}
+		if got := k.String(); got != tt.s {
+			t.Errorf("String() = %q, want %q", got, tt.s)
+		}
+	}
+}
+
+func TestParseRejectsBadStrings(t *testing.T) {
+	for _, s := range []string{"01x1", "2", "0101 "} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBitIndexing(t *testing.T) {
+	k := MustParse("0110101")
+	want := []int{0, 1, 1, 0, 1, 0, 1}
+	for i, w := range want {
+		if got := k.Bit(i); got != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	k := MustParse("0110101")
+	tests := []struct {
+		d    int
+		want string
+	}{
+		{0, "ε"},
+		{1, "0"},
+		{4, "0110"},
+		{7, "0110101"},
+	}
+	for _, tt := range tests {
+		p, err := k.Prefix(tt.d)
+		if err != nil {
+			t.Fatalf("Prefix(%d): %v", tt.d, err)
+		}
+		if got := p.String(); got != tt.want {
+			t.Errorf("Prefix(%d) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+	if _, err := k.Prefix(8); err == nil {
+		t.Error("Prefix(8) on 7-bit key succeeded, want error")
+	}
+	if _, err := k.Prefix(-1); err == nil {
+		t.Error("Prefix(-1) succeeded, want error")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	k := MustParse("0110101")
+	if !k.HasPrefix(MustParse("0110")) {
+		t.Error("0110101 should have prefix 0110")
+	}
+	if k.HasPrefix(MustParse("0111")) {
+		t.Error("0110101 should not have prefix 0111")
+	}
+	if k.HasPrefix(MustParse("01101011")) {
+		t.Error("a longer key cannot be a prefix")
+	}
+	if !k.HasPrefix(Key{}) {
+		t.Error("the empty key is a prefix of everything")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	k := MustParse("011")
+	k1, err := k.Extend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.String() != "0110" {
+		t.Errorf("Extend(0) = %q, want 0110", k1.String())
+	}
+	k2, err := k.Extend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.String() != "0111" {
+		t.Errorf("Extend(1) = %q, want 0111", k2.String())
+	}
+	if _, err := k.Extend(2); err == nil {
+		t.Error("Extend(2) succeeded, want error")
+	}
+	full := MustNew(0, 64)
+	if _, err := full.Extend(0); err == nil {
+		t.Error("Extend on 64-bit key succeeded, want error")
+	}
+}
+
+func TestPaddedMatchesPaperExample(t *testing.T) {
+	// Paper §4: expanding "01100*" to 7 bits gives "0110000" (decimal 48)
+	// and "01101*" gives "0110100" (decimal 52).
+	g1 := MustParse("01100")
+	v1, err := g1.Padded(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 48 {
+		t.Errorf("Padded(01100,7) = %d, want 48", v1)
+	}
+	g2 := MustParse("01101")
+	v2, err := g2.Padded(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 52 {
+		t.Errorf("Padded(01101,7) = %d, want 52", v2)
+	}
+	if _, err := g1.Padded(3); err == nil {
+		t.Error("Padded to fewer bits than the key succeeded, want error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"0", "1", -1},
+		{"1", "0", 1},
+		{"0110", "0110", 0},
+		{"011", "0110", -1},
+		{"0111", "0110", 1},
+		{"ε", "0", -1},
+	}
+	parse := func(s string) Key {
+		if s == "ε" {
+			return Key{}
+		}
+		return MustParse(s)
+	}
+	for _, tt := range tests {
+		if got := parse(tt.a).Compare(parse(tt.b)); got != tt.want {
+			t.Errorf("Compare(%s,%s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBytesDistinguishesLengths(t *testing.T) {
+	a := MustParse("0110")
+	b := MustParse("01100")
+	if string(a.Bytes()) == string(b.Bytes()) {
+		t.Error("keys of different length must produce different byte encodings")
+	}
+	c := MustParse("0110")
+	if string(a.Bytes()) != string(c.Bytes()) {
+		t.Error("equal keys must produce equal byte encodings")
+	}
+}
+
+func TestPropertyPrefixRoundTrip(t *testing.T) {
+	f := func(value uint64, bitsRaw uint8, depthRaw uint8) bool {
+		bits := int(bitsRaw%64) + 1
+		value &= (1<<uint(bits) - 1) | (1<<uint(bits) - 1) // mask to bits
+		value &= ^uint64(0) >> uint(64-bits)
+		k := MustNew(value, bits)
+		d := int(depthRaw) % (bits + 1)
+		p, err := k.Prefix(d)
+		if err != nil {
+			return false
+		}
+		// The prefix must be a prefix, and parsing the string form must
+		// round-trip.
+		if !k.HasPrefix(p) {
+			return false
+		}
+		if d > 0 {
+			rt, err := Parse(p.String())
+			if err != nil || !rt.Equal(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		bits := rng.Intn(64) + 1
+		value := rng.Uint64() & (^uint64(0) >> uint(64-bits))
+		k := MustNew(value, bits)
+		rt, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(String()) failed: %v", err)
+		}
+		if !rt.Equal(k) {
+			t.Fatalf("round trip mismatch: %v vs %v", rt, k)
+		}
+	}
+}
+
+func TestPropertyCompareIsTotalOrder(t *testing.T) {
+	f := func(av, bv uint64, abits, bbits uint8) bool {
+		ab := int(abits%24) + 1
+		bb := int(bbits%24) + 1
+		a := MustNew(av&(^uint64(0)>>uint(64-ab)), ab)
+		b := MustNew(bv&(^uint64(0)>>uint(64-bb)), bb)
+		cab := a.Compare(b)
+		cba := b.Compare(a)
+		if cab != -cba {
+			return false
+		}
+		if cab == 0 != a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package chord implements the Chord distributed hash table (Stoica et al.,
+// SIGCOMM 2001) used by CLASH as its Map() substrate.
+//
+// Two views are provided:
+//
+//   - Ring: a process-local, authoritative view of the whole membership with
+//     consistent-hashing placement, virtual servers and finger-table route
+//     simulation. The CLASH simulator uses it to resolve Map(f(k')) and to
+//     count lookup hops without running a full message protocol for every
+//     event.
+//   - Node: a protocol node with successor lists, finger tables and the
+//     join/stabilize/notify/fix-fingers algorithms, communicating through an
+//     RPC interface. The live overlay (internal/overlay) runs Nodes over a
+//     real transport.
+//
+// Both views share the same identifier space and hash function, so placement
+// decisions agree between the simulator and the live overlay.
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultSpaceBits is the default size M of the hash identifier space. The
+// paper simulates a 24-bit hash space; 32 bits keeps collisions negligible
+// for up to ~10^4 virtual servers while remaining comfortably printable.
+const DefaultSpaceBits = 32
+
+// ID is a point on the Chord identifier circle. Only the low Space.Bits bits
+// are significant.
+type ID uint64
+
+// Space describes an M-bit circular identifier space.
+type Space struct {
+	// Bits is M, the number of significant bits (1..64).
+	Bits int
+}
+
+// NewSpace returns an M-bit identifier space.
+func NewSpace(bits int) (Space, error) {
+	if bits < 1 || bits > 64 {
+		return Space{}, fmt.Errorf("chord: space bits %d out of range [1,64]", bits)
+	}
+	return Space{Bits: bits}, nil
+}
+
+// DefaultSpace returns the default 32-bit space.
+func DefaultSpace() Space { return Space{Bits: DefaultSpaceBits} }
+
+// Size returns the number of points in the space as a uint64 mask helper;
+// for Bits == 64 it returns the all-ones mask + 1 semantics via Mask.
+func (s Space) Mask() uint64 {
+	if s.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(s.Bits)) - 1
+}
+
+// Wrap reduces an arbitrary value into the space.
+func (s Space) Wrap(v uint64) ID { return ID(v & s.Mask()) }
+
+// Add returns (a + d) modulo the space size.
+func (s Space) Add(a ID, d uint64) ID { return s.Wrap(uint64(a) + d) }
+
+// HashBytes hashes an arbitrary byte string onto the circle (SHA-1 truncated
+// to the space size).
+func (s Space) HashBytes(b []byte) ID {
+	sum := sha1.Sum(b)
+	v := binary.BigEndian.Uint64(sum[:8])
+	return s.Wrap(v)
+}
+
+// HashString hashes a string (e.g. a server address) onto the circle.
+func (s Space) HashString(str string) ID { return s.HashBytes([]byte(str)) }
+
+// Between reports whether id lies in the half-open circular interval
+// (from, to]. This is the ownership test used by consistent hashing: the
+// successor of a point owns it.
+func Between(from, to, id ID) bool {
+	if from == to {
+		// The interval covers the whole circle.
+		return true
+	}
+	if from < to {
+		return id > from && id <= to
+	}
+	// Interval wraps around zero.
+	return id > from || id <= to
+}
+
+// BetweenOpen reports whether id lies in the open circular interval
+// (from, to).
+func BetweenOpen(from, to, id ID) bool {
+	if from == to {
+		return id != from
+	}
+	if from < to {
+		return id > from && id < to
+	}
+	return id > from || id < to
+}

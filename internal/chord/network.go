@@ -1,0 +1,120 @@
+package chord
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LocalNetwork is an in-memory RPC fabric connecting protocol Nodes living in
+// the same process. It is used by unit tests and by the examples that run a
+// whole overlay inside one binary. Nodes can be partitioned (marked down) to
+// exercise failure handling.
+type LocalNetwork struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	down  map[string]bool
+	// Calls counts RPCs by method name, letting tests assert on message
+	// complexity.
+	calls map[string]int
+}
+
+var _ RPC = (*LocalNetwork)(nil)
+
+// NewLocalNetwork creates an empty network.
+func NewLocalNetwork() *LocalNetwork {
+	return &LocalNetwork{
+		nodes: make(map[string]*Node),
+		down:  make(map[string]bool),
+		calls: make(map[string]int),
+	}
+}
+
+// Register adds a node to the fabric so peers can reach it.
+func (ln *LocalNetwork) Register(n *Node) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.nodes[n.Self().Addr] = n
+}
+
+// SetDown marks a node as unreachable (true) or reachable (false).
+func (ln *LocalNetwork) SetDown(addr string, down bool) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.down[addr] = down
+}
+
+// Calls returns the number of RPCs issued for the given method.
+func (ln *LocalNetwork) Calls(method string) int {
+	ln.mu.RLock()
+	defer ln.mu.RUnlock()
+	return ln.calls[method]
+}
+
+func (ln *LocalNetwork) lookup(addr, method string) (*Node, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.calls[method]++
+	if ln.down[addr] {
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, addr)
+	}
+	n, ok := ln.nodes[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, addr)
+	}
+	return n, nil
+}
+
+// FindSuccessor implements RPC.
+func (ln *LocalNetwork) FindSuccessor(ref NodeRef, id ID) (NodeRef, error) {
+	n, err := ln.lookup(ref.Addr, "FindSuccessor")
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return n.FindSuccessor(id)
+}
+
+// Predecessor implements RPC.
+func (ln *LocalNetwork) Predecessor(ref NodeRef) (NodeRef, error) {
+	n, err := ln.lookup(ref.Addr, "Predecessor")
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return n.PredecessorRef(), nil
+}
+
+// Notify implements RPC.
+func (ln *LocalNetwork) Notify(ref NodeRef, candidate NodeRef) error {
+	n, err := ln.lookup(ref.Addr, "Notify")
+	if err != nil {
+		return err
+	}
+	n.Notify(candidate)
+	return nil
+}
+
+// Ping implements RPC.
+func (ln *LocalNetwork) Ping(ref NodeRef) error {
+	_, err := ln.lookup(ref.Addr, "Ping")
+	return err
+}
+
+// StabilizeAll runs the given number of stabilization + fix-finger rounds on
+// every registered node, in address-insertion-independent (map) order. Tests
+// use it to drive the ring to convergence deterministically.
+func (ln *LocalNetwork) StabilizeAll(rounds int) {
+	for i := 0; i < rounds; i++ {
+		ln.mu.RLock()
+		nodes := make([]*Node, 0, len(ln.nodes))
+		for addr, n := range ln.nodes {
+			if !ln.down[addr] {
+				nodes = append(nodes, n)
+			}
+		}
+		ln.mu.RUnlock()
+		for _, n := range nodes {
+			_ = n.Stabilize()
+			n.CheckPredecessor()
+			_ = n.FixAllFingers()
+		}
+	}
+}

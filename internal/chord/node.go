@@ -1,0 +1,305 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNodeDown is returned by RPC implementations when the target node is
+// unreachable.
+var ErrNodeDown = errors.New("chord: node unreachable")
+
+// NodeRef identifies a remote protocol node: its address (how to reach it)
+// and its position on the circle.
+type NodeRef struct {
+	Addr string `json:"addr"`
+	ID   ID     `json:"id"`
+}
+
+// IsZero reports whether the reference is unset.
+func (n NodeRef) IsZero() bool { return n.Addr == "" }
+
+// RPC is the messaging surface a protocol node needs to talk to its peers.
+// internal/overlay provides a transport-backed implementation; LocalNetwork
+// provides an in-memory one for tests.
+type RPC interface {
+	// FindSuccessor asks the node at ref to resolve the successor of id.
+	FindSuccessor(ref NodeRef, id ID) (NodeRef, error)
+	// Predecessor asks the node at ref for its current predecessor (which
+	// may be the zero NodeRef).
+	Predecessor(ref NodeRef) (NodeRef, error)
+	// Notify tells the node at ref that candidate might be its predecessor.
+	Notify(ref NodeRef, candidate NodeRef) error
+	// Ping checks liveness of the node at ref.
+	Ping(ref NodeRef) error
+}
+
+// SuccessorListLen is the number of successors each node tracks for fault
+// tolerance.
+const SuccessorListLen = 4
+
+// Node is a Chord protocol node. It keeps a finger table, a successor list
+// and a predecessor pointer, and exposes the classic join/stabilize/notify/
+// fix-fingers operations. Node has no internal goroutines: the owner calls
+// Stabilize and FixFingers periodically (the overlay does this from its
+// maintenance loop), per the repository convention that background work is
+// owned by the caller.
+type Node struct {
+	mu    sync.RWMutex
+	self  NodeRef
+	space Space
+	rpc   RPC
+
+	predecessor NodeRef
+	successors  []NodeRef // successors[0] is the immediate successor
+	fingers     []NodeRef // fingers[i] = successor(self.ID + 2^i)
+	nextFinger  int
+}
+
+// NewNode creates a node for the given address. The node starts as a
+// single-member ring (its own successor).
+func NewNode(addr string, space Space, rpc RPC) *Node {
+	self := NodeRef{Addr: addr, ID: space.HashString(addr)}
+	n := &Node{
+		self:       self,
+		space:      space,
+		rpc:        rpc,
+		successors: make([]NodeRef, 1, SuccessorListLen),
+		fingers:    make([]NodeRef, space.Bits),
+	}
+	n.successors[0] = self
+	for i := range n.fingers {
+		n.fingers[i] = self
+	}
+	return n
+}
+
+// Self returns the node's own reference.
+func (n *Node) Self() NodeRef { return n.self }
+
+// Successor returns the node's current immediate successor.
+func (n *Node) Successor() NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.successors[0]
+}
+
+// PredecessorRef returns the node's current predecessor (possibly zero).
+func (n *Node) PredecessorRef() NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.predecessor
+}
+
+// Successors returns a copy of the successor list.
+func (n *Node) Successors() []NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeRef, len(n.successors))
+	copy(out, n.successors)
+	return out
+}
+
+// Join makes the node join the ring that bootstrap belongs to. Joining a zero
+// bootstrap is a no-op (the node stays a singleton ring).
+func (n *Node) Join(bootstrap NodeRef) error {
+	if bootstrap.IsZero() || bootstrap.Addr == n.self.Addr {
+		return nil
+	}
+	succ, err := n.rpc.FindSuccessor(bootstrap, n.self.ID)
+	if err != nil {
+		return fmt.Errorf("join via %s: %w", bootstrap.Addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.predecessor = NodeRef{}
+	n.successors = n.successors[:1]
+	n.successors[0] = succ
+	return nil
+}
+
+// FindSuccessor resolves the successor of id, forwarding through the finger
+// table as needed. It is both the local lookup entry point and the handler
+// for remote FindSuccessor RPCs.
+func (n *Node) FindSuccessor(id ID) (NodeRef, error) {
+	n.mu.RLock()
+	succ := n.successors[0]
+	self := n.self
+	n.mu.RUnlock()
+
+	if Between(self.ID, succ.ID, id) {
+		return succ, nil
+	}
+	next := n.closestPrecedingNode(id)
+	if next.Addr == self.Addr {
+		return succ, nil
+	}
+	res, err := n.rpc.FindSuccessor(next, id)
+	if err != nil {
+		// Fall back to the successor chain when a finger is stale.
+		if succ.Addr != self.Addr {
+			return n.rpc.FindSuccessor(succ, id)
+		}
+		return NodeRef{}, err
+	}
+	return res, nil
+}
+
+// closestPrecedingNode returns the finger most closely preceding id.
+func (n *Node) closestPrecedingNode(id ID) NodeRef {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f.IsZero() {
+			continue
+		}
+		if BetweenOpen(n.self.ID, id, f.ID) {
+			return f
+		}
+	}
+	return n.self
+}
+
+// Stabilize runs one round of Chord's stabilization: it learns about nodes
+// that have joined between itself and its successor, repairs a failed
+// successor using the successor list, and notifies the successor of its own
+// existence.
+func (n *Node) Stabilize() error {
+	n.mu.RLock()
+	succ := n.successors[0]
+	self := n.self
+	n.mu.RUnlock()
+
+	if succ.Addr != self.Addr {
+		if err := n.rpc.Ping(succ); err != nil {
+			n.dropSuccessor(succ)
+			return nil
+		}
+	}
+
+	pred, err := func() (NodeRef, error) {
+		if succ.Addr == self.Addr {
+			return n.PredecessorRef(), nil
+		}
+		return n.rpc.Predecessor(succ)
+	}()
+	if err == nil && !pred.IsZero() && BetweenOpen(self.ID, succ.ID, pred.ID) {
+		n.mu.Lock()
+		n.successors[0] = pred
+		succ = pred
+		n.mu.Unlock()
+	}
+
+	if succ.Addr != self.Addr {
+		if err := n.rpc.Notify(succ, self); err != nil {
+			n.dropSuccessor(succ)
+			return nil
+		}
+	}
+	n.refreshSuccessorList()
+	return nil
+}
+
+// dropSuccessor removes a failed successor, promoting the next entry in the
+// successor list (or falling back to self for a singleton ring).
+func (n *Node) dropSuccessor(failed NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.successors) > 0 && n.successors[0].Addr == failed.Addr {
+		n.successors = n.successors[1:]
+	}
+	if len(n.successors) == 0 {
+		n.successors = append(n.successors, n.self)
+	}
+}
+
+// refreshSuccessorList rebuilds the successor list by walking successor
+// pointers.
+func (n *Node) refreshSuccessorList() {
+	n.mu.RLock()
+	self := n.self
+	cur := n.successors[0]
+	n.mu.RUnlock()
+
+	list := make([]NodeRef, 0, SuccessorListLen)
+	list = append(list, cur)
+	for len(list) < SuccessorListLen && cur.Addr != self.Addr {
+		next, err := n.rpc.FindSuccessor(cur, n.space.Add(cur.ID, 1))
+		if err != nil || next.IsZero() || next.Addr == cur.Addr {
+			break
+		}
+		list = append(list, next)
+		cur = next
+	}
+	n.mu.Lock()
+	n.successors = list
+	n.mu.Unlock()
+}
+
+// Notify handles a remote node's claim to be our predecessor.
+func (n *Node) Notify(candidate NodeRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.predecessor.IsZero() || BetweenOpen(n.predecessor.ID, n.self.ID, candidate.ID) {
+		n.predecessor = candidate
+	}
+}
+
+// CheckPredecessor clears the predecessor pointer if it no longer responds.
+func (n *Node) CheckPredecessor() {
+	pred := n.PredecessorRef()
+	if pred.IsZero() || pred.Addr == n.self.Addr {
+		return
+	}
+	if err := n.rpc.Ping(pred); err != nil {
+		n.mu.Lock()
+		if n.predecessor.Addr == pred.Addr {
+			n.predecessor = NodeRef{}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// FixFingers refreshes one finger-table entry per call, cycling through the
+// table (Chord's fix_fingers).
+func (n *Node) FixFingers() error {
+	n.mu.Lock()
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % len(n.fingers)
+	start := n.space.Add(n.self.ID, uint64(1)<<uint(i))
+	n.mu.Unlock()
+
+	succ, err := n.FindSuccessor(start)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.fingers[i] = succ
+	n.mu.Unlock()
+	return nil
+}
+
+// FixAllFingers refreshes the whole finger table (useful in tests and right
+// after join).
+func (n *Node) FixAllFingers() error {
+	for i := 0; i < n.space.Bits; i++ {
+		if err := n.FixFingers(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OwnerOf reports whether this node currently owns hash point id, i.e. id
+// lies in (predecessor, self].
+func (n *Node) OwnerOf(id ID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.predecessor.IsZero() {
+		// Without a predecessor we can only be sure for our own point.
+		return id == n.self.ID || n.successors[0].Addr == n.self.Addr
+	}
+	return Between(n.predecessor.ID, n.self.ID, id)
+}

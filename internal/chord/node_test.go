@@ -1,0 +1,204 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// buildRing creates n protocol nodes on a LocalNetwork, joins them through
+// node 0 and stabilizes until convergence.
+func buildRing(t *testing.T, n int, spaceBits int) (*LocalNetwork, []*Node) {
+	t.Helper()
+	space, err := NewSpace(spaceBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewLocalNetwork()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		node := NewNode(fmt.Sprintf("node-%d", i), space, ln)
+		ln.Register(node)
+		nodes = append(nodes, node)
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[0].Self()); err != nil {
+			t.Fatalf("join node-%d: %v", i, err)
+		}
+	}
+	ln.StabilizeAll(2 * n)
+	return ln, nodes
+}
+
+// ringOrder returns the nodes sorted by ID, i.e. the expected ring order.
+func ringOrder(nodes []*Node) []*Node {
+	sorted := append([]*Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Self().ID < sorted[j].Self().ID })
+	return sorted
+}
+
+func TestSingletonNode(t *testing.T) {
+	space := DefaultSpace()
+	ln := NewLocalNetwork()
+	n := NewNode("solo", space, ln)
+	ln.Register(n)
+	if err := n.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	succ, err := n.FindSuccessor(space.HashString("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if succ.Addr != "solo" {
+		t.Errorf("singleton ring should resolve everything to itself, got %s", succ.Addr)
+	}
+	if !n.OwnerOf(space.HashString("anything")) {
+		t.Error("singleton node should own every point")
+	}
+}
+
+func TestRingConvergesToCorrectSuccessors(t *testing.T) {
+	_, nodes := buildRing(t, 16, 32)
+	sorted := ringOrder(nodes)
+	for i, node := range sorted {
+		want := sorted[(i+1)%len(sorted)].Self().Addr
+		if got := node.Successor().Addr; got != want {
+			t.Errorf("node %s successor = %s, want %s", node.Self().Addr, got, want)
+		}
+		wantPred := sorted[(i+len(sorted)-1)%len(sorted)].Self().Addr
+		if got := node.PredecessorRef().Addr; got != wantPred {
+			t.Errorf("node %s predecessor = %s, want %s", node.Self().Addr, got, wantPred)
+		}
+	}
+}
+
+func TestFindSuccessorAgreesWithGlobalView(t *testing.T) {
+	_, nodes := buildRing(t, 20, 32)
+	sorted := ringOrder(nodes)
+	space := DefaultSpace()
+
+	// Global-view owner: first node with ID >= h (wrapping).
+	ownerOf := func(h ID) string {
+		for _, n := range sorted {
+			if n.Self().ID >= h {
+				return n.Self().Addr
+			}
+		}
+		return sorted[0].Self().Addr
+	}
+
+	for i := 0; i < 300; i++ {
+		h := space.HashString(fmt.Sprintf("key-%d", i))
+		want := ownerOf(h)
+		for _, start := range []*Node{nodes[0], nodes[7], nodes[19]} {
+			got, err := start.FindSuccessor(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Addr != want {
+				t.Fatalf("FindSuccessor(%d) from %s = %s, want %s", h, start.Self().Addr, got.Addr, want)
+			}
+		}
+	}
+}
+
+func TestNodeOwnership(t *testing.T) {
+	_, nodes := buildRing(t, 10, 32)
+	space := DefaultSpace()
+	for i := 0; i < 200; i++ {
+		h := space.HashString(fmt.Sprintf("item-%d", i))
+		owners := 0
+		for _, n := range nodes {
+			if n.OwnerOf(h) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("hash %d owned by %d nodes, want exactly 1", h, owners)
+		}
+	}
+}
+
+func TestLateJoinIsAbsorbed(t *testing.T) {
+	ln, nodes := buildRing(t, 8, 32)
+	space := DefaultSpace()
+	late := NewNode("late-joiner", space, ln)
+	ln.Register(late)
+	if err := late.Join(nodes[0].Self()); err != nil {
+		t.Fatal(err)
+	}
+	ln.StabilizeAll(20)
+
+	all := append(append([]*Node(nil), nodes...), late)
+	sorted := ringOrder(all)
+	for i, node := range sorted {
+		want := sorted[(i+1)%len(sorted)].Self().Addr
+		if got := node.Successor().Addr; got != want {
+			t.Errorf("after late join, node %s successor = %s, want %s", node.Self().Addr, got, want)
+		}
+	}
+}
+
+func TestNodeFailureIsRepaired(t *testing.T) {
+	ln, nodes := buildRing(t, 12, 32)
+	sorted := ringOrder(nodes)
+	// Kill one node in the middle of the sorted order.
+	victim := sorted[5]
+	ln.SetDown(victim.Self().Addr, true)
+	ln.StabilizeAll(30)
+
+	survivors := make([]*Node, 0, len(sorted)-1)
+	for _, n := range sorted {
+		if n.Self().Addr != victim.Self().Addr {
+			survivors = append(survivors, n)
+		}
+	}
+	for i, node := range survivors {
+		want := survivors[(i+1)%len(survivors)].Self().Addr
+		if got := node.Successor().Addr; got != want {
+			t.Errorf("after failure, node %s successor = %s, want %s", node.Self().Addr, got, want)
+		}
+	}
+}
+
+func TestJoinUnreachableBootstrap(t *testing.T) {
+	space := DefaultSpace()
+	ln := NewLocalNetwork()
+	n := NewNode("n1", space, ln)
+	ln.Register(n)
+	ghost := NodeRef{Addr: "ghost", ID: space.HashString("ghost")}
+	if err := n.Join(ghost); err == nil {
+		t.Error("joining via an unreachable bootstrap succeeded, want error")
+	}
+	// Joining through itself or a zero ref is a no-op.
+	if err := n.Join(NodeRef{}); err != nil {
+		t.Errorf("joining zero bootstrap: %v", err)
+	}
+	if err := n.Join(n.Self()); err != nil {
+		t.Errorf("joining through self: %v", err)
+	}
+}
+
+func TestSuccessorListProvidesFaultTolerance(t *testing.T) {
+	_, nodes := buildRing(t, 10, 32)
+	for _, n := range nodes {
+		succs := n.Successors()
+		if len(succs) < 2 {
+			t.Fatalf("node %s has successor list of length %d, want ≥ 2", n.Self().Addr, len(succs))
+		}
+		if succs[0].Addr == succs[1].Addr {
+			t.Fatalf("node %s successor list has duplicates", n.Self().Addr)
+		}
+	}
+}
+
+func TestLocalNetworkCallCounting(t *testing.T) {
+	ln, nodes := buildRing(t, 4, 32)
+	before := ln.Calls("FindSuccessor")
+	if _, err := nodes[0].FindSuccessor(DefaultSpace().HashString("x")); err != nil {
+		t.Fatal(err)
+	}
+	if ln.Calls("FindSuccessor") < before {
+		t.Error("call counter went backwards")
+	}
+}

@@ -1,0 +1,271 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by Ring operations.
+var (
+	ErrEmptyRing     = errors.New("chord: ring has no members")
+	ErrDuplicateNode = errors.New("chord: node already in ring")
+	ErrUnknownNode   = errors.New("chord: node not in ring")
+)
+
+// Member identifies a physical server participating in the ring.
+type Member string
+
+// point is one virtual server: a position on the circle owned by a member.
+type point struct {
+	id     ID
+	member Member
+}
+
+// Ring is an authoritative, process-local view of a Chord ring. It implements
+// the Map() primitive the CLASH paper relies on: Map(h) returns the server
+// whose virtual-server point is the successor of h on the circle. It also
+// simulates greedy finger-table routing so callers can account for the
+// O(log S) per-lookup message cost without running the full node protocol.
+//
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	space  Space
+	vnodes int
+	points []point // sorted by id
+	member map[Member]int
+}
+
+// RingOption configures a Ring.
+type RingOption func(*Ring)
+
+// WithSpace sets the identifier space (default: 32-bit).
+func WithSpace(s Space) RingOption { return func(r *Ring) { r.space = s } }
+
+// WithVirtualServers sets the number of virtual servers per member (default
+// 1). Chord recommends O(log S) virtual servers per node to even out the
+// address-space partition; CFS-style capacity weighting can be achieved by
+// calling AddWeighted.
+func WithVirtualServers(n int) RingOption {
+	return func(r *Ring) {
+		if n > 0 {
+			r.vnodes = n
+		}
+	}
+}
+
+// NewRing creates an empty ring.
+func NewRing(opts ...RingOption) *Ring {
+	r := &Ring{
+		space:  DefaultSpace(),
+		vnodes: 1,
+		member: make(map[Member]int),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Space returns the identifier space used by the ring.
+func (r *Ring) Space() Space {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.space
+}
+
+// Add inserts a member with the ring's default number of virtual servers.
+func (r *Ring) Add(m Member) error { return r.AddWeighted(m, 0) }
+
+// AddWeighted inserts a member with the given number of virtual servers
+// (0 means "use the ring default"). Heterogeneous capacity (CFS-style) is
+// modelled by giving more virtual servers to more capable members.
+func (r *Ring) AddWeighted(m Member, vnodes int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[m]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, m)
+	}
+	if vnodes <= 0 {
+		vnodes = r.vnodes
+	}
+	r.member[m] = vnodes
+	for i := 0; i < vnodes; i++ {
+		id := r.space.HashString(fmt.Sprintf("%s#%d", m, i))
+		r.points = append(r.points, point{id: id, member: m})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].id < r.points[j].id })
+	return nil
+}
+
+// Remove deletes a member and all of its virtual servers from the ring
+// (modelling a node departure or failure).
+func (r *Ring) Remove(m Member) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[m]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, m)
+	}
+	delete(r.member, m)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != m {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Members returns the current members in unspecified order.
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.member))
+	for m := range r.member {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}
+
+// Contains reports whether m is a member of the ring.
+func (r *Ring) Contains(m Member) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.member[m]
+	return ok
+}
+
+// Successor returns the member owning hash point h: the member whose virtual
+// server is the first point at or clockwise after h.
+func (r *Ring) Successor(h ID) (Member, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, err := r.successorLocked(h)
+	if err != nil {
+		return "", err
+	}
+	return p.member, nil
+}
+
+func (r *Ring) successorLocked(h ID) (point, error) {
+	if len(r.points) == 0 {
+		return point{}, ErrEmptyRing
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].id >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i], nil
+}
+
+// Map hashes an arbitrary byte key and returns the owning member. This is the
+// DHT primitive sÅ←Map(h) from the paper.
+func (r *Ring) Map(key []byte) (Member, error) {
+	r.mu.RLock()
+	space := r.space
+	r.mu.RUnlock()
+	return r.Successor(space.HashBytes(key))
+}
+
+// Lookup resolves the owner of hash point h as seen from the virtual server
+// of member `from`, simulating Chord's greedy finger-table routing, and
+// returns the owner together with the number of inter-server hops the lookup
+// would take (0 when the starting member already owns h). The hop count gives
+// the O(log S) message cost per DHT lookup that the CLASH overhead analysis
+// (paper §6.3) charges for.
+func (r *Ring) Lookup(from Member, h ID) (Member, int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", 0, ErrEmptyRing
+	}
+	if _, ok := r.member[from]; !ok {
+		return "", 0, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	owner, err := r.successorLocked(h)
+	if err != nil {
+		return "", 0, err
+	}
+	// Start from the first virtual server of `from`.
+	cur := r.space.HashString(fmt.Sprintf("%s#%d", from, 0))
+	curMember := from
+	hops := 0
+	// Greedy routing: jump to the finger that most closely precedes h.
+	// Bounded by 2*Bits to guarantee termination even in pathological cases.
+	for iter := 0; iter < 2*r.space.Bits+4; iter++ {
+		succ, err := r.successorLocked(r.space.Add(cur, 1))
+		if err != nil {
+			return "", 0, err
+		}
+		if Between(cur, succ.id, h) {
+			// The immediate successor owns h.
+			if succ.member != curMember {
+				hops++
+			}
+			return succ.member, hops, nil
+		}
+		next := r.closestPrecedingLocked(cur, h)
+		if next.id == cur {
+			// No finger makes progress: fall through to the successor.
+			if succ.member != curMember {
+				hops++
+			}
+			cur, curMember = succ.id, succ.member
+			continue
+		}
+		if next.member != curMember {
+			hops++
+		}
+		cur, curMember = next.id, next.member
+	}
+	// Safety net (should be unreachable): report the true owner.
+	return owner.member, hops, nil
+}
+
+// closestPrecedingLocked returns the virtual-server point that a node at
+// position cur with a complete finger table would forward to when looking up
+// h: the owner of the largest finger cur+2^i that still precedes h.
+func (r *Ring) closestPrecedingLocked(cur, h ID) point {
+	best := point{id: cur}
+	foundBest := false
+	for i := r.space.Bits - 1; i >= 0; i-- {
+		fingerStart := r.space.Add(cur, uint64(1)<<uint(i))
+		p, err := r.successorLocked(fingerStart)
+		if err != nil {
+			break
+		}
+		if BetweenOpen(cur, h, p.id) {
+			if !foundBest || Between(best.id, h, p.id) {
+				best = p
+				foundBest = true
+			}
+			// Fingers are scanned from the farthest; the first one inside
+			// (cur, h) is the closest preceding finger.
+			break
+		}
+	}
+	return best
+}
+
+// ExpectedHops returns ceil(log2(S)) for the current membership, the textbook
+// per-lookup hop bound; useful for analytical overhead estimates.
+func (r *Ring) ExpectedHops() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.member)
+	hops := 0
+	for v := 1; v < n; v <<= 1 {
+		hops++
+	}
+	return hops
+}

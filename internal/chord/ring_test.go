@@ -1,0 +1,322 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clash/internal/bitkey"
+)
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(0); err == nil {
+		t.Error("NewSpace(0) succeeded, want error")
+	}
+	if _, err := NewSpace(65); err == nil {
+		t.Error("NewSpace(65) succeeded, want error")
+	}
+	s, err := NewSpace(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mask() != (1<<24)-1 {
+		t.Errorf("Mask() = %#x, want %#x", s.Mask(), (1<<24)-1)
+	}
+}
+
+func TestSpaceWrapAndAdd(t *testing.T) {
+	s, _ := NewSpace(8)
+	if got := s.Wrap(257); got != 1 {
+		t.Errorf("Wrap(257) = %d, want 1", got)
+	}
+	if got := s.Add(250, 10); got != 4 {
+		t.Errorf("Add(250,10) = %d, want 4", got)
+	}
+	full := Space{Bits: 64}
+	if got := full.Wrap(^uint64(0)); got != ID(^uint64(0)) {
+		t.Errorf("64-bit Wrap clipped the value: %d", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		from, to, id ID
+		want         bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},
+		{10, 20, 10, false},
+		{10, 20, 25, false},
+		{20, 10, 25, true}, // wrap-around interval
+		{20, 10, 5, true},
+		{20, 10, 15, false},
+		{7, 7, 42, true}, // whole circle
+	}
+	for _, tt := range tests {
+		if got := Between(tt.from, tt.to, tt.id); got != tt.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", tt.from, tt.to, tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	if BetweenOpen(10, 20, 20) {
+		t.Error("BetweenOpen should exclude the upper endpoint")
+	}
+	if !BetweenOpen(10, 20, 19) {
+		t.Error("BetweenOpen(10,20,19) should be true")
+	}
+	if BetweenOpen(7, 7, 7) {
+		t.Error("BetweenOpen(x,x,x) should be false")
+	}
+	if !BetweenOpen(7, 7, 8) {
+		t.Error("BetweenOpen(x,x,y) should be true for y != x")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing()
+	if _, err := r.Successor(42); err == nil {
+		t.Error("Successor on empty ring succeeded, want error")
+	}
+	if _, _, err := r.Lookup("nobody", 42); err == nil {
+		t.Error("Lookup on empty ring succeeded, want error")
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	r := NewRing()
+	if err := r.Add("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("s1"); err == nil {
+		t.Error("duplicate Add succeeded, want error")
+	}
+	if err := r.Add("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || !r.Contains("s1") || !r.Contains("s2") {
+		t.Errorf("membership wrong: len=%d", r.Len())
+	}
+	if err := r.Remove("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("s1"); err == nil {
+		t.Error("removing absent member succeeded, want error")
+	}
+	if r.Contains("s1") || r.Len() != 1 {
+		t.Error("remove did not take effect")
+	}
+}
+
+func TestRingMapIsDeterministic(t *testing.T) {
+	r := NewRing()
+	for i := 0; i < 50; i++ {
+		if err := r.Add(Member(fmt.Sprintf("server-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := bitkey.MustParse("011010110101001010101011").Bytes()
+	a, err := r.Map(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := r.Map(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("Map is not deterministic: %s vs %s", a, b)
+		}
+	}
+}
+
+func TestRingRemovalOnlyMovesKeysOwnedByRemovedNode(t *testing.T) {
+	// Consistent hashing property: removing one member only reassigns the
+	// keys that member owned.
+	r := NewRing(WithVirtualServers(4))
+	const nServers = 40
+	for i := 0; i < nServers; i++ {
+		if err := r.Add(Member(fmt.Sprintf("server-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const nKeys = 2000
+	before := make(map[int]Member, nKeys)
+	for i := 0; i < nKeys; i++ {
+		m, err := r.Map([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = m
+	}
+	removed := Member("server-7")
+	if err := r.Remove(removed); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nKeys; i++ {
+		after, err := r.Map([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before[i] != removed && after != before[i] {
+			t.Fatalf("key %d moved from %s to %s although %s was removed", i, before[i], after, removed)
+		}
+		if before[i] == removed && after == removed {
+			t.Fatalf("key %d still mapped to removed member", i)
+		}
+	}
+}
+
+func TestRingVirtualServersBalanceLoad(t *testing.T) {
+	// With log(S) virtual servers per member the key distribution should be
+	// substantially more even than with a single point per member.
+	imbalance := func(vnodes int) float64 {
+		r := NewRing(WithVirtualServers(vnodes))
+		const nServers = 64
+		for i := 0; i < nServers; i++ {
+			if err := r.Add(Member(fmt.Sprintf("server-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		counts := make(map[Member]int)
+		const nKeys = 20000
+		for i := 0; i < nKeys; i++ {
+			m, err := r.Map([]byte(fmt.Sprintf("key-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[m]++
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		return float64(maxCount) / (float64(nKeys) / nServers)
+	}
+	single := imbalance(1)
+	many := imbalance(8)
+	if many >= single {
+		t.Errorf("virtual servers should reduce imbalance: single=%.2f many=%.2f", single, many)
+	}
+}
+
+func TestRingWeightedMembersGetMoreKeys(t *testing.T) {
+	r := NewRing(WithVirtualServers(4))
+	if err := r.AddWeighted("big", 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if err := r.Add(Member(fmt.Sprintf("small-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make(map[Member]int)
+	const nKeys = 20000
+	for i := 0; i < nKeys; i++ {
+		m, err := r.Map([]byte(fmt.Sprintf("key-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m]++
+	}
+	avgSmall := 0
+	for m, c := range counts {
+		if m != "big" {
+			avgSmall += c
+		}
+	}
+	avgSmallF := float64(avgSmall) / 15
+	if float64(counts["big"]) < 2*avgSmallF {
+		t.Errorf("weighted member got %d keys, small members average %.0f; expected a clear capacity skew",
+			counts["big"], avgSmallF)
+	}
+}
+
+func TestRingLookupAgreesWithSuccessorAndBoundsHops(t *testing.T) {
+	r := NewRing()
+	const nServers = 128
+	for i := 0; i < nServers; i++ {
+		if err := r.Add(Member(fmt.Sprintf("server-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := r.Space()
+	maxAllowed := 4 * int(math.Ceil(math.Log2(nServers)))
+	for i := 0; i < 1000; i++ {
+		h := space.HashString(fmt.Sprintf("probe-%d", i))
+		owner, err := r.Successor(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, hops, err := r.Lookup("server-0", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != owner {
+			t.Fatalf("Lookup returned %s, Successor returned %s for %d", got, owner, h)
+		}
+		if hops > maxAllowed {
+			t.Fatalf("lookup took %d hops, want ≤ %d", hops, maxAllowed)
+		}
+	}
+}
+
+func TestRingLookupUnknownStart(t *testing.T) {
+	r := NewRing()
+	if err := r.Add("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup("ghost", 12); err == nil {
+		t.Error("Lookup from unknown member succeeded, want error")
+	}
+}
+
+func TestRingExpectedHops(t *testing.T) {
+	r := NewRing()
+	for i := 0; i < 100; i++ {
+		if err := r.Add(Member(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.ExpectedHops(); got != 7 {
+		t.Errorf("ExpectedHops for 100 members = %d, want 7 (ceil log2 100)", got)
+	}
+}
+
+func TestPropertySuccessorOwnsPoint(t *testing.T) {
+	// Invariant: Successor(h) is the member whose first point at or after h
+	// owns h; mapping the exact point ID of a member's virtual server returns
+	// that member.
+	r := NewRing()
+	const nServers = 30
+	for i := 0; i < nServers; i++ {
+		if err := r.Add(Member(fmt.Sprintf("server-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	space := r.Space()
+	f := func(seed uint64) bool {
+		h := space.Wrap(seed)
+		m, err := r.Successor(h)
+		return err == nil && m != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	for i := 0; i < nServers; i++ {
+		m := Member(fmt.Sprintf("server-%d", i))
+		pt := space.HashString(fmt.Sprintf("%s#%d", m, 0))
+		owner, err := r.Successor(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != m {
+			t.Fatalf("member %s does not own its own virtual-server point (owner %s)", m, owner)
+		}
+	}
+}

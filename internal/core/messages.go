@@ -1,0 +1,103 @@
+package core
+
+// Wire message names and payloads for the CLASH protocol. The live overlay
+// (internal/overlay) serialises these as JSON over its transport; the
+// discrete-event simulator only counts them. Keeping the definitions here
+// makes the protocol surface visible in one place and lets both drivers share
+// the same vocabulary when accounting for signaling overhead (paper §6.3).
+
+// MessageType enumerates the CLASH protocol messages.
+type MessageType string
+
+// Protocol message types. The first three appear verbatim in the paper; the
+// remaining ones are the signaling the paper describes without naming
+// (load reports for consolidation, reclaiming a key group, and per-query
+// state transfer during splits).
+const (
+	// MsgAcceptObject carries a data object or query insert from a client
+	// (identifier key + estimated depth).
+	MsgAcceptObject MessageType = "ACCEPT_OBJECT"
+	// MsgAcceptObjectReply is the server's OK / OK-corrected /
+	// INCORRECT_DEPTH response.
+	MsgAcceptObjectReply MessageType = "ACCEPT_OBJECT_REPLY"
+	// MsgAcceptKeyGroup transfers responsibility for a key group from an
+	// overloaded parent to its right-child server.
+	MsgAcceptKeyGroup MessageType = "ACCEPT_KEYGROUP"
+	// MsgLoadReport is the periodic leaf→parent workload report used for
+	// bottom-up consolidation.
+	MsgLoadReport MessageType = "LOAD_REPORT"
+	// MsgReleaseKeyGroup asks a right-child server to hand a key group back
+	// to its parent during consolidation.
+	MsgReleaseKeyGroup MessageType = "RELEASE_KEYGROUP"
+	// MsgStateTransfer carries migrated application state (e.g. stored
+	// continuous queries) that accompanies a key-group transfer.
+	MsgStateTransfer MessageType = "STATE_TRANSFER"
+	// MsgDHTLookup accounts for one underlying DHT routing hop.
+	MsgDHTLookup MessageType = "DHT_LOOKUP"
+)
+
+// AcceptObjectMsg is the payload of MsgAcceptObject.
+type AcceptObjectMsg struct {
+	// Key is the full N-bit identifier key rendered as a binary string.
+	Key string `json:"key"`
+	// Depth is the client's estimated depth.
+	Depth int `json:"depth"`
+	// Kind distinguishes data packets from query registrations.
+	Kind ObjectKind `json:"kind"`
+	// Payload is the opaque application object (a serialised query or data
+	// record).
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// ObjectKind distinguishes the two object classes the paper stores in the
+// overlay: transient data packets and long-lived continuous queries.
+type ObjectKind int
+
+// Object kinds.
+const (
+	ObjectData ObjectKind = iota + 1
+	ObjectQuery
+)
+
+// AcceptObjectReplyMsg is the payload of MsgAcceptObjectReply.
+type AcceptObjectReplyMsg struct {
+	Status       string `json:"status"`
+	Group        string `json:"group,omitempty"`
+	CorrectDepth int    `json:"correctDepth,omitempty"`
+	DMin         int    `json:"dmin,omitempty"`
+	// Matches carries the IDs of continuous queries matched by a data packet
+	// (filled by the overlay's query engine).
+	Matches []string `json:"matches,omitempty"`
+}
+
+// AcceptKeyGroupMsg is the payload of MsgAcceptKeyGroup.
+type AcceptKeyGroupMsg struct {
+	Group  string `json:"group"`
+	Parent string `json:"parent"`
+	// Queries carries the serialised continuous queries whose keys fall in
+	// the transferred group (the application state migrated at split time).
+	Queries [][]byte `json:"queries,omitempty"`
+}
+
+// LoadReportMsg is the payload of MsgLoadReport.
+type LoadReportMsg struct {
+	Group string  `json:"group"`
+	Load  float64 `json:"load"`
+	From  string  `json:"from"`
+}
+
+// ReleaseKeyGroupMsg is the payload of MsgReleaseKeyGroup.
+type ReleaseKeyGroupMsg struct {
+	Group string `json:"group"`
+	// Parent identifies the reclaiming server so the child can verify the
+	// request.
+	Parent string `json:"parent"`
+}
+
+// ReleaseKeyGroupReplyMsg returns the child's state for the reclaimed group.
+type ReleaseKeyGroupReplyMsg struct {
+	Group   string   `json:"group"`
+	Queries [][]byte `json:"queries,omitempty"`
+	OK      bool     `json:"ok"`
+	Error   string   `json:"error,omitempty"`
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+
+	"clash/internal/bitkey"
+)
+
+// Router is the client-side cache that maps key groups to the servers that
+// manage them. After a client resolves the depth of a key once, it caches the
+// (group → server) binding and sends all subsequent packets of the virtual
+// stream directly, without DHT lookups, until it is redirected (paper §6: the
+// client "simply caches this server value").
+//
+// Router is safe for concurrent use.
+type Router struct {
+	mu      sync.RWMutex
+	keyBits int
+	entries map[string]ServerID
+}
+
+// NewRouter creates an empty router cache for an N-bit key space.
+func NewRouter(keyBits int) *Router {
+	return &Router{keyBits: keyBits, entries: make(map[string]ServerID)}
+}
+
+// Learn records that the given group is managed by the given server.
+func (r *Router) Learn(g bitkey.Group, server ServerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[g.String()] = server
+}
+
+// Forget drops the cached binding for a group (e.g. after a redirect).
+func (r *Router) Forget(g bitkey.Group) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, g.String())
+}
+
+// ForgetServer drops every binding that points at the given server (used when
+// a server leaves or fails).
+func (r *Router) ForgetServer(server ServerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for g, s := range r.entries {
+		if s == server {
+			delete(r.entries, g)
+		}
+	}
+}
+
+// Route returns the cached (group, server) binding whose group contains the
+// key, if any. Because cached groups may be stale, the caller must be
+// prepared for the server to answer INCORRECT_DEPTH and then fall back to a
+// full depth resolution.
+func (r *Router) Route(k bitkey.Key) (bitkey.Group, ServerID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for d := min(k.Bits, r.keyBits); d >= 0; d-- {
+		g, err := bitkey.Shape(k, d)
+		if err != nil {
+			continue
+		}
+		if s, ok := r.entries[g.String()]; ok {
+			return g, s, true
+		}
+	}
+	return bitkey.Group{}, NoServer, false
+}
+
+// Len returns the number of cached bindings.
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clash/internal/bitkey"
+)
+
+// ErrSplitExhausted is returned when a split keeps mapping the right child
+// back to the splitting server and the retry budget is exhausted.
+var ErrSplitExhausted = errors.New("clash: split exhausted retries without finding a peer")
+
+// MapFunc resolves the server responsible for a virtual key through the
+// underlying DHT (the paper's Map(f(k'))).
+type MapFunc func(virtualKey bitkey.Key) (ServerID, error)
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxSplitRetries bounds how many times a split re-extends the right
+// child when the DHT keeps mapping it back to the splitting server
+// (default 16).
+func WithMaxSplitRetries(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxSplitRetries = n
+		}
+	}
+}
+
+// WithReportMaxAge sets how old a right-child load report may be before it is
+// considered stale and blocks consolidation (default 15 minutes, three
+// 5-minute load-check periods).
+func WithReportMaxAge(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.reportMaxAge = d
+		}
+	}
+}
+
+// Counters are cumulative protocol statistics for one server.
+type Counters struct {
+	Splits         int
+	Merges         int
+	GroupsAccepted int
+	GroupsReleased int
+	ObjectsOK      int
+	ObjectsCorrect int
+	ObjectsWrong   int
+}
+
+// Server is the per-node CLASH protocol state machine. It owns the Server
+// Work Table and implements the split, consolidation and ACCEPT_OBJECT logic.
+// It never talks to the network itself: drivers resolve DHT mappings through
+// the MapFunc they pass to ExecuteSplit and deliver the messages described by
+// the returned results.
+//
+// Server is safe for concurrent use.
+type Server struct {
+	mu              sync.Mutex
+	id              ServerID
+	table           *Table
+	counters        Counters
+	maxSplitRetries int
+	reportMaxAge    time.Duration
+}
+
+// NewServer creates a CLASH server for an N-bit identifier key space.
+func NewServer(id ServerID, keyBits int, opts ...ServerOption) (*Server, error) {
+	if id == NoServer {
+		return nil, fmt.Errorf("clash: server id must not be empty")
+	}
+	table, err := NewTable(keyBits)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		id:              id,
+		table:           table,
+		maxSplitRetries: 16,
+		reportMaxAge:    15 * time.Minute,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() ServerID { return s.id }
+
+// KeyBits returns the identifier key length N.
+func (s *Server) KeyBits() int { return s.table.KeyBits() }
+
+// Counters returns a snapshot of the protocol counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Bootstrap installs a root key group on this server (an administrative
+// anchor; consolidation never collapses past it). It is how the initial
+// partition of the key space is assigned at system start.
+func (s *Server) Bootstrap(g bitkey.Group) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g.Depth() > s.table.KeyBits() {
+		return fmt.Errorf("%w: depth %d > %d", ErrDepthRange, g.Depth(), s.table.KeyBits())
+	}
+	if _, ok := s.table.get(g); ok {
+		return fmt.Errorf("%w: %v", ErrAlreadyManaged, g)
+	}
+	s.table.put(&Entry{Group: g, Parent: NoServer, IsRoot: true, Active: true})
+	return nil
+}
+
+// Entries returns the Server Work Table rows sorted by depth then prefix
+// (the layout of the paper's Figure 2).
+func (s *Server) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Entries()
+}
+
+// ActiveGroups returns the key groups this server currently manages (the
+// leaves of its part of the logical tree).
+func (s *Server) ActiveGroups() []bitkey.Group {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.ActiveGroups()
+}
+
+// ManagesKey reports whether some active group on this server contains k,
+// and returns that group.
+func (s *Server) ManagesKey(k bitkey.Key) (bitkey.Group, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.activeEntryFor(k)
+	if !ok {
+		return bitkey.Group{}, false
+	}
+	return e.Group, true
+}
+
+// Validate checks the table invariants (active groups are prefix-free).
+func (s *Server) Validate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.validateActivePrefixFree()
+}
+
+// HandleAcceptObject processes an ACCEPT_OBJECT request carrying an
+// identifier key and the client's estimated depth, implementing the paper's
+// three cases:
+//
+//	(a) right depth            → OK
+//	(b) wrong depth, right server → OK with corrected depth
+//	(c) wrong server           → INCORRECT_DEPTH with the longest prefix match
+func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k.Bits != s.table.KeyBits() {
+		return AcceptObjectResult{}, fmt.Errorf("%w: key %d bits, want %d", ErrBadKey, k.Bits, s.table.KeyBits())
+	}
+	if estimatedDepth < 0 || estimatedDepth > k.Bits {
+		return AcceptObjectResult{}, fmt.Errorf("%w: %d", ErrDepthRange, estimatedDepth)
+	}
+	entry, ok := s.table.activeEntryFor(k)
+	if !ok {
+		s.counters.ObjectsWrong++
+		return AcceptObjectResult{
+			Status: StatusIncorrectDepth,
+			DMin:   s.table.longestPrefixMatch(k),
+		}, nil
+	}
+	if entry.Depth() == estimatedDepth {
+		s.counters.ObjectsOK++
+		return AcceptObjectResult{Status: StatusOK, Group: entry.Group, CorrectDepth: entry.Depth()}, nil
+	}
+	s.counters.ObjectsCorrect++
+	return AcceptObjectResult{Status: StatusOKCorrected, Group: entry.Group, CorrectDepth: entry.Depth()}, nil
+}
+
+// SetGroupLoad records the measured load fraction attributable to an active
+// group for the current measurement interval. The driver (simulator or
+// overlay meter) calls it before making split/merge decisions.
+func (s *Server) SetGroupLoad(g bitkey.Group, loadFraction float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.get(g)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownGroup, g)
+	}
+	if !e.Active {
+		return fmt.Errorf("%w: %v", ErrNotActive, g)
+	}
+	e.localLoad = loadFraction
+	return nil
+}
+
+// GroupLoads returns the last recorded load fraction for every active group.
+func (s *Server) GroupLoads() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64)
+	for _, e := range s.table.entries {
+		if e.Active {
+			out[e.Group.String()] = e.localLoad
+		}
+	}
+	return out
+}
+
+// TotalLoad returns the sum of the recorded loads of all active groups — the
+// server's overall load fraction.
+func (s *Server) TotalLoad() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum float64
+	for _, e := range s.table.entries {
+		if e.Active {
+			sum += e.localLoad
+		}
+	}
+	return sum
+}
+
+// HottestActiveGroup returns the active group with the highest recorded load.
+func (s *Server) HottestActiveGroup() (bitkey.Group, float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		best     *Entry
+		bestLoad float64
+	)
+	for _, e := range s.table.entries {
+		if !e.Active {
+			continue
+		}
+		if best == nil || e.localLoad > bestLoad ||
+			(e.localLoad == bestLoad && e.Group.Prefix.Compare(best.Group.Prefix) < 0) {
+			best = e
+			bestLoad = e.localLoad
+		}
+	}
+	if best == nil {
+		return bitkey.Group{}, 0, false
+	}
+	return best.Group, bestLoad, true
+}
+
+// ExecuteSplit splits an overloaded active key group (paper §5). The left
+// child keeps mapping to this server; the right child is transferred to the
+// server the DHT maps its virtual key to. If the DHT maps the right child
+// back to this server, the right child is split again (another randomised
+// attempt), up to the retry budget.
+//
+// The returned SplitResult lists the transfer the driver must deliver as an
+// ACCEPT_KEYGROUP message. On ErrMaxDepth or ErrSplitExhausted the table may
+// have been subdivided locally but no load left the server.
+func (s *Server) ExecuteSplit(g bitkey.Group, mapFn MapFunc) (*SplitResult, error) {
+	if mapFn == nil {
+		return nil, fmt.Errorf("clash: nil MapFunc")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	entry, ok := s.table.get(g)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownGroup, g)
+	}
+	if !entry.Active {
+		return nil, fmt.Errorf("%w: %v", ErrNotActive, g)
+	}
+
+	result := &SplitResult{Split: g}
+	cur := entry
+	for attempt := 0; ; attempt++ {
+		if cur.Depth() >= s.table.KeyBits() {
+			result.Kept = cur.Group
+			return result, fmt.Errorf("%w: group %v", ErrMaxDepth, cur.Group)
+		}
+		if attempt >= s.maxSplitRetries {
+			result.Kept = cur.Group
+			return result, fmt.Errorf("%w: group %v after %d attempts", ErrSplitExhausted, g, attempt)
+		}
+		left, right, err := cur.Group.Split()
+		if err != nil {
+			return nil, err
+		}
+		vkey, err := right.VirtualKey(s.table.KeyBits())
+		if err != nil {
+			return nil, err
+		}
+		target, err := mapFn(vkey)
+		if err != nil {
+			return nil, fmt.Errorf("map right child %v: %w", right, err)
+		}
+
+		half := cur.localLoad / 2
+		// The current group stops being a leaf and records the split linkage.
+		cur.Active = false
+		cur.RightChild = target
+		cur.RightChildGroup = right
+		cur.localLoad = 0
+
+		// The left child stays on this server.
+		leftEntry := &Entry{
+			Group:        left,
+			Parent:       s.id,
+			ParentIsSelf: true,
+			Active:       true,
+			localLoad:    half,
+		}
+		s.table.put(leftEntry)
+		s.counters.Splits++
+
+		if target != s.id {
+			result.Kept = left
+			result.Transfers = append(result.Transfers, Transfer{Group: right, To: target, Parent: s.id})
+			return result, nil
+		}
+
+		// The DHT mapped the right child back onto this server: keep it
+		// locally as an active group and split it again.
+		result.Retries++
+		rightEntry := &Entry{
+			Group:        right,
+			Parent:       s.id,
+			ParentIsSelf: true,
+			Active:       true,
+			localLoad:    half,
+		}
+		s.table.put(rightEntry)
+		cur = rightEntry
+	}
+}
+
+// HandleAcceptKeyGroup processes an ACCEPT_KEYGROUP message: the server takes
+// over responsibility for a key group shed by parent. Per the paper a node
+// must always accept (it can always shed its own load afterwards). Accepting
+// a group the server already manages actively is idempotent.
+func (s *Server) HandleAcceptKeyGroup(g bitkey.Group, parent ServerID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g.Depth() > s.table.KeyBits() {
+		return fmt.Errorf("%w: depth %d", ErrDepthRange, g.Depth())
+	}
+	if e, ok := s.table.get(g); ok {
+		if e.Active {
+			// Idempotent re-delivery.
+			e.Parent = parent
+			e.ParentIsSelf = parent == s.id
+			return nil
+		}
+		return fmt.Errorf("%w: %v (already split here)", ErrAlreadyManaged, g)
+	}
+	s.table.put(&Entry{
+		Group:        g,
+		Parent:       parent,
+		ParentIsSelf: parent == s.id,
+		Active:       true,
+	})
+	s.counters.GroupsAccepted++
+	return nil
+}
+
+// LoadReports produces the periodic load reports this server owes the parents
+// of its active key groups (paper §4: leaves inform their parents of their
+// current workload so parents can consolidate). Reports to itself are
+// omitted — the local left-child load is read directly at merge time.
+func (s *Server) LoadReports() []LoadReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []LoadReport
+	for _, e := range s.table.entries {
+		if !e.Active || e.Parent == NoServer || e.ParentIsSelf || e.Parent == s.id {
+			continue
+		}
+		out = append(out, LoadReport{From: s.id, To: e.Parent, Group: e.Group, Load: e.localLoad})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Group.Prefix.Compare(out[j].Group.Prefix) < 0
+	})
+	return out
+}
+
+// HandleLoadReport records a right-child load report on the inactive parent
+// entry that transferred the group.
+func (s *Server) HandleLoadReport(rep LoadReport, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parentGroup, ok := rep.Group.Parent()
+	if !ok {
+		return fmt.Errorf("%w: report for root group %v", ErrUnknownGroup, rep.Group)
+	}
+	e, ok := s.table.get(parentGroup)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownGroup, parentGroup)
+	}
+	if e.Active || !e.RightChildGroup.Equal(rep.Group) || e.RightChild != rep.From {
+		return fmt.Errorf("%w: stale report for %v from %s", ErrUnknownGroup, rep.Group, rep.From)
+	}
+	e.childLoad = rep.Load
+	e.childLoadAt = now
+	e.hasChildLoad = true
+	return nil
+}
+
+// MergeProposal describes a consolidation opportunity: the parent group could
+// reclaim its right child from the peer currently holding it.
+type MergeProposal struct {
+	Parent       bitkey.Group
+	RightChild   bitkey.Group
+	RightHolder  ServerID
+	CombinedLoad float64
+}
+
+// PlanMerges returns the consolidation opportunities visible to this server:
+// inactive entries whose local left child is an active leaf, whose right
+// child has reported a fresh load, and whose combined load is below
+// mergeThreshold (the underload threshold in the paper's experiments).
+// Proposals are ordered coldest first.
+func (s *Server) PlanMerges(mergeThreshold float64, now time.Time) []MergeProposal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []MergeProposal
+	for _, e := range s.table.entries {
+		prop, ok := s.mergeCandidateLocked(e, mergeThreshold, now)
+		if ok {
+			out = append(out, prop)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CombinedLoad != out[j].CombinedLoad {
+			return out[i].CombinedLoad < out[j].CombinedLoad
+		}
+		return out[i].Parent.Prefix.Compare(out[j].Parent.Prefix) < 0
+	})
+	return out
+}
+
+func (s *Server) mergeCandidateLocked(e *Entry, mergeThreshold float64, now time.Time) (MergeProposal, bool) {
+	if e.Active || e.RightChild == NoServer {
+		return MergeProposal{}, false
+	}
+	left, right, err := e.Group.Split()
+	if err != nil || !right.Equal(e.RightChildGroup) {
+		return MergeProposal{}, false
+	}
+	leftEntry, ok := s.table.get(left)
+	if !ok || !leftEntry.Active {
+		return MergeProposal{}, false
+	}
+	var childLoad float64
+	if e.RightChild == s.id {
+		rightEntry, ok := s.table.get(right)
+		if !ok || !rightEntry.Active {
+			return MergeProposal{}, false
+		}
+		childLoad = rightEntry.localLoad
+	} else {
+		if !e.hasChildLoad || now.Sub(e.childLoadAt) > s.reportMaxAge {
+			return MergeProposal{}, false
+		}
+		childLoad = e.childLoad
+	}
+	combined := leftEntry.localLoad + childLoad
+	if combined > mergeThreshold {
+		return MergeProposal{}, false
+	}
+	return MergeProposal{
+		Parent:       e.Group,
+		RightChild:   right,
+		RightHolder:  e.RightChild,
+		CombinedLoad: combined,
+	}, true
+}
+
+// ExecuteMerge consolidates a parent group after the right child has been
+// released by its holder (HandleRelease on the peer, or locally when the
+// right child lives on this same server). The parent becomes an active leaf
+// again and the child entries are removed.
+func (s *Server) ExecuteMerge(parent bitkey.Group, now time.Time) (*MergeResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.get(parent)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownGroup, parent)
+	}
+	prop, ok := s.mergeCandidateLocked(e, 1e18, now) // threshold already checked by PlanMerges
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrCannotMerge, parent)
+	}
+	left, right, err := parent.Split()
+	if err != nil {
+		return nil, err
+	}
+	leftEntry, _ := s.table.get(left)
+	combined := leftEntry.localLoad
+	s.table.remove(left)
+	if e.RightChild == s.id {
+		if rightEntry, ok := s.table.get(right); ok {
+			combined += rightEntry.localLoad
+			s.table.remove(right)
+		}
+	} else {
+		combined += e.childLoad
+	}
+	e.Active = true
+	e.RightChild = NoServer
+	e.RightChildGroup = bitkey.Group{}
+	e.hasChildLoad = false
+	e.localLoad = combined
+	s.counters.Merges++
+	return &MergeResult{Merged: parent, ReclaimedFrom: prop.RightHolder, ReleasedGroup: right}, nil
+}
+
+// HandleRelease processes a RELEASE_KEYGROUP message from the parent server
+// reclaiming a previously transferred group during consolidation. It fails if
+// the group has been split further on this server (the parent's view was
+// stale), in which case the driver must abort the merge.
+func (s *Server) HandleRelease(g bitkey.Group) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.get(g)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownGroup, g)
+	}
+	if !e.Active {
+		return fmt.Errorf("%w: %v", ErrNotActive, g)
+	}
+	s.table.remove(g)
+	s.counters.GroupsReleased++
+	return nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"clash/internal/bitkey"
+)
+
+// Entry is one row of the Server Work Table (paper Figure 2). A server keeps
+// one entry for every key group it manages or has managed and split: active
+// entries are leaves of the logical splitting tree; inactive entries record
+// the tree linkage (which server holds the right child) needed for
+// consolidation.
+type Entry struct {
+	// Group is the key group (virtual key prefix); its depth is Group.Depth().
+	Group bitkey.Group
+	// Parent is the server managing the parent key group; NoServer marks a
+	// root entry (the paper's ParentID = -1), which consolidation never
+	// collapses past. SelfParent marks entries whose parent entry lives on
+	// this same server.
+	Parent ServerID
+	// ParentIsSelf records that the parent entry is on this server (the
+	// paper's "self" ParentID).
+	ParentIsSelf bool
+	// IsRoot marks administrative root entries that must never be merged
+	// away.
+	IsRoot bool
+	// RightChild is the server that accepted the right child group when this
+	// entry was split (valid only for inactive entries).
+	RightChild ServerID
+	// RightChildGroup is the right child group transferred at split time.
+	RightChildGroup bitkey.Group
+	// Active reports whether this entry is currently a leaf of the logical
+	// tree (the paper's boolean Active column).
+	Active bool
+
+	// localLoad is the most recent measured load fraction attributable to
+	// this group when it is active on this server.
+	localLoad float64
+	// childLoad is the most recent load reported by the right child server
+	// (for inactive entries).
+	childLoad float64
+	// childLoadAt is when childLoad was reported.
+	childLoadAt time.Time
+	// hasChildLoad records whether any child report has arrived yet.
+	hasChildLoad bool
+}
+
+// Depth returns the entry's depth.
+func (e *Entry) Depth() int { return e.Group.Depth() }
+
+// clone returns a copy safe to hand to callers.
+func (e *Entry) clone() Entry {
+	c := *e
+	return c
+}
+
+// Table is the Server Work Table: the set of key-group entries managed by one
+// CLASH server, indexed by group prefix. Table is not safe for concurrent
+// use; Server provides the synchronisation.
+type Table struct {
+	keyBits int
+	entries map[string]*Entry
+}
+
+// NewTable creates an empty table for an N-bit identifier key space.
+func NewTable(keyBits int) (*Table, error) {
+	if keyBits < 1 || keyBits > bitkey.MaxBits {
+		return nil, fmt.Errorf("%w: %d", bitkey.ErrBadLength, keyBits)
+	}
+	return &Table{keyBits: keyBits, entries: make(map[string]*Entry)}, nil
+}
+
+// KeyBits returns the identifier key length N.
+func (t *Table) KeyBits() int { return t.keyBits }
+
+// Len returns the number of entries (active and inactive).
+func (t *Table) Len() int { return len(t.entries) }
+
+// get returns the entry for a group, if present.
+func (t *Table) get(g bitkey.Group) (*Entry, bool) {
+	e, ok := t.entries[g.String()]
+	return e, ok
+}
+
+// put inserts or replaces an entry.
+func (t *Table) put(e *Entry) { t.entries[e.Group.String()] = e }
+
+// remove deletes an entry.
+func (t *Table) remove(g bitkey.Group) { delete(t.entries, g.String()) }
+
+// Entries returns a copy of all entries sorted by (depth, prefix) — the shape
+// of the paper's Figure 2 table.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth() != out[j].Depth() {
+			return out[i].Depth() < out[j].Depth()
+		}
+		return out[i].Group.Prefix.Compare(out[j].Group.Prefix) < 0
+	})
+	return out
+}
+
+// ActiveGroups returns the groups of all active (leaf) entries.
+func (t *Table) ActiveGroups() []bitkey.Group {
+	var out []bitkey.Group
+	for _, e := range t.entries {
+		if e.Active {
+			out = append(out, e.Group)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// activeEntryFor returns the active entry whose group contains key k. At most
+// one can exist because active groups are prefix-free.
+func (t *Table) activeEntryFor(k bitkey.Key) (*Entry, bool) {
+	for d := k.Bits; d >= 0; d-- {
+		g, err := bitkey.Shape(k, d)
+		if err != nil {
+			continue
+		}
+		if e, ok := t.get(g); ok && e.Active {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// longestPrefixMatch returns the length of the longest common prefix between
+// k and any entry's group prefix (the paper's dmin in the INCORRECT_DEPTH
+// reply).
+func (t *Table) longestPrefixMatch(k bitkey.Key) int {
+	best := 0
+	for _, e := range t.entries {
+		if l := bitkey.LongestCommonPrefix(k, e.Group.Prefix); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// validateActivePrefixFree checks the core table invariant: no active group's
+// prefix is a prefix of another active group. It returns an error describing
+// the first violation found. Tests and the simulator's consistency checker
+// call this.
+func (t *Table) validateActivePrefixFree() error {
+	actives := t.ActiveGroups()
+	for i := 0; i < len(actives); i++ {
+		for j := 0; j < len(actives); j++ {
+			if i == j {
+				continue
+			}
+			if actives[i].ContainsGroup(actives[j]) {
+				return fmt.Errorf("active group %v contains active group %v", actives[i], actives[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+// Package cq implements the continuous-query substrate that the CLASH paper's
+// target applications (NiagaraCQ/Xfilter-style stream filtering, Mobiscope
+// telematics, multiplayer games) run on top of: long-lived queries expressed
+// as attribute predicates scoped to a region of the hierarchical key space,
+// matched against a stream of data events.
+//
+// The overlay stores each query on the CLASH server responsible for the
+// query's identifier key; when a key group is split or merged, the queries
+// whose keys fall in the moved group are extracted with ExtractGroup and
+// shipped as state (the paper's state-transfer overhead, Figure 5 case B).
+package cq
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"clash/internal/bitkey"
+)
+
+// Errors returned by the query engine.
+var (
+	ErrDuplicateQuery = errors.New("cq: query id already registered")
+	ErrUnknownQuery   = errors.New("cq: unknown query id")
+	ErrInvalidQuery   = errors.New("cq: invalid query")
+)
+
+// Op is a comparison operator in a predicate.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Predicate is a single comparison over a named numeric attribute.
+type Predicate struct {
+	Attr  string  `json:"attr"`
+	Op    Op      `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// Eval evaluates the predicate against an attribute map. A missing attribute
+// never matches.
+func (p Predicate) Eval(attrs map[string]float64) bool {
+	v, ok := attrs[p.Attr]
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v == p.Value
+	case OpNe:
+		return v != p.Value
+	case OpLt:
+		return v < p.Value
+	case OpLe:
+		return v <= p.Value
+	case OpGt:
+		return v > p.Value
+	case OpGe:
+		return v >= p.Value
+	default:
+		return false
+	}
+}
+
+// Query is a long-lived continuous query: it subscribes to all data events
+// whose identifier key falls inside Region and whose attributes satisfy every
+// predicate.
+type Query struct {
+	// ID uniquely identifies the query (client-assigned).
+	ID string `json:"id"`
+	// Region is the key-space scope of the query (a key-group prefix). Its
+	// virtual key, padded to the full key length, is the query's identifier
+	// key for CLASH placement purposes.
+	Region bitkey.Group `json:"-"`
+	// RegionPrefix is the serialised form of Region ("0110*").
+	RegionPrefix string `json:"region"`
+	// Predicates are the attribute conditions; all must hold (conjunction).
+	Predicates []Predicate `json:"predicates,omitempty"`
+}
+
+// Validate checks the query is well formed.
+func (q Query) Validate(keyBits int) error {
+	if q.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrInvalidQuery)
+	}
+	if q.Region.Depth() > keyBits {
+		return fmt.Errorf("%w: region deeper than key space", ErrInvalidQuery)
+	}
+	for _, p := range q.Predicates {
+		if p.Attr == "" {
+			return fmt.Errorf("%w: predicate with empty attribute", ErrInvalidQuery)
+		}
+		if p.Op < OpEq || p.Op > OpGe {
+			return fmt.Errorf("%w: bad operator %d", ErrInvalidQuery, p.Op)
+		}
+	}
+	return nil
+}
+
+// IdentifierKey returns the query's N-bit identifier key (its region's
+// virtual key), which CLASH uses to place the query on a server.
+func (q Query) IdentifierKey(keyBits int) (bitkey.Key, error) {
+	return q.Region.VirtualKey(keyBits)
+}
+
+// Matches reports whether the query matches a data event.
+func (q Query) Matches(ev Event) bool {
+	if !q.Region.Contains(ev.Key) {
+		return false
+	}
+	for _, p := range q.Predicates {
+		if !p.Eval(ev.Attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal serialises the query to JSON (used for state transfer).
+func (q Query) Marshal() ([]byte, error) {
+	q.RegionPrefix = q.Region.String()
+	return json.Marshal(q)
+}
+
+// UnmarshalQuery parses a query serialised with Marshal.
+func UnmarshalQuery(data []byte) (Query, error) {
+	var q Query
+	if err := json.Unmarshal(data, &q); err != nil {
+		return Query{}, fmt.Errorf("cq: unmarshal query: %w", err)
+	}
+	g, err := bitkey.ParseGroup(q.RegionPrefix)
+	if err != nil {
+		return Query{}, fmt.Errorf("cq: unmarshal region: %w", err)
+	}
+	q.Region = g
+	return q, nil
+}
+
+// Event is one data record flowing through the system.
+type Event struct {
+	// Key is the event's N-bit identifier key (e.g. the quad-tree cell of the
+	// reporting vehicle).
+	Key bitkey.Key
+	// Attrs carries the event's numeric attributes (speed, fuel, score, ...).
+	Attrs map[string]float64
+	// Payload is the opaque application payload.
+	Payload []byte
+}
+
+// Engine stores continuous queries and matches events against them. Queries
+// are indexed by region prefix so matching an event costs O(N + matches) in
+// the key length N rather than O(#queries).
+//
+// Engine is safe for concurrent use.
+type Engine struct {
+	mu       sync.RWMutex
+	keyBits  int
+	byRegion map[string]map[string]Query // region prefix → id → query
+	regions  map[string]string           // id → region prefix
+}
+
+// NewEngine creates an engine for an N-bit key space.
+func NewEngine(keyBits int) (*Engine, error) {
+	if keyBits < 1 || keyBits > bitkey.MaxBits {
+		return nil, fmt.Errorf("%w: key bits %d", bitkey.ErrBadLength, keyBits)
+	}
+	return &Engine{
+		keyBits:  keyBits,
+		byRegion: make(map[string]map[string]Query),
+		regions:  make(map[string]string),
+	}, nil
+}
+
+// KeyBits returns the key length the engine was built for.
+func (e *Engine) KeyBits() int { return e.keyBits }
+
+// Len returns the number of registered queries.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.regions)
+}
+
+// Register adds a query.
+func (e *Engine) Register(q Query) error {
+	if err := q.Validate(e.keyBits); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.regions[q.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateQuery, q.ID)
+	}
+	prefix := q.Region.String()
+	if e.byRegion[prefix] == nil {
+		e.byRegion[prefix] = make(map[string]Query)
+	}
+	e.byRegion[prefix][q.ID] = q
+	e.regions[q.ID] = prefix
+	return nil
+}
+
+// Unregister removes a query by id.
+func (e *Engine) Unregister(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	prefix, ok := e.regions[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownQuery, id)
+	}
+	delete(e.regions, id)
+	delete(e.byRegion[prefix], id)
+	if len(e.byRegion[prefix]) == 0 {
+		delete(e.byRegion, prefix)
+	}
+	return nil
+}
+
+// Match returns the queries matched by an event, ordered by query ID for
+// determinism.
+func (e *Engine) Match(ev Event) []Query {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []Query
+	for d := 0; d <= min(ev.Key.Bits, e.keyBits); d++ {
+		g, err := bitkey.Shape(ev.Key, d)
+		if err != nil {
+			continue
+		}
+		for _, q := range e.byRegion[g.String()] {
+			if q.Matches(ev) {
+				out = append(out, q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// QueriesInGroup returns (without removing) the queries whose identifier key
+// falls inside the given key group, ordered by ID.
+func (e *Engine) QueriesInGroup(g bitkey.Group) []Query {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.collectInGroup(g)
+}
+
+func (e *Engine) collectInGroup(g bitkey.Group) []Query {
+	var out []Query
+	for prefix, qs := range e.byRegion {
+		rg, err := bitkey.ParseGroup(prefix)
+		if err != nil {
+			continue
+		}
+		vk, err := rg.VirtualKey(e.keyBits)
+		if err != nil {
+			continue
+		}
+		if !g.Contains(vk) {
+			continue
+		}
+		for _, q := range qs {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ExtractGroup removes and returns the queries whose identifier key falls
+// inside the given key group. The overlay calls it when a key group is
+// transferred to another server.
+func (e *Engine) ExtractGroup(g bitkey.Group) []Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := e.collectInGroup(g)
+	for _, q := range out {
+		prefix := e.regions[q.ID]
+		delete(e.regions, q.ID)
+		delete(e.byRegion[prefix], q.ID)
+		if len(e.byRegion[prefix]) == 0 {
+			delete(e.byRegion, prefix)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package cq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clash/internal/bitkey"
+)
+
+func mustEngine(t *testing.T, bits int) *Engine {
+	t.Helper()
+	e, err := NewEngine(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPredicateEval(t *testing.T) {
+	attrs := map[string]float64{"speed": 80, "fuel": 0.4}
+	tests := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{"speed", OpEq, 80}, true},
+		{Predicate{"speed", OpNe, 80}, false},
+		{Predicate{"speed", OpGt, 70}, true},
+		{Predicate{"speed", OpGe, 80}, true},
+		{Predicate{"speed", OpLt, 80}, false},
+		{Predicate{"fuel", OpLe, 0.4}, true},
+		{Predicate{"missing", OpEq, 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Eval(attrs); got != tt.want {
+			t.Errorf("%s %s %g = %v, want %v", tt.p.Attr, tt.p.Op, tt.p.Value, got, tt.want)
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	good := Query{ID: "q1", Region: bitkey.MustParseGroup("0110*"),
+		Predicates: []Predicate{{"speed", OpGt, 100}}}
+	if err := good.Validate(24); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad := []Query{
+		{ID: "", Region: bitkey.MustParseGroup("01*")},
+		{ID: "q", Region: bitkey.MustParseGroup("0101010101*")},
+		{ID: "q", Region: bitkey.MustParseGroup("01*"), Predicates: []Predicate{{"", OpEq, 1}}},
+		{ID: "q", Region: bitkey.MustParseGroup("01*"), Predicates: []Predicate{{"a", Op(99), 1}}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(8); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("bad query %d err = %v, want ErrInvalidQuery", i, err)
+		}
+	}
+}
+
+func TestQueryMarshalRoundTrip(t *testing.T) {
+	q := Query{
+		ID:         "q42",
+		Region:     bitkey.MustParseGroup("011010*"),
+		Predicates: []Predicate{{"speed", OpGe, 120}, {"lane", OpEq, 2}},
+	}
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQuery(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != q.ID || !got.Region.Equal(q.Region) || len(got.Predicates) != 2 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := UnmarshalQuery([]byte("{bad")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalQuery([]byte(`{"id":"x","region":"01x*"}`)); err == nil {
+		t.Error("bad region accepted")
+	}
+}
+
+func TestEngineRegisterUnregister(t *testing.T) {
+	e := mustEngine(t, 16)
+	q := Query{ID: "q1", Region: bitkey.MustParseGroup("0110*")}
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(q); !errors.Is(err, ErrDuplicateQuery) {
+		t.Errorf("duplicate register err = %v", err)
+	}
+	if e.Len() != 1 {
+		t.Errorf("Len = %d, want 1", e.Len())
+	}
+	if err := e.Unregister("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unregister("q1"); !errors.Is(err, ErrUnknownQuery) {
+		t.Errorf("double unregister err = %v", err)
+	}
+	if e.Len() != 0 {
+		t.Errorf("Len = %d, want 0", e.Len())
+	}
+	if _, err := NewEngine(0); err == nil {
+		t.Error("NewEngine(0) succeeded, want error")
+	}
+}
+
+func TestEngineMatchRegionAndPredicates(t *testing.T) {
+	e := mustEngine(t, 8)
+	queries := []Query{
+		{ID: "region-only", Region: bitkey.MustParseGroup("0110*")},
+		{ID: "speeders", Region: bitkey.MustParseGroup("01*"),
+			Predicates: []Predicate{{"speed", OpGt, 100}}},
+		{ID: "elsewhere", Region: bitkey.MustParseGroup("11*")},
+		{ID: "exact", Region: bitkey.MustParseGroup("01101010*")},
+	}
+	for _, q := range queries {
+		if err := e.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ev := Event{Key: bitkey.MustParse("01101010"), Attrs: map[string]float64{"speed": 130}}
+	got := e.Match(ev)
+	wantIDs := []string{"exact", "region-only", "speeders"}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("matched %d queries (%v), want %d", len(got), got, len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Errorf("match[%d] = %s, want %s", i, got[i].ID, id)
+		}
+	}
+
+	slow := Event{Key: bitkey.MustParse("01101010"), Attrs: map[string]float64{"speed": 50}}
+	got = e.Match(slow)
+	if len(got) != 2 {
+		t.Fatalf("slow event matched %v, want region-only and exact", got)
+	}
+
+	outside := Event{Key: bitkey.MustParse("10000000"), Attrs: map[string]float64{"speed": 200}}
+	if got := e.Match(outside); len(got) != 0 {
+		t.Errorf("event outside all regions matched %v", got)
+	}
+}
+
+func TestEngineExtractGroupMigratesState(t *testing.T) {
+	e := mustEngine(t, 8)
+	for i := 0; i < 20; i++ {
+		region := "0110*"
+		if i%2 == 1 {
+			region = "0111*"
+		}
+		q := Query{ID: fmt.Sprintf("q%02d", i), Region: bitkey.MustParseGroup(region)}
+		if err := e.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Splitting "011*" transfers the right child "0111*": exactly the odd
+	// queries move.
+	inGroup := e.QueriesInGroup(bitkey.MustParseGroup("0111*"))
+	if len(inGroup) != 10 {
+		t.Fatalf("QueriesInGroup = %d, want 10", len(inGroup))
+	}
+	moved := e.ExtractGroup(bitkey.MustParseGroup("0111*"))
+	if len(moved) != 10 {
+		t.Fatalf("ExtractGroup = %d, want 10", len(moved))
+	}
+	for _, q := range moved {
+		if q.Region.String() != "0111*" {
+			t.Errorf("moved query %s has region %v", q.ID, q.Region)
+		}
+	}
+	if e.Len() != 10 {
+		t.Errorf("remaining queries = %d, want 10", e.Len())
+	}
+	// Extracting again finds nothing.
+	if again := e.ExtractGroup(bitkey.MustParseGroup("0111*")); len(again) != 0 {
+		t.Errorf("second extract = %d, want 0", len(again))
+	}
+	// The extracted queries can be re-registered on the receiving server.
+	other := mustEngine(t, 8)
+	for _, q := range moved {
+		if err := other.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if other.Len() != 10 {
+		t.Errorf("receiver has %d queries, want 10", other.Len())
+	}
+}
+
+func TestEngineMatchAfterMigrationPreservesSemantics(t *testing.T) {
+	// Property: splitting the query set across two engines by key group and
+	// unioning their matches gives the same result as one engine.
+	const bits = 12
+	rng := rand.New(rand.NewSource(11))
+	whole := mustEngine(t, bits)
+	var queries []Query
+	for i := 0; i < 200; i++ {
+		depth := 2 + rng.Intn(6)
+		prefix := bitkey.MustNew(rng.Uint64()&(1<<depth-1), depth)
+		q := Query{ID: fmt.Sprintf("q%03d", i), Region: bitkey.NewGroup(prefix)}
+		if rng.Intn(2) == 0 {
+			q.Predicates = []Predicate{{"v", OpGt, float64(rng.Intn(100))}}
+		}
+		queries = append(queries, q)
+		if err := whole.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left := mustEngine(t, bits)
+	right := mustEngine(t, bits)
+	for _, q := range queries {
+		vk, err := q.IdentifierKey(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := left
+		if vk.Bit(0) == 1 {
+			target = right
+		}
+		if err := target.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		ev := Event{
+			Key:   bitkey.MustNew(rng.Uint64()&(1<<bits-1), bits),
+			Attrs: map[string]float64{"v": float64(rng.Intn(100))},
+		}
+		want := whole.Match(ev)
+		gotLeft := left.Match(ev)
+		gotRight := right.Match(ev)
+		got := make(map[string]bool, len(gotLeft)+len(gotRight))
+		for _, q := range gotLeft {
+			got[q.ID] = true
+		}
+		for _, q := range gotRight {
+			got[q.ID] = true
+		}
+		wantSet := make(map[string]bool, len(want))
+		for _, q := range want {
+			wantSet[q.ID] = true
+		}
+		// Note: a query on one partition can still match an event whose key
+		// lies in the other partition only if its region spans both — which
+		// cannot happen here because partitioning is by the region's own
+		// virtual key bit 0 and regions have depth ≥ 2... except depth ≥ 1.
+		// So the union must equal the whole engine's matches restricted to
+		// queries whose region actually contains the key.
+		for id := range wantSet {
+			if !got[id] {
+				t.Fatalf("event %v: query %s matched by whole engine but not by partitions", ev.Key, id)
+			}
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", Op(0): "?"}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}

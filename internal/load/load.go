@@ -1,0 +1,107 @@
+// Package load implements the server load model used in the CLASH paper's
+// evaluation (§6): for query-processing applications the load of a server is
+// linear in the cumulative data rate it handles and logarithmic in the number
+// of continuous queries it stores, normalised to the server's capacity.
+// Overload and underload are detected by comparing the resulting load
+// fraction against fixed thresholds (90% / 54% in the paper).
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Default threshold values from the paper (§6.1).
+const (
+	// DefaultOverloadFraction is the maximum acceptable load on a server.
+	DefaultOverloadFraction = 0.90
+	// DefaultUnderloadFraction is the minimum (underflow) load.
+	DefaultUnderloadFraction = 0.54
+)
+
+// ErrBadConfig reports an invalid model or threshold configuration.
+var ErrBadConfig = errors.New("load: invalid configuration")
+
+// Sample is one measurement of the work attributable to a key group over a
+// measurement interval.
+type Sample struct {
+	// DataRate is the cumulative data arrival rate (packets/second).
+	DataRate float64
+	// Queries is the number of continuous queries currently stored.
+	Queries int
+}
+
+// Add returns the component-wise sum of two samples.
+func (s Sample) Add(o Sample) Sample {
+	return Sample{DataRate: s.DataRate + o.DataRate, Queries: s.Queries + o.Queries}
+}
+
+// Model converts a Sample into a load fraction of a server's capacity.
+//
+// load = (RateWeight·rate + QueryWeight·log2(1+queries)) / Capacity
+type Model struct {
+	// Capacity is the amount of weighted work a server can sustain; load is
+	// reported as a fraction of it.
+	Capacity float64
+	// RateWeight scales the data-rate term (work per packet/second).
+	RateWeight float64
+	// QueryWeight scales the log-query term.
+	QueryWeight float64
+}
+
+// NewModel validates and returns a load model.
+func NewModel(capacity, rateWeight, queryWeight float64) (Model, error) {
+	if capacity <= 0 {
+		return Model{}, fmt.Errorf("%w: capacity %g", ErrBadConfig, capacity)
+	}
+	if rateWeight < 0 || queryWeight < 0 {
+		return Model{}, fmt.Errorf("%w: negative weights", ErrBadConfig)
+	}
+	return Model{Capacity: capacity, RateWeight: rateWeight, QueryWeight: queryWeight}, nil
+}
+
+// DefaultModel returns the model used by the experiments: a server saturates
+// at `capacityPackets` packets/sec when it stores no queries, and query state
+// contributes logarithmically.
+func DefaultModel(capacityPackets float64) Model {
+	return Model{Capacity: capacityPackets, RateWeight: 1, QueryWeight: 1}
+}
+
+// Load returns the load fraction for a sample. The result can exceed 1 when a
+// server is driven past its capacity (as the paper's DHT(6) baseline is).
+func (m Model) Load(s Sample) float64 {
+	if m.Capacity <= 0 {
+		return 0
+	}
+	work := m.RateWeight*s.DataRate + m.QueryWeight*math.Log2(1+float64(s.Queries))
+	return work / m.Capacity
+}
+
+// Thresholds holds the overload/underload trigger levels as fractions of
+// capacity.
+type Thresholds struct {
+	Overload  float64
+	Underload float64
+}
+
+// DefaultThresholds returns the paper's 90% / 54% thresholds.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Overload: DefaultOverloadFraction, Underload: DefaultUnderloadFraction}
+}
+
+// Validate checks that the thresholds are ordered and within (0, +inf).
+func (t Thresholds) Validate() error {
+	if t.Overload <= 0 || t.Underload < 0 || t.Underload >= t.Overload {
+		return fmt.Errorf("%w: thresholds %+v", ErrBadConfig, t)
+	}
+	return nil
+}
+
+// IsOverloaded reports whether a server at the given load fraction must shed
+// load.
+func (t Thresholds) IsOverloaded(loadFraction float64) bool { return loadFraction > t.Overload }
+
+// IsUnderloaded reports whether a server at the given load fraction is a
+// candidate for consolidation.
+func (t Thresholds) IsUnderloaded(loadFraction float64) bool { return loadFraction < t.Underload }

@@ -1,0 +1,165 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, 1, 1); err == nil {
+		t.Error("zero capacity accepted, want error")
+	}
+	if _, err := NewModel(10, -1, 1); err == nil {
+		t.Error("negative rate weight accepted, want error")
+	}
+	if _, err := NewModel(10, 1, 1); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestLoadIsLinearInRateAndLogarithmicInQueries(t *testing.T) {
+	m := DefaultModel(100)
+	base := m.Load(Sample{DataRate: 10})
+	double := m.Load(Sample{DataRate: 20})
+	if math.Abs(double-2*base) > 1e-12 {
+		t.Errorf("load not linear in rate: %g vs %g", double, 2*base)
+	}
+	q1 := m.Load(Sample{Queries: 1})
+	q3 := m.Load(Sample{Queries: 3})
+	q7 := m.Load(Sample{Queries: 7})
+	// log2(1+q): 1, 2, 3 — equal increments for exponential query growth.
+	if math.Abs((q3-q1)-(q7-q3)) > 1e-12 {
+		t.Errorf("load not logarithmic in queries: %g %g %g", q1, q3, q7)
+	}
+}
+
+func TestLoadCanExceedCapacity(t *testing.T) {
+	m := DefaultModel(100)
+	if got := m.Load(Sample{DataRate: 2500}); got <= 1 {
+		t.Errorf("overdriven server should report load > 1, got %g", got)
+	}
+}
+
+func TestSampleAdd(t *testing.T) {
+	got := Sample{DataRate: 1, Queries: 2}.Add(Sample{DataRate: 3, Queries: 4})
+	if got.DataRate != 4 || got.Queries != 6 {
+		t.Errorf("Add = %+v, want {4 6}", got)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if err := th.Validate(); err != nil {
+		t.Fatalf("default thresholds invalid: %v", err)
+	}
+	if th.Overload != 0.90 || th.Underload != 0.54 {
+		t.Errorf("defaults = %+v, want paper values 0.90/0.54", th)
+	}
+	if !th.IsOverloaded(0.95) || th.IsOverloaded(0.90) {
+		t.Error("overload detection wrong around the boundary")
+	}
+	if !th.IsUnderloaded(0.50) || th.IsUnderloaded(0.60) {
+		t.Error("underload detection wrong")
+	}
+	bad := Thresholds{Overload: 0.5, Underload: 0.9}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted thresholds accepted, want error")
+	}
+}
+
+func TestMeterSnapshotResetsRatesKeepsQueries(t *testing.T) {
+	m := NewMeter(10)
+	m.RecordPackets("011*", 50)
+	m.AddQueries("011*", 3)
+	snap := m.Snapshot()
+	if got := snap["011*"]; got.DataRate != 5 || got.Queries != 3 {
+		t.Fatalf("first snapshot = %+v, want rate 5 queries 3", got)
+	}
+	snap2 := m.Snapshot()
+	if got := snap2["011*"]; got.DataRate != 0 || got.Queries != 3 {
+		t.Fatalf("second snapshot = %+v, want rate reset to 0, queries kept", got)
+	}
+	m.AddQueries("011*", -3)
+	if got := m.Snapshot()["011*"]; got.Queries != 0 {
+		t.Fatalf("queries not removed: %+v", got)
+	}
+}
+
+func TestMeterDrop(t *testing.T) {
+	m := NewMeter(1)
+	m.RecordPackets("0*", 5)
+	m.SetQueries("0*", 2)
+	m.Drop("0*")
+	if len(m.Snapshot()) != 0 {
+		t.Error("Drop did not remove the group")
+	}
+}
+
+func TestRankOrdersHottestFirst(t *testing.T) {
+	model := DefaultModel(100)
+	samples := map[string]Sample{
+		"00*": {DataRate: 10},
+		"01*": {DataRate: 90},
+		"10*": {DataRate: 40},
+		"11*": {DataRate: 40},
+	}
+	ranked := Rank(model, samples)
+	if len(ranked) != 4 {
+		t.Fatalf("len = %d, want 4", len(ranked))
+	}
+	if ranked[0].Group != "01*" {
+		t.Errorf("hottest = %s, want 01*", ranked[0].Group)
+	}
+	if ranked[3].Group != "00*" {
+		t.Errorf("coldest = %s, want 00*", ranked[3].Group)
+	}
+	// Ties broken deterministically by label.
+	if ranked[1].Group != "10*" || ranked[2].Group != "11*" {
+		t.Errorf("tie break wrong: %v", ranked)
+	}
+	if got := Total(ranked); math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("Total = %g, want 1.8", got)
+	}
+}
+
+func TestPickSplitAndColdest(t *testing.T) {
+	ranked := []GroupLoad{{"a", 0.9}, {"b", 0.5}, {"c", 0.1}}
+	if g, ok := PickSplit(SplitHottest, ranked, nil); !ok || g.Group != "a" {
+		t.Errorf("PickSplit hottest = %v,%v", g, ok)
+	}
+	if g, ok := PickSplit(SplitRandom, ranked, func(n int) int { return n - 1 }); !ok || g.Group != "c" {
+		t.Errorf("PickSplit random = %v,%v", g, ok)
+	}
+	if g, ok := PickColdest(ranked); !ok || g.Group != "c" {
+		t.Errorf("PickColdest = %v,%v", g, ok)
+	}
+	if _, ok := PickSplit(SplitHottest, nil, nil); ok {
+		t.Error("PickSplit on empty ranking should return false")
+	}
+	if _, ok := PickColdest(nil); ok {
+		t.Error("PickColdest on empty ranking should return false")
+	}
+}
+
+func TestPropertyLoadMonotoneInInputs(t *testing.T) {
+	m := DefaultModel(50)
+	f := func(rate uint16, queries uint8, extraRate uint16, extraQ uint8) bool {
+		a := Sample{DataRate: float64(rate), Queries: int(queries)}
+		b := Sample{DataRate: a.DataRate + float64(extraRate), Queries: a.Queries + int(extraQ)}
+		return m.Load(b) >= m.Load(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLoadNonNegative(t *testing.T) {
+	m := DefaultModel(10)
+	f := func(rate uint32, queries uint16) bool {
+		return m.Load(Sample{DataRate: float64(rate), Queries: int(queries)}) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

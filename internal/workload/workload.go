@@ -1,0 +1,285 @@
+// Package workload generates the synthetic streaming workloads used in the
+// CLASH paper's evaluation (§6.1): identifier keys are N=24 bits wide, split
+// into an 8-bit "base" portion whose distribution carries the skew (Figure 3
+// shows three skew levels A, B, C) and a 16-bit remainder drawn uniformly.
+// Data sources emit packets at a constant rate and change their key every Ld
+// packets (Ld exponentially distributed, mean 1000); query clients register
+// long-lived continuous queries with exponentially distributed lifetimes
+// (mean 30 minutes) over keys drawn with the same skew.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"clash/internal/bitkey"
+)
+
+// Kind identifies one of the paper's three workloads.
+type Kind int
+
+// The paper's workloads in increasing order of skew.
+const (
+	WorkloadA Kind = iota + 1
+	WorkloadB
+	WorkloadC
+)
+
+// String names the workload ("A", "B", "C").
+func (k Kind) String() string {
+	switch k {
+	case WorkloadA:
+		return "A"
+	case WorkloadB:
+		return "B"
+	case WorkloadC:
+		return "C"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrBadSpec reports an invalid workload specification.
+var ErrBadSpec = errors.New("workload: invalid spec")
+
+// Paper defaults (§6.1).
+const (
+	// DefaultKeyBits is the identifier key length N.
+	DefaultKeyBits = 24
+	// DefaultBaseBits is the skewed base portion X.
+	DefaultBaseBits = 8
+	// DefaultMeanStreamLen is the mean virtual stream length Ld in packets.
+	DefaultMeanStreamLen = 1000
+	// DefaultMeanQueryLifetime is the mean continuous-query lifetime Lq.
+	DefaultMeanQueryLifetime = 30 * time.Minute
+)
+
+// Spec fully describes one workload phase.
+type Spec struct {
+	// Kind selects the base-bit skew profile.
+	Kind Kind
+	// KeyBits is the identifier key length N.
+	KeyBits int
+	// BaseBits is the number of leading key bits that carry the skew (X).
+	BaseBits int
+	// SourceRate is the per-source data rate in packets/second (1 for
+	// workload A, 2 for B and C in the paper).
+	SourceRate float64
+	// MeanStreamLen is the mean virtual stream length Ld in packets.
+	MeanStreamLen float64
+	// MeanQueryLifetime is the mean continuous-query lifetime.
+	MeanQueryLifetime time.Duration
+}
+
+// SpecFor returns the paper's parameters for a workload kind.
+func SpecFor(kind Kind) Spec {
+	rate := 1.0
+	if kind != WorkloadA {
+		rate = 2.0
+	}
+	return Spec{
+		Kind:              kind,
+		KeyBits:           DefaultKeyBits,
+		BaseBits:          DefaultBaseBits,
+		SourceRate:        rate,
+		MeanStreamLen:     DefaultMeanStreamLen,
+		MeanQueryLifetime: DefaultMeanQueryLifetime,
+	}
+}
+
+// Validate checks a spec for consistency.
+func (s Spec) Validate() error {
+	if s.Kind < WorkloadA || s.Kind > WorkloadC {
+		return fmt.Errorf("%w: kind %d", ErrBadSpec, s.Kind)
+	}
+	if s.KeyBits < 2 || s.KeyBits > bitkey.MaxBits {
+		return fmt.Errorf("%w: key bits %d", ErrBadSpec, s.KeyBits)
+	}
+	if s.BaseBits < 1 || s.BaseBits >= s.KeyBits || s.BaseBits > 20 {
+		return fmt.Errorf("%w: base bits %d", ErrBadSpec, s.BaseBits)
+	}
+	if s.SourceRate <= 0 || s.MeanStreamLen <= 0 || s.MeanQueryLifetime <= 0 {
+		return fmt.Errorf("%w: non-positive rates", ErrBadSpec)
+	}
+	return nil
+}
+
+// baseWeights returns the unnormalised probability weight of each base value
+// for a workload kind. The shapes follow Figure 3: A is almost uniform, B has
+// two moderate bumps, C concentrates most of the mass in a couple of narrow
+// peaks.
+func baseWeights(kind Kind, nBase int) []float64 {
+	w := make([]float64, nBase)
+	gauss := func(b, mu, sigma, amp float64) float64 {
+		d := (b - mu) / sigma
+		return amp * math.Exp(-0.5*d*d)
+	}
+	for b := range w {
+		x := float64(b)
+		switch kind {
+		case WorkloadA:
+			// Almost uniform with a gentle ripple.
+			w[b] = 1 + 0.05*math.Sin(2*math.Pi*x/float64(nBase))
+		case WorkloadB:
+			// Moderate skew: a broad hotspot plus a secondary bump on a
+			// uniform floor.
+			w[b] = 0.35 + gauss(x, 0.25*float64(nBase), 0.05*float64(nBase), 3.0) +
+				gauss(x, 0.65*float64(nBase), 0.08*float64(nBase), 1.8)
+		case WorkloadC:
+			// Heavy skew: nearly all mass in two narrow peaks.
+			w[b] = 0.08 + gauss(x, 0.38*float64(nBase), 0.02*float64(nBase), 14.0) +
+				gauss(x, 0.80*float64(nBase), 0.015*float64(nBase), 7.0)
+		default:
+			w[b] = 1
+		}
+	}
+	return w
+}
+
+// KeyGenerator draws identifier keys according to a workload spec.
+// It is not safe for concurrent use; each goroutine should own one generator
+// (or the caller must serialise access).
+type KeyGenerator struct {
+	spec    Spec
+	rng     *rand.Rand
+	cum     []float64 // cumulative base-value distribution
+	weights []float64 // normalised per-base probabilities
+}
+
+// NewKeyGenerator builds a generator for the spec using the given PRNG.
+func NewKeyGenerator(spec Spec, rng *rand.Rand) (*KeyGenerator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadSpec)
+	}
+	nBase := 1 << uint(spec.BaseBits)
+	weights := baseWeights(spec.Kind, nBase)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	cum := make([]float64, nBase)
+	probs := make([]float64, nBase)
+	acc := 0.0
+	for i, w := range weights {
+		p := w / total
+		probs[i] = p
+		acc += p
+		cum[i] = acc
+	}
+	cum[nBase-1] = 1.0
+	return &KeyGenerator{spec: spec, rng: rng, cum: cum, weights: probs}, nil
+}
+
+// Spec returns the generator's workload spec.
+func (g *KeyGenerator) Spec() Spec { return g.spec }
+
+// BaseDistribution returns the probability of each base value (the normalised
+// Figure 3 curve).
+func (g *KeyGenerator) BaseDistribution() []float64 {
+	out := make([]float64, len(g.weights))
+	copy(out, g.weights)
+	return out
+}
+
+// NextBase samples one base value.
+func (g *KeyGenerator) NextBase() int {
+	u := g.rng.Float64()
+	// Binary search over the cumulative distribution.
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Next samples a full N-bit identifier key: the skewed base bits followed by
+// uniform remainder bits.
+func (g *KeyGenerator) Next() bitkey.Key {
+	base := uint64(g.NextBase())
+	remBits := g.spec.KeyBits - g.spec.BaseBits
+	rem := g.rng.Uint64() & (^uint64(0) >> uint(64-remBits))
+	value := base<<uint(remBits) | rem
+	return bitkey.Key{Value: value, Bits: g.spec.KeyBits}
+}
+
+// NextStreamLength samples a virtual stream length Ld (packets until the next
+// key change), exponentially distributed with the spec's mean and at least 1.
+func (g *KeyGenerator) NextStreamLength() int {
+	l := int(math.Ceil(g.rng.ExpFloat64() * g.spec.MeanStreamLen))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// NextQueryLifetime samples an exponentially distributed query lifetime with
+// the spec's mean.
+func (g *KeyGenerator) NextQueryLifetime() time.Duration {
+	return time.Duration(g.rng.ExpFloat64() * float64(g.spec.MeanQueryLifetime))
+}
+
+// Phase is one segment of a workload schedule.
+type Phase struct {
+	Kind  Kind
+	Start time.Duration
+	End   time.Duration
+}
+
+// Schedule is a sequence of workload phases (the paper runs A, B and C for
+// two hours each).
+type Schedule struct {
+	Phases []Phase
+}
+
+// PaperSchedule returns the paper's six-hour schedule: workload A for the
+// first two hours, then B, then C, with the given phase length.
+func PaperSchedule(phaseLen time.Duration) Schedule {
+	return Schedule{Phases: []Phase{
+		{Kind: WorkloadA, Start: 0, End: phaseLen},
+		{Kind: WorkloadB, Start: phaseLen, End: 2 * phaseLen},
+		{Kind: WorkloadC, Start: 2 * phaseLen, End: 3 * phaseLen},
+	}}
+}
+
+// Duration returns the end time of the last phase.
+func (s Schedule) Duration() time.Duration {
+	if len(s.Phases) == 0 {
+		return 0
+	}
+	return s.Phases[len(s.Phases)-1].End
+}
+
+// KindAt returns the workload kind active at time t (the last phase's kind if
+// t is beyond the end).
+func (s Schedule) KindAt(t time.Duration) Kind {
+	for _, p := range s.Phases {
+		if t >= p.Start && t < p.End {
+			return p.Kind
+		}
+	}
+	if len(s.Phases) == 0 {
+		return WorkloadA
+	}
+	return s.Phases[len(s.Phases)-1].Kind
+}
+
+// PhaseAt returns the phase active at time t.
+func (s Schedule) PhaseAt(t time.Duration) (Phase, bool) {
+	for _, p := range s.Phases {
+		if t >= p.Start && t < p.End {
+			return p, true
+		}
+	}
+	return Phase{}, false
+}

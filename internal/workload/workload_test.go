@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"clash/internal/metrics"
+)
+
+func mustGen(t *testing.T, kind Kind, seed int64) *KeyGenerator {
+	t.Helper()
+	g, err := NewKeyGenerator(SpecFor(kind), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSpecForMatchesPaperParameters(t *testing.T) {
+	a := SpecFor(WorkloadA)
+	if a.KeyBits != 24 || a.BaseBits != 8 {
+		t.Errorf("workload A key layout = %d/%d, want 24/8", a.KeyBits, a.BaseBits)
+	}
+	if a.SourceRate != 1 {
+		t.Errorf("workload A rate = %g, want 1 packet/sec", a.SourceRate)
+	}
+	for _, k := range []Kind{WorkloadB, WorkloadC} {
+		if got := SpecFor(k).SourceRate; got != 2 {
+			t.Errorf("workload %v rate = %g, want 2 packets/sec", k, got)
+		}
+	}
+	if a.MeanStreamLen != 1000 {
+		t.Errorf("mean stream length = %g, want 1000", a.MeanStreamLen)
+	}
+	if a.MeanQueryLifetime != 30*time.Minute {
+		t.Errorf("mean query lifetime = %v, want 30m", a.MeanQueryLifetime)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: Kind(9), KeyBits: 24, BaseBits: 8, SourceRate: 1, MeanStreamLen: 1, MeanQueryLifetime: time.Minute},
+		{Kind: WorkloadA, KeyBits: 1, BaseBits: 1, SourceRate: 1, MeanStreamLen: 1, MeanQueryLifetime: time.Minute},
+		{Kind: WorkloadA, KeyBits: 24, BaseBits: 24, SourceRate: 1, MeanStreamLen: 1, MeanQueryLifetime: time.Minute},
+		{Kind: WorkloadA, KeyBits: 24, BaseBits: 8, SourceRate: 0, MeanStreamLen: 1, MeanQueryLifetime: time.Minute},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := SpecFor(WorkloadC).Validate(); err != nil {
+		t.Errorf("paper spec rejected: %v", err)
+	}
+	if _, err := NewKeyGenerator(SpecFor(WorkloadA), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if WorkloadA.String() != "A" || WorkloadB.String() != "B" || WorkloadC.String() != "C" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestKeysHaveConfiguredLength(t *testing.T) {
+	g := mustGen(t, WorkloadB, 1)
+	for i := 0; i < 1000; i++ {
+		k := g.Next()
+		if k.Bits != 24 {
+			t.Fatalf("key length %d, want 24", k.Bits)
+		}
+	}
+}
+
+// TestFigure3SkewOrdering regenerates the essence of Figure 3: sampling many
+// keys per workload and histogramming the 8-bit base must show strictly
+// increasing skew from A to B to C.
+func TestFigure3SkewOrdering(t *testing.T) {
+	const samples = 200000
+	skew := func(kind Kind) float64 {
+		g := mustGen(t, kind, 42)
+		h := metrics.NewHistogram(kind.String(), 256)
+		for i := 0; i < samples; i++ {
+			h.Add(g.NextBase())
+		}
+		return h.SkewRatio()
+	}
+	a, b, c := skew(WorkloadA), skew(WorkloadB), skew(WorkloadC)
+	if !(a < b && b < c) {
+		t.Fatalf("skew ordering violated: A=%.2f B=%.2f C=%.2f", a, b, c)
+	}
+	// Workload A is "almost uniform": its hottest base value should carry no
+	// more than ~1.3x the mean. Workload C is extreme: > 10x.
+	if a > 1.3 {
+		t.Errorf("workload A skew = %.2f, want ≤ 1.3", a)
+	}
+	if c < 10 {
+		t.Errorf("workload C skew = %.2f, want ≥ 10", c)
+	}
+}
+
+func TestBaseDistributionIsNormalised(t *testing.T) {
+	for _, kind := range []Kind{WorkloadA, WorkloadB, WorkloadC} {
+		g := mustGen(t, kind, 3)
+		dist := g.BaseDistribution()
+		if len(dist) != 256 {
+			t.Fatalf("distribution has %d entries, want 256", len(dist))
+		}
+		var sum float64
+		for _, p := range dist {
+			if p < 0 {
+				t.Fatalf("negative probability in workload %v", kind)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("workload %v distribution sums to %g", kind, sum)
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	// The empirical base frequency must track the declared distribution.
+	g := mustGen(t, WorkloadC, 99)
+	dist := g.BaseDistribution()
+	const samples = 300000
+	counts := make([]float64, len(dist))
+	for i := 0; i < samples; i++ {
+		counts[g.NextBase()]++
+	}
+	for b, p := range dist {
+		if p < 0.01 {
+			continue // only check the significant buckets
+		}
+		got := counts[b] / samples
+		if math.Abs(got-p) > 0.2*p {
+			t.Errorf("base %d: empirical %.4f vs declared %.4f", b, got, p)
+		}
+	}
+}
+
+func TestNextStreamLengthAndQueryLifetime(t *testing.T) {
+	g := mustGen(t, WorkloadA, 5)
+	const n = 50000
+	var sumLen float64
+	var sumLife float64
+	for i := 0; i < n; i++ {
+		l := g.NextStreamLength()
+		if l < 1 {
+			t.Fatalf("stream length %d < 1", l)
+		}
+		sumLen += float64(l)
+		life := g.NextQueryLifetime()
+		if life < 0 {
+			t.Fatalf("negative lifetime %v", life)
+		}
+		sumLife += life.Minutes()
+	}
+	meanLen := sumLen / n
+	if meanLen < 900 || meanLen > 1100 {
+		t.Errorf("mean stream length = %.0f, want ≈1000", meanLen)
+	}
+	meanLife := sumLife / n
+	if meanLife < 27 || meanLife > 33 {
+		t.Errorf("mean query lifetime = %.1f min, want ≈30", meanLife)
+	}
+}
+
+func TestGeneratorIsDeterministicPerSeed(t *testing.T) {
+	a := mustGen(t, WorkloadB, 7)
+	b := mustGen(t, WorkloadB, 7)
+	for i := 0; i < 100; i++ {
+		if !a.Next().Equal(b.Next()) {
+			t.Fatal("same seed produced different key sequences")
+		}
+	}
+	c := mustGen(t, WorkloadB, 8)
+	same := true
+	a2 := mustGen(t, WorkloadB, 7)
+	for i := 0; i < 100; i++ {
+		if !a2.Next().Equal(c.Next()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical key sequences")
+	}
+}
+
+func TestPaperSchedule(t *testing.T) {
+	s := PaperSchedule(2 * time.Hour)
+	if s.Duration() != 6*time.Hour {
+		t.Errorf("Duration = %v, want 6h", s.Duration())
+	}
+	tests := []struct {
+		t    time.Duration
+		want Kind
+	}{
+		{0, WorkloadA},
+		{time.Hour, WorkloadA},
+		{2 * time.Hour, WorkloadB},
+		{3*time.Hour + 59*time.Minute, WorkloadB},
+		{4 * time.Hour, WorkloadC},
+		{7 * time.Hour, WorkloadC}, // past the end: stays on the last phase
+	}
+	for _, tt := range tests {
+		if got := s.KindAt(tt.t); got != tt.want {
+			t.Errorf("KindAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if _, ok := s.PhaseAt(7 * time.Hour); ok {
+		t.Error("PhaseAt past the end should report false")
+	}
+	if p, ok := s.PhaseAt(5 * time.Hour); !ok || p.Kind != WorkloadC {
+		t.Errorf("PhaseAt(5h) = %+v,%v", p, ok)
+	}
+	var empty Schedule
+	if empty.Duration() != 0 || empty.KindAt(0) != WorkloadA {
+		t.Error("empty schedule defaults wrong")
+	}
+}
