@@ -1,0 +1,218 @@
+// Command clashbench runs a synthetic routing workload through the CLASH hot
+// paths — client cache Route, Server Work Table lookup, continuous-query
+// matching and DHT ring lookup — and writes a machine-readable snapshot
+// (BENCH_routing.json by default) so every perf PR has a trajectory to beat.
+//
+// The trie-backed paths are benchmarked side by side with the frozen pre-trie
+// map-probing baselines (core.LegacyRouter, core.LegacyTable); the snapshot
+// records the resulting speedups.
+//
+// Usage:
+//
+//	go run ./cmd/clashbench -keys 1000000 -groups 1000 -out BENCH_routing.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"clash/internal/benchutil"
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/core"
+	"clash/internal/cq"
+)
+
+type config struct {
+	KeyBits     int `json:"key_bits"`
+	Groups      int `json:"groups"`
+	Keys        int `json:"keys"`
+	Queries     int `json:"queries"`
+	RingMembers int `json:"ring_members"`
+	RingVnodes  int `json:"ring_vnodes"`
+	MaxProcs    int `json:"go_max_procs"`
+}
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type snapshot struct {
+	Config     config             `json:"config"`
+	GoVersion  string             `json:"go_version"`
+	Benchmarks []result           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clashbench: ")
+	var (
+		keys    = flag.Int("keys", 1_000_000, "number of identifier keys in the synthetic workload")
+		groups  = flag.Int("groups", 1000, "number of cached key groups (prefix-free partition)")
+		keyBits = flag.Int("keybits", bitkey.MaxBits, "identifier key length N")
+		queries = flag.Int("queries", 1000, "number of registered continuous queries")
+		members = flag.Int("members", 64, "DHT ring members")
+		vnodes  = flag.Int("vnodes", 4, "virtual servers per ring member")
+		out     = flag.String("out", "BENCH_routing.json", "output snapshot path")
+		seed    = flag.Int64("seed", 1, "workload PRNG seed")
+	)
+	flag.Parse()
+
+	cfg := config{
+		KeyBits:     *keyBits,
+		Groups:      *groups,
+		Keys:        *keys,
+		Queries:     *queries,
+		RingMembers: *members,
+		RingVnodes:  *vnodes,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	log.Printf("workload: %d keys, %d groups, %d-bit key space", cfg.Keys, cfg.Groups, cfg.KeyBits)
+
+	rng := rand.New(rand.NewSource(*seed))
+	partition := benchutil.PrefixFreeGroups(rng, cfg.KeyBits, cfg.Groups)
+	workload := benchutil.RandomKeys(rng, cfg.KeyBits, cfg.Keys)
+
+	snap := snapshot{Config: cfg, GoVersion: runtime.Version(), Speedups: map[string]float64{}}
+	run := func(name string, fn func(b *testing.B)) result {
+		r := testing.Benchmark(fn)
+		res := result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		log.Printf("%-28s %12.1f ns/op %6d allocs/op %10d iters", name, res.NsPerOp, res.AllocsPerOp, res.Iterations)
+		snap.Benchmarks = append(snap.Benchmarks, res)
+		return res
+	}
+	speedup := func(metric string, legacy, trie result) {
+		if trie.NsPerOp > 0 {
+			snap.Speedups[metric] = legacy.NsPerOp / trie.NsPerOp
+		}
+	}
+
+	// Client cache: trie router vs. legacy per-depth map probing.
+	router := core.NewRouter(cfg.KeyBits)
+	legacyRouter := core.NewLegacyRouter(cfg.KeyBits)
+	for i, g := range partition {
+		id := core.ServerID(fmt.Sprintf("s%03d", i%257))
+		router.Learn(g, id)
+		legacyRouter.Learn(g, id)
+	}
+	routeTrie := run("route/trie", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			router.Route(workload[i%len(workload)])
+		}
+	})
+	routeLegacy := run("route/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			legacyRouter.Route(workload[i%len(workload)])
+		}
+	})
+	speedup("route", routeLegacy, routeTrie)
+
+	// Server Work Table: trie-backed lookup (through the server mutex, as in
+	// production) vs. the legacy lock-free map probing — a handicap the trie
+	// path wins under anyway.
+	server, err := core.NewServer("bench", cfg.KeyBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacyTable := core.NewLegacyTable(cfg.KeyBits)
+	for _, g := range partition {
+		if err := server.HandleAcceptKeyGroup(g, "seed"); err != nil {
+			log.Fatal(err)
+		}
+		legacyTable.Put(&core.Entry{Group: g, Active: true})
+	}
+	tableTrie := run("active_entry_for/trie", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			server.ManagesKey(workload[i%len(workload)])
+		}
+	})
+	tableLegacy := run("active_entry_for/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			legacyTable.ActiveEntryFor(workload[i%len(workload)])
+		}
+	})
+	speedup("active_entry_for", tableLegacy, tableTrie)
+
+	// Continuous-query matching over a trie region index.
+	engine, err := cq.NewEngine(cfg.KeyBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < cfg.Queries; i++ {
+		q := cq.Query{
+			ID:         fmt.Sprintf("q%05d", i),
+			Region:     partition[i%len(partition)],
+			Predicates: []cq.Predicate{{Attr: "speed", Op: cq.OpGe, Value: 30}},
+		}
+		if err := engine.Register(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	events := make([]cq.Event, 1<<14)
+	for i := range events {
+		events[i] = cq.Event{
+			Key:   workload[rng.Intn(len(workload))],
+			Attrs: map[string]float64{"speed": float64(rng.Intn(60))},
+		}
+	}
+	run("cq_match/trie", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.Match(events[i%len(events)])
+		}
+	})
+
+	// DHT ring lookup with cached vnode start points.
+	ring := chord.NewRing(chord.WithVirtualServers(cfg.RingVnodes))
+	ringMembers := make([]chord.Member, cfg.RingMembers)
+	for i := range ringMembers {
+		ringMembers[i] = chord.Member(fmt.Sprintf("server-%03d", i))
+		if err := ring.Add(ringMembers[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	targets := make([]chord.ID, 1<<12)
+	for i := range targets {
+		targets[i] = ring.Space().Wrap(rng.Uint64())
+	}
+	run("ring_lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ring.Lookup(ringMembers[i%len(ringMembers)], targets[i%len(targets)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (route %.0fx, active_entry_for %.0fx vs legacy)",
+		*out, snap.Speedups["route"], snap.Speedups["active_entry_for"])
+}

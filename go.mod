@@ -1,0 +1,3 @@
+module clash
+
+go 1.22

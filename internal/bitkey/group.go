@@ -148,15 +148,4 @@ func Shape(k Key, d int) (Group, error) {
 
 // LongestCommonPrefix returns the length of the longest common prefix of two
 // keys.
-func LongestCommonPrefix(a, b Key) int {
-	n := a.Bits
-	if b.Bits < n {
-		n = b.Bits
-	}
-	for i := 0; i < n; i++ {
-		if a.Bit(i) != b.Bit(i) {
-			return i
-		}
-	}
-	return n
-}
+func LongestCommonPrefix(a, b Key) int { return commonBits(a, b) }

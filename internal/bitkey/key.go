@@ -150,19 +150,14 @@ func (k Key) Equal(o Key) bool { return k.Bits == o.Bits && k.Value == o.Value }
 // Compare orders keys first by value of their common prefix and then by
 // length, giving a total order usable for sorting. It returns -1, 0 or +1.
 func (k Key) Compare(o Key) int {
-	// Compare bit by bit over the common prefix.
-	n := k.Bits
-	if o.Bits < n {
-		n = o.Bits
-	}
-	for i := 0; i < n; i++ {
-		a, b := k.Bit(i), o.Bit(i)
-		switch {
-		case a < b:
+	// Diverging bit (if any) inside the common prefix decides; otherwise the
+	// shorter key sorts first.
+	l := commonBits(k, o)
+	if l < k.Bits && l < o.Bits {
+		if k.Bit(l) < o.Bit(l) {
 			return -1
-		case a > b:
-			return 1
 		}
+		return 1
 	}
 	switch {
 	case k.Bits < o.Bits:

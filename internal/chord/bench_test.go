@@ -1,0 +1,72 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+const (
+	benchMembers = 64
+	benchVnodes  = 4
+	benchPoints  = 1 << 12
+)
+
+func benchRing(b *testing.B) (*Ring, []Member, []ID) {
+	b.Helper()
+	r := NewRing(WithVirtualServers(benchVnodes))
+	members := make([]Member, benchMembers)
+	for i := range members {
+		members[i] = Member(fmt.Sprintf("server-%03d", i))
+		if err := r.Add(members[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	targets := make([]ID, benchPoints)
+	for i := range targets {
+		targets[i] = r.Space().Wrap(rng.Uint64())
+	}
+	return r, members, targets
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r, members, targets := benchRing(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Lookup(members[i%len(members)], targets[i%len(targets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingLookupParallel(b *testing.B) {
+	r, members, targets := benchRing(b)
+	var cursor atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := cursor.Add(1) * 7919
+		for pb.Next() {
+			r.Lookup(members[i%uint64(len(members))], targets[i%uint64(len(targets))])
+			i++
+		}
+	})
+}
+
+func BenchmarkRingMap(b *testing.B) {
+	r, _, _ := benchRing(b)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("virtual-key-%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Map(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,6 +36,10 @@ type Ring struct {
 	vnodes int
 	points []point // sorted by id
 	member map[Member]int
+	// start caches each member's first virtual-server position (the hash of
+	// "<member>#0"), which Lookup uses as its routing origin; computing it
+	// once at join time saves a fmt.Sprintf and a SHA-1 per lookup.
+	start map[Member]ID
 }
 
 // RingOption configures a Ring.
@@ -62,6 +66,7 @@ func NewRing(opts ...RingOption) *Ring {
 		space:  DefaultSpace(),
 		vnodes: 1,
 		member: make(map[Member]int),
+		start:  make(map[Member]ID),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -94,6 +99,9 @@ func (r *Ring) AddWeighted(m Member, vnodes int) error {
 	r.member[m] = vnodes
 	for i := 0; i < vnodes; i++ {
 		id := r.space.HashString(fmt.Sprintf("%s#%d", m, i))
+		if i == 0 {
+			r.start[m] = id
+		}
 		r.points = append(r.points, point{id: id, member: m})
 	}
 	sort.Slice(r.points, func(i, j int) bool { return r.points[i].id < r.points[j].id })
@@ -109,6 +117,7 @@ func (r *Ring) Remove(m Member) error {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, m)
 	}
 	delete(r.member, m)
+	delete(r.start, m)
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.member != m {
@@ -196,8 +205,8 @@ func (r *Ring) Lookup(from Member, h ID) (Member, int, error) {
 	if err != nil {
 		return "", 0, err
 	}
-	// Start from the first virtual server of `from`.
-	cur := r.space.HashString(fmt.Sprintf("%s#%d", from, 0))
+	// Start from the first virtual server of `from` (cached at join time).
+	cur := r.start[from]
 	curMember := from
 	hops := 0
 	// Greedy routing: jump to the finger that most closely precedes h.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"clash/internal/bitkey"
+)
+
+// This file freezes the pre-trie, string-keyed map implementations of the two
+// routing hot paths. They are kept ONLY as benchmark baselines: the benchmark
+// suite (BenchmarkRouteLegacy, BenchmarkActiveEntryForLegacy) and the
+// cmd/clashbench harness run them side by side with the trie-backed versions
+// so every future perf PR has a fixed reference point. Do not use them in
+// protocol code.
+
+// LegacyRouter is the pre-trie client cache: one map keyed by the group's
+// wildcard string, probed once per candidate depth on every Route call (which
+// also costs a Group.String() allocation per probe).
+type LegacyRouter struct {
+	mu      sync.RWMutex
+	keyBits int
+	entries map[string]ServerID
+}
+
+// NewLegacyRouter creates an empty baseline cache for an N-bit key space.
+func NewLegacyRouter(keyBits int) *LegacyRouter {
+	return &LegacyRouter{keyBits: keyBits, entries: make(map[string]ServerID)}
+}
+
+// Learn records a (group → server) binding.
+func (r *LegacyRouter) Learn(g bitkey.Group, server ServerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[g.String()] = server
+}
+
+// Forget drops the binding for a group.
+func (r *LegacyRouter) Forget(g bitkey.Group) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, g.String())
+}
+
+// ForgetServer drops every binding pointing at server with a full-map scan
+// (the behaviour the trie Router's reverse index replaces).
+func (r *LegacyRouter) ForgetServer(server ServerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for g, s := range r.entries {
+		if s == server {
+			delete(r.entries, g)
+		}
+	}
+}
+
+// Route probes every depth from the deepest down, formatting a map key per
+// probe.
+func (r *LegacyRouter) Route(k bitkey.Key) (bitkey.Group, ServerID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for d := min(k.Bits, r.keyBits); d >= 0; d-- {
+		g, err := bitkey.Shape(k, d)
+		if err != nil {
+			continue
+		}
+		if s, ok := r.entries[g.String()]; ok {
+			return g, s, true
+		}
+	}
+	return bitkey.Group{}, NoServer, false
+}
+
+// Len returns the number of cached bindings.
+func (r *LegacyRouter) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// LegacyTable is the pre-trie Server Work Table index: entries in a map keyed
+// by the group's wildcard string, with per-depth probing for activeEntryFor
+// and full scans for longestPrefixMatch.
+type LegacyTable struct {
+	keyBits int
+	entries map[string]*Entry
+}
+
+// NewLegacyTable creates an empty baseline table.
+func NewLegacyTable(keyBits int) *LegacyTable {
+	return &LegacyTable{keyBits: keyBits, entries: make(map[string]*Entry)}
+}
+
+// Put inserts or replaces an entry.
+func (t *LegacyTable) Put(e *Entry) { t.entries[e.Group.String()] = e }
+
+// Len returns the number of entries.
+func (t *LegacyTable) Len() int { return len(t.entries) }
+
+// ActiveEntryFor probes every depth from the deepest down, formatting a map
+// key per probe.
+func (t *LegacyTable) ActiveEntryFor(k bitkey.Key) (*Entry, bool) {
+	for d := k.Bits; d >= 0; d-- {
+		g, err := bitkey.Shape(k, d)
+		if err != nil {
+			continue
+		}
+		if e, ok := t.entries[g.String()]; ok && e.Active {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// LongestPrefixMatch scans every entry.
+func (t *LegacyTable) LongestPrefixMatch(k bitkey.Key) int {
+	best := 0
+	for _, e := range t.entries {
+		if l := bitkey.LongestCommonPrefix(k, e.Group.Prefix); l > best {
+			best = l
+		}
+	}
+	return best
+}

@@ -209,11 +209,12 @@ func (s *Server) GroupLoads() map[string]float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]float64)
-	for _, e := range s.table.entries {
+	s.table.forEach(func(e *Entry) bool {
 		if e.Active {
 			out[e.Group.String()] = e.localLoad
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -223,11 +224,12 @@ func (s *Server) TotalLoad() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var sum float64
-	for _, e := range s.table.entries {
+	s.table.forEach(func(e *Entry) bool {
 		if e.Active {
 			sum += e.localLoad
 		}
-	}
+		return true
+	})
 	return sum
 }
 
@@ -239,16 +241,17 @@ func (s *Server) HottestActiveGroup() (bitkey.Group, float64, bool) {
 		best     *Entry
 		bestLoad float64
 	)
-	for _, e := range s.table.entries {
+	s.table.forEach(func(e *Entry) bool {
 		if !e.Active {
-			continue
+			return true
 		}
 		if best == nil || e.localLoad > bestLoad ||
 			(e.localLoad == bestLoad && e.Group.Prefix.Compare(best.Group.Prefix) < 0) {
 			best = e
 			bestLoad = e.localLoad
 		}
-	}
+		return true
+	})
 	if best == nil {
 		return bitkey.Group{}, 0, false
 	}
@@ -379,14 +382,14 @@ func (s *Server) LoadReports() []LoadReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []LoadReport
-	for _, e := range s.table.entries {
+	// The trie visit is already in prefix order, matching the sort the
+	// callers expect.
+	s.table.forEach(func(e *Entry) bool {
 		if !e.Active || e.Parent == NoServer || e.ParentIsSelf || e.Parent == s.id {
-			continue
+			return true
 		}
 		out = append(out, LoadReport{From: s.id, To: e.Parent, Group: e.Group, Load: e.localLoad})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Group.Prefix.Compare(out[j].Group.Prefix) < 0
+		return true
 	})
 	return out
 }
@@ -431,12 +434,13 @@ func (s *Server) PlanMerges(mergeThreshold float64, now time.Time) []MergePropos
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []MergeProposal
-	for _, e := range s.table.entries {
+	s.table.forEach(func(e *Entry) bool {
 		prop, ok := s.mergeCandidateLocked(e, mergeThreshold, now)
 		if ok {
 			out = append(out, prop)
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].CombinedLoad != out[j].CombinedLoad {
 			return out[i].CombinedLoad < out[j].CombinedLoad

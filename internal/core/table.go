@@ -57,12 +57,18 @@ func (e *Entry) clone() Entry {
 	return c
 }
 
+// entryIsActive is the predicate the hot path passes to the trie; as a
+// non-capturing function it costs no allocation per lookup.
+func entryIsActive(e *Entry) bool { return e.Active }
+
 // Table is the Server Work Table: the set of key-group entries managed by one
-// CLASH server, indexed by group prefix. Table is not safe for concurrent
-// use; Server provides the synchronisation.
+// CLASH server, indexed by group prefix in a bit-trie so that the per-packet
+// operations (activeEntryFor, longestPrefixMatch) are a single O(depth),
+// zero-allocation walk instead of one map probe per candidate depth. Table is
+// not safe for concurrent use; Server provides the synchronisation.
 type Table struct {
 	keyBits int
-	entries map[string]*Entry
+	entries *bitkey.Trie[*Entry]
 }
 
 // NewTable creates an empty table for an N-bit identifier key space.
@@ -70,34 +76,39 @@ func NewTable(keyBits int) (*Table, error) {
 	if keyBits < 1 || keyBits > bitkey.MaxBits {
 		return nil, fmt.Errorf("%w: %d", bitkey.ErrBadLength, keyBits)
 	}
-	return &Table{keyBits: keyBits, entries: make(map[string]*Entry)}, nil
+	return &Table{keyBits: keyBits, entries: bitkey.NewTrie[*Entry]()}, nil
 }
 
 // KeyBits returns the identifier key length N.
 func (t *Table) KeyBits() int { return t.keyBits }
 
 // Len returns the number of entries (active and inactive).
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.entries.Len() }
 
 // get returns the entry for a group, if present.
 func (t *Table) get(g bitkey.Group) (*Entry, bool) {
-	e, ok := t.entries[g.String()]
-	return e, ok
+	return t.entries.Get(g.Prefix)
 }
 
 // put inserts or replaces an entry.
-func (t *Table) put(e *Entry) { t.entries[e.Group.String()] = e }
+func (t *Table) put(e *Entry) { t.entries.Put(e.Group.Prefix, e) }
 
 // remove deletes an entry.
-func (t *Table) remove(g bitkey.Group) { delete(t.entries, g.String()) }
+func (t *Table) remove(g bitkey.Group) { t.entries.Delete(g.Prefix) }
+
+// forEach visits every entry in prefix order.
+func (t *Table) forEach(fn func(*Entry) bool) {
+	t.entries.Visit(func(_ bitkey.Key, e *Entry) bool { return fn(e) })
+}
 
 // Entries returns a copy of all entries sorted by (depth, prefix) — the shape
 // of the paper's Figure 2 table.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
+	out := make([]Entry, 0, t.entries.Len())
+	t.forEach(func(e *Entry) bool {
 		out = append(out, e.clone())
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Depth() != out[j].Depth() {
 			return out[i].Depth() < out[j].Depth()
@@ -107,60 +118,48 @@ func (t *Table) Entries() []Entry {
 	return out
 }
 
-// ActiveGroups returns the groups of all active (leaf) entries.
+// ActiveGroups returns the groups of all active (leaf) entries, sorted by
+// prefix (the trie's visit order is exactly Key.Compare order).
 func (t *Table) ActiveGroups() []bitkey.Group {
 	var out []bitkey.Group
-	for _, e := range t.entries {
+	t.forEach(func(e *Entry) bool {
 		if e.Active {
 			out = append(out, e.Group)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+		return true
+	})
 	return out
 }
 
 // activeEntryFor returns the active entry whose group contains key k. At most
-// one can exist because active groups are prefix-free.
+// one can exist because active groups are prefix-free. One trie walk, zero
+// allocations.
 func (t *Table) activeEntryFor(k bitkey.Key) (*Entry, bool) {
-	for d := k.Bits; d >= 0; d-- {
-		g, err := bitkey.Shape(k, d)
-		if err != nil {
-			continue
-		}
-		if e, ok := t.get(g); ok && e.Active {
-			return e, true
-		}
-	}
-	return nil, false
+	_, e, ok := t.entries.LongestMatchWhere(k, entryIsActive)
+	return e, ok
 }
 
 // longestPrefixMatch returns the length of the longest common prefix between
 // k and any entry's group prefix (the paper's dmin in the INCORRECT_DEPTH
-// reply).
+// reply). One trie walk, zero allocations.
 func (t *Table) longestPrefixMatch(k bitkey.Key) int {
-	best := 0
-	for _, e := range t.entries {
-		if l := bitkey.LongestCommonPrefix(k, e.Group.Prefix); l > best {
-			best = l
-		}
-	}
-	return best
+	return t.entries.MaxCommonPrefix(k)
 }
 
 // validateActivePrefixFree checks the core table invariant: no active group's
 // prefix is a prefix of another active group. It returns an error describing
 // the first violation found. Tests and the simulator's consistency checker
 // call this.
+//
+// ActiveGroups is sorted so that a prefix immediately precedes its extensions;
+// checking adjacent pairs therefore finds any containment in O(n) after the
+// O(n) sorted walk (O(n log n) overall including the slice growth), replacing
+// the previous O(n²) pairwise scan.
 func (t *Table) validateActivePrefixFree() error {
 	actives := t.ActiveGroups()
-	for i := 0; i < len(actives); i++ {
-		for j := 0; j < len(actives); j++ {
-			if i == j {
-				continue
-			}
-			if actives[i].ContainsGroup(actives[j]) {
-				return fmt.Errorf("active group %v contains active group %v", actives[i], actives[j])
-			}
+	for i := 1; i < len(actives); i++ {
+		if actives[i-1].ContainsGroup(actives[i]) {
+			return fmt.Errorf("active group %v contains active group %v", actives[i-1], actives[i])
 		}
 	}
 	return nil

@@ -178,15 +178,16 @@ type Event struct {
 }
 
 // Engine stores continuous queries and matches events against them. Queries
-// are indexed by region prefix so matching an event costs O(N + matches) in
-// the key length N rather than O(#queries).
+// are indexed by region prefix in a bit-trie, so matching an event is one
+// O(N + matches) trie walk over the event key's prefixes — no per-depth string
+// keys, no scan over every registered region.
 //
 // Engine is safe for concurrent use.
 type Engine struct {
 	mu       sync.RWMutex
 	keyBits  int
-	byRegion map[string]map[string]Query // region prefix → id → query
-	regions  map[string]string           // id → region prefix
+	byRegion *bitkey.Trie[map[string]Query] // region prefix → id → query
+	regions  map[string]bitkey.Key          // id → region prefix
 }
 
 // NewEngine creates an engine for an N-bit key space.
@@ -196,8 +197,8 @@ func NewEngine(keyBits int) (*Engine, error) {
 	}
 	return &Engine{
 		keyBits:  keyBits,
-		byRegion: make(map[string]map[string]Query),
-		regions:  make(map[string]string),
+		byRegion: bitkey.NewTrie[map[string]Query](),
+		regions:  make(map[string]bitkey.Key),
 	}, nil
 }
 
@@ -221,11 +222,13 @@ func (e *Engine) Register(q Query) error {
 	if _, ok := e.regions[q.ID]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicateQuery, q.ID)
 	}
-	prefix := q.Region.String()
-	if e.byRegion[prefix] == nil {
-		e.byRegion[prefix] = make(map[string]Query)
+	prefix := q.Region.Prefix
+	qs, ok := e.byRegion.Get(prefix)
+	if !ok {
+		qs = make(map[string]Query)
+		e.byRegion.Put(prefix, qs)
 	}
-	e.byRegion[prefix][q.ID] = q
+	qs[q.ID] = q
 	e.regions[q.ID] = prefix
 	return nil
 }
@@ -239,11 +242,19 @@ func (e *Engine) Unregister(id string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownQuery, id)
 	}
 	delete(e.regions, id)
-	delete(e.byRegion[prefix], id)
-	if len(e.byRegion[prefix]) == 0 {
-		delete(e.byRegion, prefix)
-	}
+	e.removeFromRegion(prefix, id)
 	return nil
+}
+
+// removeFromRegion drops one query id from a region bucket, deleting the
+// bucket's trie node when it empties. Callers hold e.mu.
+func (e *Engine) removeFromRegion(prefix bitkey.Key, id string) {
+	if qs, ok := e.byRegion.Get(prefix); ok {
+		delete(qs, id)
+		if len(qs) == 0 {
+			e.byRegion.Delete(prefix)
+		}
+	}
 }
 
 // Match returns the queries matched by an event, ordered by query ID for
@@ -252,17 +263,14 @@ func (e *Engine) Match(ev Event) []Query {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var out []Query
-	for d := 0; d <= min(ev.Key.Bits, e.keyBits); d++ {
-		g, err := bitkey.Shape(ev.Key, d)
-		if err != nil {
-			continue
-		}
-		for _, q := range e.byRegion[g.String()] {
+	e.byRegion.VisitMatches(ev.Key, func(_ bitkey.Key, qs map[string]Query) bool {
+		for _, q := range qs {
 			if q.Matches(ev) {
 				out = append(out, q)
 			}
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -276,23 +284,35 @@ func (e *Engine) QueriesInGroup(g bitkey.Group) []Query {
 }
 
 func (e *Engine) collectInGroup(g bitkey.Group) []Query {
+	// A region's identifier key is its virtual key (prefix padded with
+	// zeroes), so a region falls inside g in exactly two cases:
+	//
+	//   - region depth ≥ g's depth and g's prefix is a prefix of the region:
+	//     the trie subtree under g's prefix;
+	//   - region depth < g's depth, the region is a prefix of g's prefix, and
+	//     the zero padding supplies g's remaining bits (i.e. the rest of g's
+	//     prefix is all zeroes): nodes on the path to g's prefix.
+	// A group deeper than the key space contains no identifier keys at all.
+	if g.Prefix.Bits > e.keyBits {
+		return nil
+	}
 	var out []Query
-	for prefix, qs := range e.byRegion {
-		rg, err := bitkey.ParseGroup(prefix)
-		if err != nil {
-			continue
-		}
-		vk, err := rg.VirtualKey(e.keyBits)
-		if err != nil {
-			continue
-		}
-		if !g.Contains(vk) {
-			continue
-		}
+	collect := func(qs map[string]Query) {
 		for _, q := range qs {
 			out = append(out, q)
 		}
 	}
+	e.byRegion.VisitSubtree(g.Prefix, func(_ bitkey.Key, qs map[string]Query) bool {
+		collect(qs)
+		return true
+	})
+	gp := g.Prefix
+	e.byRegion.VisitMatches(gp, func(p bitkey.Key, qs map[string]Query) bool {
+		if p.Bits < gp.Bits && gp.Value&((1<<uint(gp.Bits-p.Bits))-1) == 0 {
+			collect(qs)
+		}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -307,10 +327,7 @@ func (e *Engine) ExtractGroup(g bitkey.Group) []Query {
 	for _, q := range out {
 		prefix := e.regions[q.ID]
 		delete(e.regions, q.ID)
-		delete(e.byRegion[prefix], q.ID)
-		if len(e.byRegion[prefix]) == 0 {
-			delete(e.byRegion, prefix)
-		}
+		e.removeFromRegion(prefix, q.ID)
 	}
 	return out
 }
