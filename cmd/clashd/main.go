@@ -1,0 +1,130 @@
+// Command clashd runs one live CLASH overlay node: a chord DHT member with
+// the CLASH redirection layer, the continuous-query engine and the load-aware
+// split/consolidation loop on top, speaking the framed wire protocol over
+// TCP.
+//
+// Start a fresh overlay (the first node installs the initial key-space
+// partition):
+//
+//	clashd -addr 127.0.0.1:7001 -status 127.0.0.1:8001
+//
+// Join an existing overlay:
+//
+//	clashd -addr 127.0.0.1:7002 -status 127.0.0.2:8002 -join 127.0.0.1:7001
+//
+// The -status address serves GET /status: the node's JSON snapshot (ring
+// position, active key groups, load, protocol counters and the per-period
+// metrics time series).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clash/internal/chord"
+	"clash/internal/load"
+	"clash/internal/overlay"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:7001", "transport listen address (doubles as the node identity)")
+		join           = flag.String("join", "", "address of an existing overlay node to join; empty bootstraps a new overlay")
+		statusAddr     = flag.String("status", "", "HTTP status listen address (empty disables the endpoint)")
+		keyBits        = flag.Int("keybits", 24, "identifier key length N")
+		spaceBits      = flag.Int("space-bits", chord.DefaultSpaceBits, "chord identifier space size M")
+		capacity       = flag.Float64("capacity", 5000, "server capacity in weighted packets/second")
+		bootstrapDepth = flag.Int("bootstrap-depth", 2, "depth of the initial key-space partition (bootstrap node only)")
+		stabilize      = flag.Duration("stabilize", 250*time.Millisecond, "chord stabilization interval")
+		loadCheck      = flag.Duration("load-check", 2*time.Second, "load measurement window and check interval")
+	)
+	flag.Parse()
+	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck); err != nil {
+		fmt.Fprintln(os.Stderr, "clashd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration) error {
+	space, err := chord.NewSpace(spaceBits)
+	if err != nil {
+		return err
+	}
+	tr, err := overlay.ListenTCP(addr)
+	if err != nil {
+		return err
+	}
+	node, err := overlay.NewNode(tr, overlay.Config{
+		KeyBits:           keyBits,
+		Space:             space,
+		Model:             load.DefaultModel(capacity),
+		BootstrapDepth:    bootstrapDepth,
+		StabilizeInterval: stabilize,
+		LoadCheckInterval: loadCheck,
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+
+	if join == "" {
+		if err := node.BootstrapRoots(); err != nil {
+			node.Close()
+			return err
+		}
+		log.Printf("clashd %s: bootstrapped new overlay (%d root groups)", node.Addr(), 1<<uint(bootstrapDepth))
+	} else {
+		if err := node.Join(join); err != nil {
+			node.Close()
+			return fmt.Errorf("join %s: %w", join, err)
+		}
+		log.Printf("clashd %s: joined overlay via %s", node.Addr(), join)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var statusSrv *http.Server
+	if statusAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(node.Status()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		statusSrv = &http.Server{Addr: statusAddr, Handler: mux}
+		go func() {
+			if err := statusSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("clashd %s: status server: %v", node.Addr(), err)
+			}
+		}()
+		log.Printf("clashd %s: status at http://%s/status", node.Addr(), statusAddr)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		node.Run(ctx)
+		close(done)
+	}()
+
+	<-ctx.Done()
+	log.Printf("clashd %s: shutting down", node.Addr())
+	<-done
+	if statusSrv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = statusSrv.Shutdown(shutdownCtx)
+	}
+	return node.Close()
+}

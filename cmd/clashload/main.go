@@ -1,0 +1,388 @@
+// Command clashload drives synthetic workload traffic (internal/workload
+// A/B/C) against a CLASH overlay from many concurrent connections and reports
+// throughput and latency percentiles.
+//
+// Against a running overlay (see cmd/clashd):
+//
+//	clashload -seed 127.0.0.1:7001 -conns 8 -packets 100000 -workload B
+//
+// Self-contained smoke mode — boot an N-node overlay on the in-memory
+// transport inside this process and drive it (used by CI and for the
+// checked-in BENCH_overlay.json snapshot):
+//
+//	clashload -inproc 3 -packets 10000 -workload B -out BENCH_overlay.json
+//
+// Every connection draws keys from its own workload.KeyGenerator clone, so
+// the sources are independent streams rather than one shared PRNG.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/cq"
+	"clash/internal/load"
+	"clash/internal/metrics"
+	"clash/internal/overlay"
+	"clash/internal/workload"
+)
+
+type benchConfig struct {
+	Mode     string `json:"mode"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Seeds    string `json:"seeds,omitempty"`
+	Conns    int    `json:"conns"`
+	Packets  int    `json:"packets"`
+	Queries  int    `json:"queries"`
+	Workload string `json:"workload"`
+	KeyBits  int    `json:"key_bits"`
+}
+
+type nodeSnapshot struct {
+	Addr         string   `json:"addr"`
+	ActiveGroups []string `json:"active_groups"`
+	Splits       int      `json:"splits"`
+	Merges       int      `json:"merges"`
+	Accepted     int      `json:"groups_accepted"`
+	Released     int      `json:"groups_released"`
+}
+
+type benchResults struct {
+	PacketsOK       int             `json:"packets_ok"`
+	Errors          int             `json:"errors"`
+	ElapsedSeconds  float64         `json:"elapsed_seconds"`
+	ThroughputPPS   float64         `json:"throughput_pps"`
+	LatencyUS       metrics.Summary `json:"latency_us"`
+	ProbesPerPacket float64         `json:"probes_per_packet"`
+	MatchesInline   int64           `json:"matches_inline"`
+	MatchesPushed   int64           `json:"matches_pushed"`
+	Nodes           []nodeSnapshot  `json:"overlay,omitempty"`
+}
+
+type benchOut struct {
+	Config    benchConfig  `json:"config"`
+	GoVersion string       `json:"go_version"`
+	Results   benchResults `json:"results"`
+}
+
+func main() {
+	var (
+		seedAddrs = flag.String("seed", "", "comma-separated overlay node addresses to connect to")
+		inproc    = flag.Int("inproc", 0, "boot an N-node in-process overlay instead of connecting out")
+		conns     = flag.Int("conns", 8, "concurrent connections (each with its own key-generator clone)")
+		packets   = flag.Int("packets", 10000, "total data packets to publish")
+		queries   = flag.Int("queries", 16, "continuous queries to register before driving traffic")
+		kindFlag  = flag.String("workload", "B", "workload kind: A, B or C")
+		keyBits   = flag.Int("keybits", workload.DefaultKeyBits, "identifier key length N")
+		capacity  = flag.Float64("capacity", 5000, "per-node capacity (inproc mode)")
+		streamLen = flag.Float64("stream-len", 0, "mean virtual-stream length Ld in packets (0 = the paper's 1000)")
+		randSeed  = flag.Int64("rand-seed", 1, "base PRNG seed for the workload generators")
+		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
+	)
+	flag.Parse()
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *randSeed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "clashload:", err)
+		os.Exit(1)
+	}
+}
+
+func parseKind(s string) (workload.Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "A":
+		return workload.WorkloadA, nil
+	case "B":
+		return workload.WorkloadB, nil
+	case "C":
+		return workload.WorkloadC, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q (want A, B or C)", s)
+	}
+}
+
+func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string, keyBits int, capacity, streamLen float64, randSeed int64, out string) error {
+	kind, err := parseKind(kindFlag)
+	if err != nil {
+		return err
+	}
+	spec := workload.SpecFor(kind)
+	spec.KeyBits = keyBits
+	if spec.BaseBits >= keyBits {
+		spec.BaseBits = keyBits / 2
+	}
+	if streamLen > 0 {
+		spec.MeanStreamLen = streamLen
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if conns < 1 {
+		conns = 1
+	}
+
+	cfg := benchConfig{
+		Conns:    conns,
+		Packets:  packets,
+		Queries:  queries,
+		Workload: kind.String(),
+		KeyBits:  keyBits,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		clientTr overlay.Transport
+		seeds    []string
+		nodes    []*overlay.Node
+	)
+	space := chord.DefaultSpace()
+	if inproc > 0 {
+		cfg.Mode = "inproc"
+		cfg.Nodes = inproc
+		netw := overlay.NewMemNetwork()
+		nodes, err = bootInproc(ctx, netw, inproc, keyBits, space, capacity)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			seeds = append(seeds, n.Addr())
+		}
+		clientTr = netw.Endpoint("clashload-client")
+	} else {
+		cfg.Mode = "tcp"
+		cfg.Seeds = seedAddrs
+		seeds = strings.Split(seedAddrs, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
+		}
+		if len(seeds) == 0 || seeds[0] == "" {
+			return fmt.Errorf("need -seed addresses or -inproc N")
+		}
+		clientTr, err = overlay.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+	}
+
+	client, err := overlay.NewClient(clientTr, keyBits, space, seeds...)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Count pushed match notifications in the background.
+	var pushed int64
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-client.Matches():
+				atomic.AddInt64(&pushed, 1)
+			}
+		}
+	}()
+
+	// Register continuous queries over skew-weighted base regions.
+	qgen, err := workload.NewKeyGenerator(spec, rand.New(rand.NewSource(randSeed)))
+	if err != nil {
+		return err
+	}
+	registered := 0
+	for i := 0; i < queries; i++ {
+		region := bitkey.NewGroup(bitkey.Key{Value: uint64(qgen.NextBase()), Bits: spec.BaseBits})
+		q := cq.Query{
+			ID:         fmt.Sprintf("q-%d", i),
+			Region:     region,
+			Predicates: []cq.Predicate{{Attr: "speed", Op: cq.OpGt, Value: 50}},
+		}
+		if _, err := client.Register(q); err == nil {
+			registered++
+		}
+	}
+
+	// Drive the packets from conns independent workers, each with its own
+	// generator clone (per-source PRNG streams).
+	type workerResult struct {
+		latencies []float64
+		ok        int
+		errs      int
+		probes    int
+		matches   int64
+	}
+	results := make([]workerResult, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conns; w++ {
+		per := packets / conns
+		if w < packets%conns {
+			per++
+		}
+		wg.Add(1)
+		go func(w, per int) {
+			defer wg.Done()
+			gen := qgen.Clone(randSeed + int64(w) + 1)
+			attrRng := rand.New(rand.NewSource(randSeed + int64(w) + 1000))
+			res := &results[w]
+			res.latencies = make([]float64, 0, per)
+			var key bitkey.Key
+			streamLeft := 0
+			for i := 0; i < per; i++ {
+				if streamLeft == 0 {
+					key = gen.Next()
+					streamLeft = gen.NextStreamLength()
+				}
+				streamLeft--
+				attrs := map[string]float64{"speed": attrRng.Float64() * 100}
+				t0 := time.Now()
+				pr, err := client.Publish(key, attrs, nil)
+				if err != nil {
+					res.errs++
+					continue
+				}
+				res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds()))
+				res.ok++
+				res.probes += pr.Probes
+				res.matches += int64(len(pr.Matches))
+			}
+		}(w, per)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Let async match pushes still in flight drain before reading the
+	// counter.
+	time.Sleep(200 * time.Millisecond)
+
+	var all []float64
+	agg := workerResult{}
+	for i := range results {
+		r := &results[i]
+		all = append(all, r.latencies...)
+		agg.ok += r.ok
+		agg.errs += r.errs
+		agg.probes += r.probes
+		agg.matches += r.matches
+	}
+
+	res := benchResults{
+		PacketsOK:      agg.ok,
+		Errors:         agg.errs,
+		ElapsedSeconds: elapsed.Seconds(),
+		LatencyUS:      metrics.Summarize(all),
+		MatchesInline:  agg.matches,
+		MatchesPushed:  atomic.LoadInt64(&pushed),
+	}
+	if elapsed > 0 {
+		res.ThroughputPPS = float64(agg.ok) / elapsed.Seconds()
+	}
+	if agg.ok > 0 {
+		res.ProbesPerPacket = float64(agg.probes) / float64(agg.ok)
+	}
+	for _, n := range nodes {
+		st := n.Status()
+		res.Nodes = append(res.Nodes, nodeSnapshot{
+			Addr:         st.Addr,
+			ActiveGroups: st.ActiveGroups,
+			Splits:       st.Counters.Splits,
+			Merges:       st.Counters.Merges,
+			Accepted:     st.Counters.GroupsAccepted,
+			Released:     st.Counters.GroupsReleased,
+		})
+	}
+
+	fmt.Printf("clashload: workload %s, %d conns, %d packets (%d queries registered)\n",
+		kind, conns, packets, registered)
+	fmt.Printf("  ok=%d errors=%d elapsed=%.2fs throughput=%.0f pkt/s\n",
+		res.PacketsOK, res.Errors, res.ElapsedSeconds, res.ThroughputPPS)
+	fmt.Printf("  latency µs: p50=%.0f p95=%.0f p99=%.0f max=%.0f (mean %.0f)\n",
+		res.LatencyUS.P50, res.LatencyUS.P95, res.LatencyUS.P99, res.LatencyUS.Max, res.LatencyUS.Mean)
+	fmt.Printf("  probes/packet=%.3f matches inline=%d pushed=%d (dropped %d)\n",
+		res.ProbesPerPacket, res.MatchesInline, res.MatchesPushed, client.Drops())
+	for _, n := range res.Nodes {
+		fmt.Printf("  node %s: groups=%d splits=%d merges=%d accepted=%d released=%d\n",
+			n.Addr, len(n.ActiveGroups), n.Splits, n.Merges, n.Accepted, n.Released)
+	}
+
+	cancel()
+	for _, n := range nodes {
+		_ = n.Close()
+	}
+
+	if out != "" {
+		snapshot := benchOut{Config: cfg, GoVersion: runtime.Version(), Results: res}
+		data, err := json.MarshalIndent(snapshot, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  snapshot written to %s\n", out)
+	}
+	// Fail loudly so CI smoke runs go red when the overlay stops serving.
+	if agg.ok == 0 {
+		return fmt.Errorf("no packet was delivered (%d errors)", agg.errs)
+	}
+	if agg.errs > 0 {
+		return fmt.Errorf("%d of %d publishes failed", agg.errs, packets)
+	}
+	return nil
+}
+
+// bootInproc builds an N-node overlay on the in-memory fabric: node 0
+// bootstraps the initial partition, the rest join, the ring is converged with
+// explicit maintenance rounds, and every node's Run loop is started.
+func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, space chord.Space, capacity float64) ([]*overlay.Node, error) {
+	cfg := overlay.Config{
+		KeyBits:           keyBits,
+		Space:             space,
+		Model:             load.DefaultModel(capacity),
+		BootstrapDepth:    2,
+		StabilizeInterval: 50 * time.Millisecond,
+		LoadCheckInterval: 500 * time.Millisecond,
+	}
+	nodes := make([]*overlay.Node, n)
+	for i := range nodes {
+		node, err := overlay.NewNode(netw.Endpoint(fmt.Sprintf("mem-node-%d", i)), cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	if err := nodes[0].BootstrapRoots(); err != nil {
+		return nil, err
+	}
+	for _, node := range nodes[1:] {
+		if err := node.Join(nodes[0].Addr()); err != nil {
+			return nil, err
+		}
+	}
+	// Converge the ring before traffic: enough Tick rounds for fingers and
+	// successor lists, then two load checks to distribute the root groups.
+	for r := 0; r < 3*space.Bits; r++ {
+		for _, node := range nodes {
+			node.Tick()
+		}
+	}
+	for i := 0; i < 2; i++ {
+		now := time.Now()
+		for _, node := range nodes {
+			node.LoadCheck(now)
+		}
+	}
+	for _, node := range nodes {
+		go node.Run(ctx)
+	}
+	return nodes, nil
+}

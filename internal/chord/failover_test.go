@@ -1,0 +1,126 @@
+package chord
+
+import (
+	"testing"
+)
+
+// TestSuccessorFailover kills a node's immediate successor and checks that
+// the successor list repairs routing: the node promotes the next live
+// successor, and lookups for hash points previously owned by the dead node
+// resolve to the dead node's live successor.
+func TestSuccessorFailover(t *testing.T) {
+	ln, nodes := buildRing(t, 6, 32)
+	ordered := ringOrder(nodes)
+
+	// Pick a node, its successor (the victim) and the victim's successor
+	// (who must inherit the victim's arc).
+	var idx int
+	for i, n := range ordered {
+		if n.Successor().Addr == ordered[(i+1)%len(ordered)].Self().Addr {
+			idx = i
+			break
+		}
+	}
+	node := ordered[idx]
+	victim := ordered[(idx+1)%len(ordered)]
+	heir := ordered[(idx+2)%len(ordered)]
+	if node.Successor().Addr != victim.Self().Addr {
+		t.Fatalf("ring not converged: successor of %s is %s, want %s",
+			node.Self().Addr, node.Successor().Addr, victim.Self().Addr)
+	}
+
+	ln.SetDown(victim.Self().Addr, true)
+
+	// Stabilization must drop the dead successor and promote the heir.
+	// Stale deep successor-list entries are repaired lazily, so run the
+	// full round budget before asserting on the lists.
+	for r := 0; r < 3*len(nodes); r++ {
+		for _, n := range nodes {
+			if n == victim {
+				continue
+			}
+			_ = n.Stabilize()
+			n.CheckPredecessor()
+			_ = n.FixAllFingers()
+		}
+	}
+	if got := node.Successor().Addr; got != heir.Self().Addr {
+		t.Fatalf("successor after failover = %s, want %s", got, heir.Self().Addr)
+	}
+
+	// No live node may keep the victim in its successor list.
+	for _, n := range nodes {
+		if n == victim {
+			continue
+		}
+		for _, s := range n.Successors() {
+			if s.Addr == victim.Self().Addr {
+				t.Errorf("%s still lists dead %s in successor list %v",
+					n.Self().Addr, victim.Self().Addr, n.Successors())
+			}
+		}
+	}
+
+	// A hash point owned by the victim must now resolve to the heir, from
+	// every live node.
+	victimPoint := victim.Self().ID
+	for _, n := range nodes {
+		if n == victim {
+			continue
+		}
+		got, err := n.FindSuccessor(victimPoint)
+		if err != nil {
+			t.Fatalf("FindSuccessor from %s: %v", n.Self().Addr, err)
+		}
+		if got.Addr != heir.Self().Addr {
+			t.Errorf("FindSuccessor(%d) from %s = %s, want heir %s",
+				victimPoint, n.Self().Addr, got.Addr, heir.Self().Addr)
+		}
+	}
+
+	// The ring stays fully routable: every live node resolves every live
+	// node's own point to that node.
+	for _, from := range nodes {
+		if from == victim {
+			continue
+		}
+		for _, target := range nodes {
+			if target == victim {
+				continue
+			}
+			got, err := from.FindSuccessor(target.Self().ID)
+			if err != nil {
+				t.Fatalf("FindSuccessor(%s) from %s: %v", target.Self().Addr, from.Self().Addr, err)
+			}
+			if got.Addr != target.Self().Addr {
+				t.Errorf("FindSuccessor(%s) from %s = %s", target.Self().Addr, from.Self().Addr, got.Addr)
+			}
+		}
+	}
+}
+
+// TestSuccessorFailoverRecovery checks that a revived node is reabsorbed into
+// the ring by ordinary stabilization.
+func TestSuccessorFailoverRecovery(t *testing.T) {
+	ln, nodes := buildRing(t, 5, 32)
+	ordered := ringOrder(nodes)
+	victim := ordered[1]
+
+	ln.SetDown(victim.Self().Addr, true)
+	ln.StabilizeAll(3 * len(nodes))
+
+	// Revive: the node re-joins through any member and stabilization heals
+	// the ring back to full membership.
+	ln.SetDown(victim.Self().Addr, false)
+	if err := victim.Join(ordered[0].Self()); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	ln.StabilizeAll(3 * len(nodes))
+
+	for i, n := range ordered {
+		want := ordered[(i+1)%len(ordered)].Self().Addr
+		if got := n.Successor().Addr; got != want {
+			t.Errorf("successor of %s = %s, want %s", n.Self().Addr, got, want)
+		}
+	}
+}

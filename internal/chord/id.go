@@ -5,9 +5,9 @@
 //
 //   - Ring: a process-local, authoritative view of the whole membership with
 //     consistent-hashing placement, virtual servers and finger-table route
-//     simulation. The CLASH simulator uses it to resolve Map(f(k')) and to
-//     count lookup hops without running a full message protocol for every
-//     event.
+//     simulation. The planned CLASH simulator (internal/sim) will use it to
+//     resolve Map(f(k')) and count lookup hops without running a full
+//     message protocol for every event.
 //   - Node: a protocol node with successor lists, finger tables and the
 //     join/stabilize/notify/fix-fingers algorithms, communicating through an
 //     RPC interface. The live overlay (internal/overlay) runs Nodes over a

@@ -12,9 +12,9 @@
 // modified binary search over the depth, driven by INCORRECT_DEPTH replies.
 //
 // The package is transport- and scheduler-agnostic: Server mutates a local
-// ServerTable and returns the messages/transfers that a driver (the
-// discrete-event simulator in internal/sim or the live overlay in
-// internal/overlay) must deliver.
+// ServerTable and returns the messages/transfers that a driver (the live
+// overlay in internal/overlay, or the planned discrete-event simulator
+// internal/sim) must deliver.
 package core
 
 import (

@@ -1,8 +1,8 @@
 package core
 
 // Wire message names and payloads for the CLASH protocol. The live overlay
-// (internal/overlay) serialises these as JSON over its transport; the
-// discrete-event simulator only counts them. Keeping the definitions here
+// (internal/overlay) serialises these as JSON over its transport; the planned
+// discrete-event simulator will only count them. Keeping the definitions here
 // makes the protocol surface visible in one place and lets both drivers share
 // the same vocabulary when accounting for signaling overhead (paper §6.3).
 
@@ -100,4 +100,9 @@ type ReleaseKeyGroupReplyMsg struct {
 	Queries [][]byte `json:"queries,omitempty"`
 	OK      bool     `json:"ok"`
 	Error   string   `json:"error,omitempty"`
+	// Gone reports that the server has no entry for the group at all — it
+	// released it earlier (e.g. the reply to a previous RELEASE_KEYGROUP was
+	// lost in transit) or re-homed it. The reclaiming parent may complete
+	// the merge without state.
+	Gone bool `json:"gone,omitempty"`
 }

@@ -188,8 +188,9 @@ func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObj
 }
 
 // SetGroupLoad records the measured load fraction attributable to an active
-// group for the current measurement interval. The driver (simulator or
-// overlay meter) calls it before making split/merge decisions.
+// group for the current measurement interval. The driver (the overlay's load
+// check, or the planned simulator) calls it before making split/merge
+// decisions.
 func (s *Server) SetGroupLoad(g bitkey.Group, loadFraction float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -371,6 +372,32 @@ func (s *Server) HandleAcceptKeyGroup(g bitkey.Group, parent ServerID) error {
 		Active:       true,
 	})
 	s.counters.GroupsAccepted++
+	return nil
+}
+
+// HandleChildMoved records that the right child of one of this server's
+// inactive entries is now held by a different server (the overlay re-homes
+// groups when DHT ownership changes). Stale child-load reports from the old
+// holder are invalidated so consolidation waits for the new holder's first
+// report.
+func (s *Server) HandleChildMoved(child bitkey.Group, newHolder ServerID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parentGroup, ok := child.Parent()
+	if !ok {
+		return fmt.Errorf("%w: root group %v cannot move", ErrUnknownGroup, child)
+	}
+	e, ok := s.table.get(parentGroup)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownGroup, parentGroup)
+	}
+	if e.Active || !e.RightChildGroup.Equal(child) {
+		return fmt.Errorf("%w: %v is not a transferred right child here", ErrUnknownGroup, child)
+	}
+	if e.RightChild != newHolder {
+		e.RightChild = newHolder
+		e.hasChildLoad = false
+	}
 	return nil
 }
 

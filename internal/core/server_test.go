@@ -622,3 +622,46 @@ func TestExecuteMergeAndReleaseErrors(t *testing.T) {
 		t.Errorf("release split group err = %v, want ErrNotActive", err)
 	}
 }
+
+func TestHandleChildMoved(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := mustServer(t, "s1", 8)
+	if err := s.Bootstrap(bitkey.MustParseGroup("0*")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecuteSplit(bitkey.MustParseGroup("0*"), scriptedMap("s2")); err != nil {
+		t.Fatal(err)
+	}
+	right := bitkey.MustParseGroup("01*")
+	if err := s.HandleLoadReport(LoadReport{From: "s2", To: "s1", Group: right, Load: 0.1}, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-homing the child to s3 must switch the holder and invalidate the
+	// old holder's report: s2's reports are now stale, s3's are accepted.
+	if err := s.HandleChildMoved(right, "s3"); err != nil {
+		t.Fatalf("HandleChildMoved: %v", err)
+	}
+	if err := s.HandleLoadReport(LoadReport{From: "s2", To: "s1", Group: right, Load: 0.1}, now); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("report from old holder = %v, want stale rejection", err)
+	}
+	if err := s.HandleLoadReport(LoadReport{From: "s3", To: "s1", Group: right, Load: 0.2}, now); err != nil {
+		t.Errorf("report from new holder: %v", err)
+	}
+	// Consolidation now reclaims from the new holder.
+	props := s.PlanMerges(0.9, now)
+	if len(props) != 1 || props[0].RightHolder != "s3" {
+		t.Fatalf("PlanMerges = %+v, want right holder s3", props)
+	}
+
+	// Stale notifications are rejected.
+	if err := s.HandleChildMoved(bitkey.MustParseGroup("11*"), "s4"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("unknown parent = %v, want ErrUnknownGroup", err)
+	}
+	if err := s.HandleChildMoved(bitkey.MustParseGroup("00*"), "s4"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("left child = %v, want ErrUnknownGroup", err)
+	}
+	if err := s.HandleChildMoved(bitkey.Group{}, "s4"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("root group = %v, want ErrUnknownGroup", err)
+	}
+}

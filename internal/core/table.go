@@ -148,7 +148,7 @@ func (t *Table) longestPrefixMatch(k bitkey.Key) int {
 
 // validateActivePrefixFree checks the core table invariant: no active group's
 // prefix is a prefix of another active group. It returns an error describing
-// the first violation found. Tests and the simulator's consistency checker
+// the first violation found. Tests and the drivers' consistency checks
 // call this.
 //
 // ActiveGroups is sorted so that a prefix immediately precedes its extensions;

@@ -6,7 +6,7 @@ import (
 )
 
 // Meter accumulates per-group work measurements over a measurement interval.
-// A server (live overlay) or the simulator records packet arrivals and query
+// A server (live overlay) or the planned simulator records packet arrivals and query
 // registrations against group labels; at each load-check period the owner
 // reads the per-group samples, converts them to loads with a Model and resets
 // the rate counters for the next interval.

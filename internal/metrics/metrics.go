@@ -1,5 +1,6 @@
 // Package metrics provides the lightweight measurement primitives used by the
-// CLASH simulator and experiment harness: time series sampled on the
+// live overlay's status reporting, the experiment harness and the planned
+// simulator: time series sampled on the
 // simulation clock, summary statistics, and integer histograms (for the
 // workload key-frequency plots of Figure 3).
 package metrics
@@ -214,8 +215,8 @@ func (h *Histogram) SkewRatio() float64 {
 }
 
 // Table renders series as aligned text columns: one row per sample time of
-// the first series, one column per series. It is the rendering used by
-// cmd/clash-sim to print the paper's figures as text.
+// the first series, one column per series. It is the rendering the planned
+// simulator harness will use to print the paper's figures as text.
 func Table(header string, series ...*TimeSeries) string {
 	var b strings.Builder
 	b.WriteString(header)

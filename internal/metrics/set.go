@@ -1,0 +1,75 @@
+package metrics
+
+import "sync"
+
+// SetMaxPoints bounds each series in a Set: when a series reaches the limit,
+// the oldest half of its samples is discarded. A long-running overlay node
+// records a handful of samples per load-check period forever; without the
+// cap its memory and status payload would grow without bound.
+const SetMaxPoints = 4096
+
+// Set is a named collection of time series with internal synchronisation, so
+// concurrent producers (the overlay maintenance loop, connection handlers)
+// can record samples without coordinating. Series are created on first use
+// and keep their creation order for stable rendering; each series keeps at
+// most SetMaxPoints recent samples.
+//
+// TimeSeries itself stays unsynchronised for the single-owner simulator use;
+// Set is the concurrency boundary the live overlay records through.
+type Set struct {
+	mu     sync.Mutex
+	series map[string]*TimeSeries
+	order  []string
+}
+
+// NewSet creates an empty set.
+func NewSet() *Set {
+	return &Set{series: make(map[string]*TimeSeries)}
+}
+
+// Observe appends a sample to the named series, creating it if needed.
+func (s *Set) Observe(name string, t, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.series[name]
+	if !ok {
+		ts = NewTimeSeries(name)
+		s.series[name] = ts
+		s.order = append(s.order, name)
+	}
+	if len(ts.Points) >= SetMaxPoints {
+		// Drop the oldest half in place (amortised O(1) per sample).
+		kept := copy(ts.Points, ts.Points[len(ts.Points)/2:])
+		ts.Points = ts.Points[:kept]
+	}
+	ts.Append(t, v)
+}
+
+// Get returns a copy of the named series (nil when absent).
+func (s *Set) Get(name string) *TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.series[name]
+	if !ok {
+		return nil
+	}
+	return copySeries(ts)
+}
+
+// Snapshot returns copies of every series in creation order. The copies are
+// safe to marshal or mutate without racing the producers.
+func (s *Set) Snapshot() []TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TimeSeries, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, *copySeries(s.series[name]))
+	}
+	return out
+}
+
+func copySeries(ts *TimeSeries) *TimeSeries {
+	c := &TimeSeries{Name: ts.Name, Points: make([]Point, len(ts.Points))}
+	copy(c.Points, ts.Points)
+	return c
+}

@@ -1,0 +1,309 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/core"
+	"clash/internal/cq"
+)
+
+// Match is one continuous-query match pushed to the subscribing client.
+type Match struct {
+	// QueryID is the matched query.
+	QueryID string
+	// Key is the identifier key of the matching data packet.
+	Key bitkey.Key
+	// Attrs are the packet's attributes.
+	Attrs map[string]float64
+	// Payload is the packet's opaque payload.
+	Payload []byte
+}
+
+// matchBuffer is the client-side match channel capacity; deliveries beyond it
+// are dropped (and counted) rather than blocking the overlay's push path.
+const matchBuffer = 1024
+
+// Client is the CLASH client side: it resolves the depth of identifier keys
+// by probing through the overlay (paper §6's modified binary search), caches
+// (group → server) bindings in a core.Router, publishes data packets, and
+// registers continuous queries whose matches are pushed back to it.
+//
+// Client is safe for concurrent use; the router cache is shared across
+// goroutines so one connection's redirect teaches all the others.
+type Client struct {
+	tr      Transport
+	keyBits int
+	space   chord.Space
+	seeds   []string
+	router  *core.Router
+
+	lastDepth atomic.Int64
+	seedIdx   atomic.Int64
+	drops     atomic.Int64
+	matches   chan Match
+}
+
+// NewClient creates a client that reaches the overlay through the given seed
+// node addresses (any live overlay node works; more seeds add redundancy).
+// The client's transport endpoint receives match notifications.
+func NewClient(tr Transport, keyBits int, space chord.Space, seeds ...string) (*Client, error) {
+	if keyBits < 1 || keyBits > bitkey.MaxBits {
+		return nil, fmt.Errorf("%w: key bits %d", bitkey.ErrBadLength, keyBits)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("overlay: client needs at least one seed address")
+	}
+	c := &Client{
+		tr:      tr,
+		keyBits: keyBits,
+		space:   space,
+		seeds:   append([]string(nil), seeds...),
+		router:  core.NewRouter(keyBits),
+		matches: make(chan Match, matchBuffer),
+	}
+	tr.SetHandler(c.handle)
+	return c, nil
+}
+
+// Matches returns the channel match notifications are delivered on.
+func (c *Client) Matches() <-chan Match { return c.matches }
+
+// Drops returns how many match notifications were dropped because the match
+// channel was full.
+func (c *Client) Drops() int64 { return c.drops.Load() }
+
+// Router exposes the client's route cache (tests assert on learned bindings).
+func (c *Client) Router() *core.Router { return c.router }
+
+// Close closes the client's transport endpoint.
+func (c *Client) Close() error { return c.tr.Close() }
+
+// handle receives pushed match notifications.
+func (c *Client) handle(msgType string, payload []byte) ([]byte, error) {
+	if msgType != TypeMatch {
+		return nil, fmt.Errorf("unexpected message type %q", msgType)
+	}
+	var m matchMsg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, err
+	}
+	key, err := bitkey.Parse(m.Key)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case c.matches <- Match{QueryID: m.QueryID, Key: key, Attrs: m.Attrs, Payload: m.Payload}:
+	default:
+		c.drops.Add(1)
+	}
+	return nil, nil
+}
+
+// lookupOwner resolves the overlay node responsible for a virtual key by
+// asking a seed node to run the chord lookup. Seeds are rotated on failure.
+func (c *Client) lookupOwner(vk bitkey.Key) (string, error) {
+	h := c.space.HashBytes(vk.Bytes())
+	req, err := json.Marshal(findSuccessorMsg{ID: uint64(h)})
+	if err != nil {
+		return "", err
+	}
+	start := int(c.seedIdx.Load())
+	var lastErr error
+	for i := 0; i < len(c.seeds); i++ {
+		seed := c.seeds[(start+i)%len(c.seeds)]
+		reply, err := c.tr.Call(seed, TypeFindSuccessor, req)
+		if err != nil {
+			lastErr = err
+			c.seedIdx.Store(int64((start + i + 1) % len(c.seeds)))
+			continue
+		}
+		var ref nodeRefMsg
+		if err := json.Unmarshal(reply, &ref); err != nil {
+			return "", err
+		}
+		return ref.Addr, nil
+	}
+	return "", fmt.Errorf("overlay: no seed reachable: %w", lastErr)
+}
+
+// acceptObject sends one ACCEPT_OBJECT request and decodes the reply.
+func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
+	msg, err := json.Marshal(core.AcceptObjectMsg{
+		Key:     key.String(),
+		Depth:   depth,
+		Kind:    kind,
+		Payload: payload,
+	})
+	if err != nil {
+		return core.AcceptObjectResult{}, nil, err
+	}
+	raw, err := c.tr.Call(addr, TypeAcceptObject, msg)
+	if err != nil {
+		return core.AcceptObjectResult{}, nil, err
+	}
+	var reply core.AcceptObjectReplyMsg
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return core.AcceptObjectResult{}, nil, err
+	}
+	res := core.AcceptObjectResult{CorrectDepth: reply.CorrectDepth, DMin: reply.DMin}
+	switch reply.Status {
+	case core.StatusOK.String():
+		res.Status = core.StatusOK
+	case core.StatusOKCorrected.String():
+		res.Status = core.StatusOKCorrected
+	case core.StatusIncorrectDepth.String():
+		res.Status = core.StatusIncorrectDepth
+	default:
+		return core.AcceptObjectResult{}, nil, fmt.Errorf("overlay: unknown reply status %q", reply.Status)
+	}
+	if reply.Group != "" {
+		g, err := bitkey.ParseGroup(reply.Group)
+		if err != nil {
+			return core.AcceptObjectResult{}, nil, err
+		}
+		res.Group = g
+	}
+	return res, &reply, nil
+}
+
+// PublishResult summarises one delivered object.
+type PublishResult struct {
+	// Server is the overlay node that accepted the object.
+	Server string
+	// Group is the active key group that stores it.
+	Group bitkey.Group
+	// Probes is the number of ACCEPT_OBJECT probes the delivery took (1 on a
+	// cache hit).
+	Probes int
+	// Matches are the IDs of continuous queries the packet matched.
+	Matches []string
+}
+
+// deliver places one object: it tries the cached (group → server) binding
+// first and falls back to a full depth resolution on a miss or redirect. The
+// object payload rides on every probe and takes effect exactly once, on the
+// probe the responsible server answers with OK.
+func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (*PublishResult, error) {
+	if key.Bits != c.keyBits {
+		return nil, fmt.Errorf("%w: key %d bits, want %d", core.ErrBadKey, key.Bits, c.keyBits)
+	}
+	// Fast path: cached binding (paper §6 — "simply caches this server
+	// value").
+	if g, srv, ok := c.router.Route(key); ok {
+		res, reply, err := c.acceptObject(string(srv), key, g.Depth(), kind, payload)
+		switch {
+		case err != nil && !IsRemote(err):
+			// The cached server is gone; evict everything it owned.
+			c.router.ForgetServer(srv)
+		case err != nil:
+			c.router.Forget(g)
+		case res.Status == core.StatusOK || res.Status == core.StatusOKCorrected:
+			c.router.Learn(res.Group, srv)
+			c.lastDepth.Store(int64(res.CorrectDepth))
+			return &PublishResult{Server: string(srv), Group: res.Group, Probes: 1, Matches: reply.Matches}, nil
+		default:
+			// INCORRECT_DEPTH: the cached group moved or changed depth.
+			c.router.Forget(g)
+		}
+	}
+
+	// Slow path: the modified binary search over the depth, probing through
+	// the DHT.
+	var (
+		lastAddr    string
+		lastMatches []string
+	)
+	probe := func(d int) (core.AcceptObjectResult, error) {
+		prefix, err := key.Prefix(d)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		vk, err := bitkey.NewGroup(prefix).VirtualKey(c.keyBits)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		addr, err := c.lookupOwner(vk)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		res, reply, err := c.acceptObject(addr, key, d, kind, payload)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		if res.Status == core.StatusOK || res.Status == core.StatusOKCorrected {
+			lastAddr = addr
+			lastMatches = reply.Matches
+		}
+		return res, nil
+	}
+	rr, err := core.ResolveDepth(c.keyBits, int(c.lastDepth.Load()), core.SearchBinary, probe)
+	if err != nil {
+		return nil, err
+	}
+	c.router.Learn(rr.Group, core.ServerID(lastAddr))
+	c.lastDepth.Store(int64(rr.Depth))
+	return &PublishResult{Server: lastAddr, Group: rr.Group, Probes: rr.Probes, Matches: lastMatches}, nil
+}
+
+// Publish delivers one data packet to the overlay node responsible for its
+// identifier key and returns where it landed and which continuous queries it
+// matched.
+func (c *Client) Publish(key bitkey.Key, attrs map[string]float64, payload []byte) (*PublishResult, error) {
+	data, err := json.Marshal(dataMsg{Attrs: attrs, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(key, core.ObjectData, data)
+}
+
+// Register installs a continuous query on the overlay node responsible for
+// the query's identifier key. Matches are pushed to this client's transport
+// address and surface on Matches().
+func (c *Client) Register(q cq.Query) (*PublishResult, error) {
+	data, err := q.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(queryState{Query: data, Subscriber: c.tr.Addr()})
+	if err != nil {
+		return nil, err
+	}
+	ik, err := q.IdentifierKey(c.keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return c.deliver(ik, core.ObjectQuery, payload)
+}
+
+// Resolve runs a full depth resolution for a key (bypassing the cache) and
+// returns the search result. It is the probing primitive clashload uses to
+// measure resolution cost.
+func (c *Client) Resolve(key bitkey.Key) (core.ResolveResult, error) {
+	if key.Bits != c.keyBits {
+		return core.ResolveResult{}, fmt.Errorf("%w: key %d bits, want %d", core.ErrBadKey, key.Bits, c.keyBits)
+	}
+	probe := func(d int) (core.AcceptObjectResult, error) {
+		prefix, err := key.Prefix(d)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		vk, err := bitkey.NewGroup(prefix).VirtualKey(c.keyBits)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		addr, err := c.lookupOwner(vk)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		res, _, err := c.acceptObject(addr, key, d, core.ObjectData, nil)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		return res, nil
+	}
+	return core.ResolveDepth(c.keyBits, int(c.lastDepth.Load()), core.SearchBinary, probe)
+}

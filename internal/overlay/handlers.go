@@ -1,0 +1,261 @@
+package overlay
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/core"
+	"clash/internal/cq"
+)
+
+// handle is the node's inbound request dispatcher (installed on the
+// transport by NewNode).
+func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
+	switch msgType {
+	case TypeFindSuccessor:
+		return n.handleFindSuccessor(payload)
+	case TypePredecessor:
+		return json.Marshal(refToMsg(n.chord.PredecessorRef()))
+	case TypeNotify:
+		return n.handleNotify(payload)
+	case TypePing:
+		return nil, nil
+	case TypeAcceptObject:
+		return n.handleAcceptObject(payload)
+	case TypeAcceptKeyGroup:
+		return n.handleAcceptKeyGroup(payload)
+	case TypeLoadReport:
+		return n.handleLoadReport(payload)
+	case TypeReleaseKeyGroup:
+		return n.handleReleaseKeyGroup(payload)
+	case TypeChildMoved:
+		return n.handleChildMoved(payload)
+	case TypeStatus:
+		return json.Marshal(n.Status())
+	default:
+		return nil, fmt.Errorf("unknown message type %q", msgType)
+	}
+}
+
+func (n *Node) handleFindSuccessor(payload []byte) ([]byte, error) {
+	var req findSuccessorMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	ref, err := n.chord.FindSuccessor(chord.ID(req.ID))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(refToMsg(ref))
+}
+
+func (n *Node) handleNotify(payload []byte) ([]byte, error) {
+	var req notifyMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	n.chord.Notify(msgToRef(req.Candidate))
+	return nil, nil
+}
+
+// handleAcceptObject implements the server side of ACCEPT_OBJECT for both
+// object kinds: data packets are metered and matched against the stored
+// continuous queries (with async match push to subscribers); query
+// registrations are installed into the engine. Both only take effect when the
+// depth resolution has landed on the right server (status OK / OK_CORRECTED).
+func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
+	var req core.AcceptObjectMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	key, err := bitkey.Parse(req.Key)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.server.HandleAcceptObject(key, req.Depth)
+	if err != nil {
+		return nil, err
+	}
+	reply := core.AcceptObjectReplyMsg{Status: res.Status.String()}
+	switch res.Status {
+	case core.StatusOK, core.StatusOKCorrected:
+		reply.Group = res.Group.String()
+		reply.CorrectDepth = res.CorrectDepth
+	case core.StatusIncorrectDepth:
+		reply.DMin = res.DMin
+		return json.Marshal(reply)
+	}
+
+	switch req.Kind {
+	case core.ObjectData:
+		n.meter.RecordPackets(res.Group.String(), 1)
+		var data dataMsg
+		if len(req.Payload) > 0 {
+			if err := json.Unmarshal(req.Payload, &data); err != nil {
+				return nil, fmt.Errorf("bad data payload: %v", err)
+			}
+		}
+		ev := cq.Event{Key: key, Attrs: data.Attrs, Payload: data.Payload}
+		matched := n.engine.Match(ev)
+		for _, q := range matched {
+			reply.Matches = append(reply.Matches, q.ID)
+		}
+		n.pushMatches(matched, ev)
+	case core.ObjectQuery:
+		var st queryState
+		if err := json.Unmarshal(req.Payload, &st); err != nil {
+			return nil, fmt.Errorf("bad query payload: %v", err)
+		}
+		q, err := cq.UnmarshalQuery(st.Query)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.engine.Register(q); err != nil {
+			if !errors.Is(err, cq.ErrDuplicateQuery) {
+				return nil, err
+			}
+		} else {
+			n.meter.AddQueries(res.Group.String(), 1)
+		}
+		if st.Subscriber != "" {
+			n.mu.Lock()
+			n.subscribers[q.ID] = st.Subscriber
+			n.mu.Unlock()
+		}
+	}
+	return json.Marshal(reply)
+}
+
+// pushMatches delivers match notifications to the subscribers of the matched
+// queries, asynchronously so a slow subscriber never blocks the data path.
+func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
+	if len(matched) == 0 {
+		return
+	}
+	n.mu.Lock()
+	targets := make(map[string]string, len(matched))
+	for _, q := range matched {
+		if sub := n.subscribers[q.ID]; sub != "" {
+			targets[q.ID] = sub
+		}
+	}
+	n.mu.Unlock()
+	for id, sub := range targets {
+		payload, err := json.Marshal(matchMsg{
+			QueryID: id,
+			Key:     ev.Key.String(),
+			Attrs:   ev.Attrs,
+			Payload: ev.Payload,
+		})
+		if err != nil {
+			continue
+		}
+		n.wg.Add(1)
+		go func(sub string, payload []byte) {
+			defer n.wg.Done()
+			if _, err := n.tr.Call(sub, TypeMatch, payload); err != nil {
+				atomic.AddInt64(&n.matchDrops, 1)
+			}
+		}(sub, payload)
+	}
+}
+
+func (n *Node) handleAcceptKeyGroup(payload []byte) ([]byte, error) {
+	var req core.AcceptKeyGroupMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	g, err := bitkey.ParseGroup(req.Group)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.server.HandleAcceptKeyGroup(g, core.ServerID(req.Parent)); err != nil {
+		return nil, err
+	}
+	states := make([]queryState, 0, len(req.Queries))
+	for _, raw := range req.Queries {
+		var st queryState
+		if err := json.Unmarshal(raw, &st); err == nil {
+			states = append(states, st)
+		}
+	}
+	n.installQueries(states)
+	n.resetQueryCount(g)
+	return nil, nil
+}
+
+func (n *Node) handleLoadReport(payload []byte) ([]byte, error) {
+	var req core.LoadReportMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	g, err := bitkey.ParseGroup(req.Group)
+	if err != nil {
+		return nil, err
+	}
+	rep := core.LoadReport{
+		From:  core.ServerID(req.From),
+		To:    core.ServerID(n.Addr()),
+		Group: g,
+		Load:  req.Load,
+	}
+	// A stale report (the sender's view lags a merge or re-transfer) is not
+	// an error worth a failed reply; it is simply dropped.
+	_ = n.server.HandleLoadReport(rep, n.cfg.Clock())
+	return nil, nil
+}
+
+// handleChildMoved updates the holder of a transferred right child after the
+// overlay re-homed it to a different node.
+func (n *Node) handleChildMoved(payload []byte) ([]byte, error) {
+	var req childMovedMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	g, err := bitkey.ParseGroup(req.Group)
+	if err != nil {
+		return nil, err
+	}
+	// Stale notifications (the pair merged meanwhile) are dropped silently.
+	_ = n.server.HandleChildMoved(g, core.ServerID(req.Holder))
+	return nil, nil
+}
+
+// handleReleaseKeyGroup hands a key group (and its query state) back to the
+// reclaiming parent during consolidation.
+func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
+	var req core.ReleaseKeyGroupMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, err
+	}
+	g, err := bitkey.ParseGroup(req.Group)
+	if err != nil {
+		return nil, err
+	}
+	states := n.extractQueries(g)
+	if err := n.server.HandleRelease(g); err != nil {
+		// ErrUnknownGroup means this server holds nothing for the group (a
+		// previous release's reply was lost, or the group was re-homed):
+		// tell the parent it is gone so the merge can complete. Any other
+		// error (split further here) means the parent's view is stale.
+		n.installQueries(states)
+		return json.Marshal(core.ReleaseKeyGroupReplyMsg{
+			Group: req.Group,
+			OK:    false,
+			Error: err.Error(),
+			Gone:  errors.Is(err, core.ErrUnknownGroup),
+		})
+	}
+	n.meter.Drop(g.String())
+	reply := core.ReleaseKeyGroupReplyMsg{Group: req.Group, OK: true}
+	for _, st := range states {
+		if data, err := json.Marshal(st); err == nil {
+			reply.Queries = append(reply.Queries, data)
+		}
+	}
+	return json.Marshal(reply)
+}

@@ -1,0 +1,150 @@
+package overlay
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+)
+
+// MemNetwork is an in-memory transport fabric: endpoints created from the
+// same network reach each other by address without sockets. Every Call still
+// round-trips through the binary frame codec, so the serialisation path is
+// identical to TCP. Endpoints can be marked down to exercise failure handling,
+// and per-type call counts let tests assert on message complexity.
+type MemNetwork struct {
+	mu    sync.RWMutex
+	eps   map[string]*MemEndpoint
+	down  map[string]bool
+	calls map[string]int
+}
+
+// NewMemNetwork creates an empty fabric.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		eps:   make(map[string]*MemEndpoint),
+		down:  make(map[string]bool),
+		calls: make(map[string]int),
+	}
+}
+
+// Endpoint creates (or returns the existing) endpoint with the given address.
+func (n *MemNetwork) Endpoint(addr string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[addr]; ok {
+		return ep
+	}
+	ep := &MemEndpoint{net: n, addr: addr}
+	n.eps[addr] = ep
+	return ep
+}
+
+// SetDown marks an address unreachable (true) or reachable again (false).
+func (n *MemNetwork) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = down
+}
+
+// Calls returns how many requests of the given type crossed the fabric.
+func (n *MemNetwork) Calls(msgType string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.calls[msgType]
+}
+
+// route resolves the target endpoint, recording the call.
+func (n *MemNetwork) route(addr, msgType string) (*MemEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.calls[msgType]++
+	if n.down[addr] {
+		return nil, fmt.Errorf("%w: %s is down", ErrUnreachable, addr)
+	}
+	ep, ok := n.eps[addr]
+	if !ok || ep.isClosed() {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	return ep, nil
+}
+
+// MemEndpoint is one addressable endpoint of a MemNetwork.
+type MemEndpoint struct {
+	net  *MemNetwork
+	addr string
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Transport = (*MemEndpoint)(nil)
+
+// Addr implements Transport.
+func (e *MemEndpoint) Addr() string { return e.addr }
+
+// SetHandler implements Transport.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *MemEndpoint) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
+}
+
+// Close implements Transport.
+func (e *MemEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+// Call implements Transport. The request and reply both pass through the
+// frame codec so the encoded bytes are exactly what the TCP transport would
+// put on the wire; the handler runs synchronously on the caller's goroutine
+// without any fabric lock held, so re-entrant call chains (A→B→A) cannot
+// deadlock.
+func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	if e.isClosed() {
+		return nil, fmt.Errorf("%w: %s", ErrClosed, e.addr)
+	}
+	gotType, gotPayload, err := frameRoundTrip(msgType, payload)
+	if err != nil {
+		return nil, err
+	}
+	target, err := e.net.route(addr, gotType)
+	if err != nil {
+		return nil, err
+	}
+	target.mu.RLock()
+	h := target.handler
+	target.mu.RUnlock()
+	reply, herr := dispatch(h, gotType, gotPayload)
+	if herr != nil {
+		// Errors cross the wire as frameErr text, like on TCP.
+		_, msg, err := frameRoundTrip(frameErr, []byte(herr.Error()))
+		if err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Msg: string(msg)}
+	}
+	_, out, err := frameRoundTrip(frameOK, reply)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// frameRoundTrip encodes one frame and decodes it back, exercising the codec.
+func frameRoundTrip(msgType string, payload []byte) (string, []byte, error) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgType, payload); err != nil {
+		return "", nil, err
+	}
+	return readFrame(&buf)
+}

@@ -1,0 +1,612 @@
+package overlay
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/core"
+	"clash/internal/cq"
+	"clash/internal/load"
+	"clash/internal/metrics"
+)
+
+// Config parameterises an overlay node. The zero value is completed with
+// paper-faithful defaults by NewNode.
+type Config struct {
+	// KeyBits is the identifier key length N (default 24, the paper's).
+	KeyBits int
+	// Space is the chord identifier space (default chord.DefaultSpace()).
+	Space chord.Space
+	// Model converts per-group samples into load fractions (default
+	// load.DefaultModel(5000)).
+	Model load.Model
+	// Thresholds are the overload/underload trigger levels (default the
+	// paper's 90%/54%).
+	Thresholds load.Thresholds
+	// BootstrapDepth is the depth of the initial key-space partition a
+	// bootstrap node installs: 2^BootstrapDepth root groups (default 1).
+	BootstrapDepth int
+	// StabilizeInterval is how often Run performs chord maintenance
+	// (default 250ms).
+	StabilizeInterval time.Duration
+	// LoadCheckInterval is the measurement window and how often Run performs
+	// the load check (default 2s; the paper uses 5 minutes at its scale).
+	LoadCheckInterval time.Duration
+	// Clock supplies the node's time (default time.Now; tests inject one).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyBits == 0 {
+		c.KeyBits = 24
+	}
+	if c.Space.Bits == 0 {
+		c.Space = chord.DefaultSpace()
+	}
+	if c.Model.Capacity == 0 {
+		c.Model = load.DefaultModel(5000)
+	}
+	if c.Thresholds.Overload == 0 {
+		c.Thresholds = load.DefaultThresholds()
+	}
+	if c.BootstrapDepth == 0 {
+		c.BootstrapDepth = 1
+	}
+	if c.StabilizeInterval == 0 {
+		c.StabilizeInterval = 250 * time.Millisecond
+	}
+	if c.LoadCheckInterval == 0 {
+		c.LoadCheckInterval = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// pendingTransfer is an ACCEPT_KEYGROUP delivery that failed and is retried
+// on subsequent load checks (the table already recorded the split, so until
+// delivery succeeds the keys of the group are unowned).
+type pendingTransfer struct {
+	transfer core.Transfer
+	queries  []queryState
+}
+
+// pendingReclaim is a consolidation attempt whose RELEASE_KEYGROUP exchange
+// failed at the transport level; the outcome on the holder is unknown, so the
+// attempt is retried until it resolves or the budget runs out.
+type pendingReclaim struct {
+	prop     core.MergeProposal
+	attempts int
+}
+
+// Node is one live CLASH overlay node: a chord protocol node, the CLASH
+// protocol state machine, the continuous-query engine and the load meter,
+// wired to a Transport and driven by the caller-owned maintenance loop (Run,
+// or Tick/LoadCheck directly for deterministic tests).
+type Node struct {
+	cfg    Config
+	tr     Transport
+	chord  *chord.Node
+	server *core.Server
+	engine *cq.Engine
+	meter  *load.Meter
+	series *metrics.Set
+	start  time.Time
+
+	mu          sync.Mutex
+	subscribers map[string]string // query id → subscriber transport addr
+	pending     []pendingTransfer
+	reclaims    []pendingReclaim
+	matchDrops  int64
+
+	wg sync.WaitGroup
+}
+
+// NewNode creates a node on the given transport and installs its request
+// handler. The node starts as a singleton ring with an empty work table; call
+// BootstrapRoots on the first node of an overlay and Join on every other.
+func NewNode(tr Transport, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Thresholds.Validate(); err != nil {
+		return nil, err
+	}
+	server, err := core.NewServer(core.ServerID(tr.Addr()), cfg.KeyBits,
+		core.WithMaxSplitRetries(splitRetryBudget))
+	if err != nil {
+		return nil, err
+	}
+	engine, err := cq.NewEngine(cfg.KeyBits)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:         cfg,
+		tr:          tr,
+		chord:       chord.NewNode(tr.Addr(), cfg.Space, &transportRPC{tr: tr}),
+		server:      server,
+		engine:      engine,
+		meter:       load.NewMeter(cfg.LoadCheckInterval.Seconds()),
+		series:      metrics.NewSet(),
+		start:       cfg.Clock(),
+		subscribers: make(map[string]string),
+	}
+	tr.SetHandler(n.handle)
+	return n, nil
+}
+
+// Addr returns the node's transport address (its identity).
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Server exposes the CLASH state machine (read-mostly use by tests and the
+// status endpoint).
+func (n *Node) Server() *core.Server { return n.server }
+
+// Engine exposes the continuous-query engine.
+func (n *Node) Engine() *cq.Engine { return n.engine }
+
+// Series exposes the node's metrics set.
+func (n *Node) Series() *metrics.Set { return n.series }
+
+// Close stops background deliveries and closes the transport.
+func (n *Node) Close() error {
+	err := n.tr.Close()
+	n.wg.Wait()
+	return err
+}
+
+// BootstrapRoots installs the initial partition of the key space: all
+// 2^BootstrapDepth groups at BootstrapDepth, anchored on this node. A fresh
+// overlay calls it exactly once (on the node started without a join target);
+// as other nodes join the ring, the ownership reconciliation in LoadCheck
+// hands each root group to the node its virtual key maps to.
+func (n *Node) BootstrapRoots() error {
+	depth := n.cfg.BootstrapDepth
+	for v := uint64(0); v < 1<<uint(depth); v++ {
+		g := bitkey.NewGroup(bitkey.Key{Value: v, Bits: depth})
+		if err := n.server.Bootstrap(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Join joins the overlay through the node at bootstrap and runs an immediate
+// stabilization round so the ring learns about us quickly.
+func (n *Node) Join(bootstrap string) error {
+	ref := chord.NodeRef{Addr: bootstrap, ID: n.cfg.Space.HashString(bootstrap)}
+	if err := n.chord.Join(ref); err != nil {
+		return err
+	}
+	if err := n.chord.Stabilize(); err != nil {
+		return err
+	}
+	return n.chord.FixAllFingers()
+}
+
+// Tick runs one round of chord maintenance. The owner (Run, or a test) calls
+// it periodically.
+func (n *Node) Tick() {
+	_ = n.chord.Stabilize()
+	n.chord.CheckPredecessor()
+	_ = n.chord.FixFingers()
+}
+
+// Run drives the maintenance loop until ctx is cancelled: chord stabilization
+// every StabilizeInterval and the CLASH load check every LoadCheckInterval.
+func (n *Node) Run(ctx context.Context) {
+	stab := time.NewTicker(n.cfg.StabilizeInterval)
+	defer stab.Stop()
+	check := time.NewTicker(n.cfg.LoadCheckInterval)
+	defer check.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stab.C:
+			n.Tick()
+		case <-check.C:
+			n.LoadCheck(n.cfg.Clock())
+		}
+	}
+}
+
+// mapGroup resolves Map(f(k')) for a virtual key through the live chord ring.
+func (n *Node) mapGroup(vk bitkey.Key) (core.ServerID, error) {
+	ref, err := n.chord.FindSuccessor(n.cfg.Space.HashBytes(vk.Bytes()))
+	if err != nil {
+		return core.NoServer, err
+	}
+	return core.ServerID(ref.Addr), nil
+}
+
+// LoadCheck runs one CLASH load-check period (paper §5): it retries pending
+// transfers, reconciles group ownership with the current ring, converts the
+// meter's samples into per-group loads, splits the hottest group when
+// overloaded (with a real ACCEPT_KEYGROUP transfer), sends load reports to
+// parents, consolidates cold sibling pairs, and records the metrics series.
+func (n *Node) LoadCheck(now time.Time) {
+	n.retryPending()
+	n.reconcileOwnership()
+
+	samples := n.meter.Snapshot()
+	for _, g := range n.server.ActiveGroups() {
+		_ = n.server.SetGroupLoad(g, n.cfg.Model.Load(samples[g.String()]))
+	}
+	ranked := load.Rank(n.cfg.Model, samples)
+	total := n.server.TotalLoad()
+
+	if n.cfg.Thresholds.IsOverloaded(total) {
+		n.trySplit()
+	}
+	n.sendLoadReports()
+	n.tryMerge(now)
+	n.record(now, total, ranked)
+}
+
+// splitRetryBudget bounds how often a split re-extends a self-mapped right
+// child; it is passed to core.NewServer and mirrored by the target
+// precomputation in trySplit.
+const splitRetryBudget = 16
+
+// precomputeSplitTargets resolves the DHT mappings a split of g can need
+// before ExecuteSplit runs, so no network I/O happens while the server
+// mutex is held (ExecuteSplit calls its MapFunc with the table locked, and a
+// slow peer would otherwise stall the whole data path). The candidate right
+// children of a split are deterministic — g+"1", g+"11", ... while each maps
+// back to this server — so the walk stops at the first foreign target.
+func (n *Node) precomputeSplitTargets(g bitkey.Group) core.MapFunc {
+	self := core.ServerID(n.Addr())
+	targets := make(map[bitkey.Key]core.ServerID)
+	cur := g
+	for i := 0; i <= splitRetryBudget && cur.Depth() < n.cfg.KeyBits; i++ {
+		_, right, err := cur.Split()
+		if err != nil {
+			break
+		}
+		vk, err := right.VirtualKey(n.cfg.KeyBits)
+		if err != nil {
+			break
+		}
+		target, err := n.mapGroup(vk)
+		if err != nil {
+			break
+		}
+		targets[vk] = target
+		if target != self {
+			break
+		}
+		cur = right
+	}
+	return func(vk bitkey.Key) (core.ServerID, error) {
+		if t, ok := targets[vk]; ok {
+			return t, nil
+		}
+		return core.NoServer, errors.New("overlay: split target not resolved")
+	}
+}
+
+// trySplit splits the hottest active group and delivers the resulting
+// ACCEPT_KEYGROUP transfer (with extracted query state) over the wire.
+func (n *Node) trySplit() {
+	g, _, ok := n.server.HottestActiveGroup()
+	if !ok {
+		return
+	}
+	res, err := n.server.ExecuteSplit(g, n.precomputeSplitTargets(g))
+	if err != nil {
+		// ErrMaxDepth / ErrSplitExhausted / DHT failure: nothing left the
+		// server; try again next period.
+		return
+	}
+	n.meter.Drop(res.Split.String())
+	n.resetQueryCount(res.Kept)
+	for _, tr := range res.Transfers {
+		if tr.To == core.ServerID(n.Addr()) {
+			continue
+		}
+		n.deliverTransfer(tr, n.extractQueries(tr.Group))
+	}
+}
+
+// extractQueries removes the queries stored in g (with their subscriber
+// addresses) for state transfer.
+func (n *Node) extractQueries(g bitkey.Group) []queryState {
+	qs := n.engine.ExtractGroup(g)
+	if len(qs) == 0 {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]queryState, 0, len(qs))
+	for _, q := range qs {
+		data, err := q.Marshal()
+		if err != nil {
+			continue
+		}
+		out = append(out, queryState{Query: data, Subscriber: n.subscribers[q.ID]})
+		delete(n.subscribers, q.ID)
+	}
+	return out
+}
+
+// installQueries registers transferred query state locally.
+func (n *Node) installQueries(states []queryState) {
+	for _, st := range states {
+		q, err := cq.UnmarshalQuery(st.Query)
+		if err != nil {
+			continue
+		}
+		if err := n.engine.Register(q); err != nil && !errors.Is(err, cq.ErrDuplicateQuery) {
+			continue
+		}
+		if st.Subscriber != "" {
+			n.mu.Lock()
+			n.subscribers[q.ID] = st.Subscriber
+			n.mu.Unlock()
+		}
+	}
+}
+
+// resetQueryCount re-derives the meter's stored-query count for a group from
+// the engine (labels change across splits and merges).
+func (n *Node) resetQueryCount(g bitkey.Group) {
+	n.meter.SetQueries(g.String(), len(n.engine.QueriesInGroup(g)))
+}
+
+// acceptKeyGroupPayload builds the ACCEPT_KEYGROUP wire payload for a group
+// transfer carrying the extracted query state.
+func acceptKeyGroupPayload(g bitkey.Group, parent core.ServerID, states []queryState) ([]byte, error) {
+	msg := core.AcceptKeyGroupMsg{Group: g.String(), Parent: string(parent)}
+	for _, st := range states {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return nil, err
+		}
+		msg.Queries = append(msg.Queries, data)
+	}
+	return json.Marshal(msg)
+}
+
+// deliverTransfer sends one ACCEPT_KEYGROUP message; on failure the transfer
+// is parked and retried next load check (the receiving handler is idempotent).
+func (n *Node) deliverTransfer(tr core.Transfer, states []queryState) {
+	payload, err := acceptKeyGroupPayload(tr.Group, tr.Parent, states)
+	if err != nil {
+		return
+	}
+	if _, err := n.tr.Call(string(tr.To), TypeAcceptKeyGroup, payload); err != nil {
+		if !IsRemote(err) {
+			// Transport failure: park and retry. A remote refusal (the peer
+			// already split the group further) means an earlier delivery
+			// landed, so retrying would be wrong.
+			n.mu.Lock()
+			n.pending = append(n.pending, pendingTransfer{transfer: tr, queries: states})
+			n.mu.Unlock()
+		}
+		return
+	}
+	n.meter.Drop(tr.Group.String())
+}
+
+// retryPending re-attempts parked ACCEPT_KEYGROUP deliveries.
+func (n *Node) retryPending() {
+	n.mu.Lock()
+	pending := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	for _, p := range pending {
+		n.deliverTransfer(p.transfer, p.queries)
+	}
+}
+
+// reconcileOwnership hands active groups whose virtual key no longer maps to
+// this node over to the current owner. This is what keeps the CLASH layer
+// consistent with the DHT as nodes join: the successor of a group's hash
+// point changes, and the group (with its query state) must follow. Transfers
+// reuse ACCEPT_KEYGROUP, preserving the parent linkage, and the parent is
+// told about the new holder (TypeChildMoved) so consolidation of the pair
+// keeps working. A re-homed left child cannot be merged by its parent (the
+// parent's merge logic needs the left leaf locally); such pairs simply stay
+// split until a future tree-repair pass.
+func (n *Node) reconcileOwnership() {
+	self := core.ServerID(n.Addr())
+	for _, e := range n.server.Entries() {
+		if !e.Active {
+			continue
+		}
+		vk, err := e.Group.VirtualKey(n.cfg.KeyBits)
+		if err != nil {
+			continue
+		}
+		owner, err := n.mapGroup(vk)
+		if err != nil || owner == self {
+			continue
+		}
+		// Release before sending: a failed release means the snapshot is
+		// stale (a concurrent RELEASE_KEYGROUP or merge already removed the
+		// entry), and sending anyway would make the range active on two
+		// nodes at once.
+		states := n.extractQueries(e.Group)
+		if err := n.server.HandleRelease(e.Group); err != nil {
+			n.installQueries(states)
+			continue
+		}
+		payload, perr := acceptKeyGroupPayload(e.Group, e.Parent, states)
+		if perr == nil {
+			_, err = n.tr.Call(string(owner), TypeAcceptKeyGroup, payload)
+		} else {
+			err = perr
+		}
+		if err != nil {
+			// The call failed: take the group back so its range stays
+			// served. If the request did reach the owner (only the reply
+			// was lost), the group is briefly active on both nodes; that is
+			// transient — ownership is deterministic, so the next
+			// reconciliation pass re-runs this transfer and the owner's
+			// idempotent accept collapses the duplicate.
+			if aerr := n.server.HandleAcceptKeyGroup(e.Group, e.Parent); aerr == nil {
+				n.installQueries(states)
+			}
+			continue
+		}
+		n.meter.Drop(e.Group.String())
+		n.notifyChildMoved(e, owner)
+	}
+}
+
+// notifyChildMoved tells the parent of a re-homed right child who holds it
+// now, so the parent accepts the new holder's load reports and reclaims the
+// group from the right place at merge time. Best effort: a missed update
+// only stalls consolidation of that pair.
+func (n *Node) notifyChildMoved(e core.Entry, newHolder core.ServerID) {
+	if e.Parent == core.NoServer || e.Group.Depth() == 0 || e.Group.IsLeftChild() {
+		return
+	}
+	if e.Parent == core.ServerID(n.Addr()) {
+		_ = n.server.HandleChildMoved(e.Group, newHolder)
+		return
+	}
+	payload, err := json.Marshal(childMovedMsg{Group: e.Group.String(), Holder: string(newHolder)})
+	if err != nil {
+		return
+	}
+	_, _ = n.tr.Call(string(e.Parent), TypeChildMoved, payload)
+}
+
+// sendLoadReports delivers this period's leaf→parent load reports.
+func (n *Node) sendLoadReports() {
+	for _, rep := range n.server.LoadReports() {
+		payload, err := json.Marshal(core.LoadReportMsg{
+			Group: rep.Group.String(),
+			Load:  rep.Load,
+			From:  string(rep.From),
+		})
+		if err != nil {
+			continue
+		}
+		// Best effort: a missed report only delays consolidation.
+		_, _ = n.tr.Call(string(rep.To), TypeLoadReport, payload)
+	}
+}
+
+// tryMerge executes at most one consolidation per period: a parked reclaim
+// whose outcome is still unknown, or else the coldest eligible sibling pair.
+// A remote right child is reclaimed with a RELEASE_KEYGROUP exchange that
+// carries the child's query state back.
+func (n *Node) tryMerge(now time.Time) {
+	n.mu.Lock()
+	parked := n.reclaims
+	n.reclaims = nil
+	n.mu.Unlock()
+	if len(parked) > 0 {
+		n.reclaim(parked[0], now)
+		return
+	}
+	props := n.server.PlanMerges(n.cfg.Thresholds.Underload, now)
+	if len(props) == 0 {
+		return
+	}
+	n.reclaim(pendingReclaim{prop: props[0]}, now)
+}
+
+// reclaimRetryBudget bounds how often an unanswered RELEASE_KEYGROUP is
+// retried before the reclaim is abandoned (the pair then simply stays split
+// until a later load check proposes it again).
+const reclaimRetryBudget = 10
+
+// reclaim performs one consolidation attempt. A RELEASE_KEYGROUP whose reply
+// is lost leaves the outcome unknown — the remote may or may not have
+// released the group — so the attempt is parked and retried: on retry the
+// release either succeeds normally or reports the group gone (released by
+// the earlier attempt), in which case the merge completes without state.
+func (n *Node) reclaim(r pendingReclaim, now time.Time) {
+	prop := r.prop
+	self := core.ServerID(n.Addr())
+	var returned []queryState
+	if prop.RightHolder != self {
+		payload, err := json.Marshal(core.ReleaseKeyGroupMsg{
+			Group:  prop.RightChild.String(),
+			Parent: n.Addr(),
+		})
+		if err != nil {
+			return
+		}
+		reply, err := n.tr.Call(string(prop.RightHolder), TypeReleaseKeyGroup, payload)
+		if err != nil {
+			if !IsRemote(err) && r.attempts < reclaimRetryBudget {
+				r.attempts++
+				n.mu.Lock()
+				n.reclaims = append(n.reclaims, r)
+				n.mu.Unlock()
+			}
+			return
+		}
+		var rel core.ReleaseKeyGroupReplyMsg
+		if err := json.Unmarshal(reply, &rel); err != nil {
+			return
+		}
+		if !rel.OK && !rel.Gone {
+			// The holder's view disagrees (the child was split further):
+			// abort the merge.
+			return
+		}
+		// rel.Gone: the holder released the group on an earlier attempt
+		// whose reply was lost; its query state is gone with that reply, so
+		// complete the merge without state rather than leave the key range
+		// unowned.
+		for _, raw := range rel.Queries {
+			var st queryState
+			if err := json.Unmarshal(raw, &st); err == nil {
+				returned = append(returned, st)
+			}
+		}
+	}
+	res, err := n.server.ExecuteMerge(prop.Parent, now)
+	if err != nil {
+		// The remote no longer holds the child but the merge bookkeeping
+		// failed (e.g. the entry mutated concurrently): re-accept the child
+		// locally so its key range stays served, and point the parent entry
+		// at ourselves for a later local merge.
+		if prop.RightHolder != self {
+			if aerr := n.server.HandleAcceptKeyGroup(prop.RightChild, self); aerr == nil {
+				_ = n.server.HandleChildMoved(prop.RightChild, self)
+				n.installQueries(returned)
+			}
+		}
+		return
+	}
+	n.installQueries(returned)
+	left, right, serr := res.Merged.Split()
+	if serr == nil {
+		n.meter.Drop(left.String())
+		n.meter.Drop(right.String())
+	}
+	n.resetQueryCount(res.Merged)
+}
+
+// record appends this period's samples to the metrics series: total load,
+// hottest-group load from the ranking, table/engine sizes and the cumulative
+// protocol counters.
+func (n *Node) record(now time.Time, total float64, ranked []load.GroupLoad) {
+	t := now.Sub(n.start).Seconds()
+	n.series.Observe("load.total", t, total)
+	if len(ranked) > 0 {
+		n.series.Observe("load.hottest", t, ranked[0].Load)
+	}
+	n.series.Observe("groups.active", t, float64(len(n.server.ActiveGroups())))
+	n.series.Observe("queries.stored", t, float64(n.engine.Len()))
+	ctr := n.server.Counters()
+	n.series.Observe("counter.splits", t, float64(ctr.Splits))
+	n.series.Observe("counter.merges", t, float64(ctr.Merges))
+	n.series.Observe("counter.groups_accepted", t, float64(ctr.GroupsAccepted))
+	n.series.Observe("counter.groups_released", t, float64(ctr.GroupsReleased))
+	n.series.Observe("counter.objects_ok", t, float64(ctr.ObjectsOK))
+	n.series.Observe("counter.objects_corrected", t, float64(ctr.ObjectsCorrect))
+	n.series.Observe("counter.objects_wrong", t, float64(ctr.ObjectsWrong))
+}

@@ -1,0 +1,75 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clash/internal/chord"
+)
+
+// transportRPC implements chord.RPC by sending framed JSON requests through a
+// Transport. Any transport failure surfaces as chord.ErrNodeDown so the chord
+// maintenance logic treats it as a peer failure and repairs around it.
+type transportRPC struct {
+	tr Transport
+}
+
+var _ chord.RPC = (*transportRPC)(nil)
+
+func refToMsg(r chord.NodeRef) nodeRefMsg { return nodeRefMsg{Addr: r.Addr, ID: uint64(r.ID)} }
+func msgToRef(m nodeRefMsg) chord.NodeRef { return chord.NodeRef{Addr: m.Addr, ID: chord.ID(m.ID)} }
+
+// call marshals req, performs the exchange and unmarshals into resp (which
+// may be nil for fire-and-forget replies).
+func (c *transportRPC) call(addr, msgType string, req, resp any) error {
+	var payload []byte
+	if req != nil {
+		var err error
+		payload, err = json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("overlay: marshal %s: %w", msgType, err)
+		}
+	}
+	reply, err := c.tr.Call(addr, msgType, payload)
+	if err != nil {
+		if IsRemote(err) {
+			return err
+		}
+		return fmt.Errorf("%w: %s (%v)", chord.ErrNodeDown, addr, err)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(reply, resp); err != nil {
+		return fmt.Errorf("overlay: unmarshal %s reply: %w", msgType, err)
+	}
+	return nil
+}
+
+// FindSuccessor implements chord.RPC.
+func (c *transportRPC) FindSuccessor(ref chord.NodeRef, id chord.ID) (chord.NodeRef, error) {
+	var resp nodeRefMsg
+	if err := c.call(ref.Addr, TypeFindSuccessor, findSuccessorMsg{ID: uint64(id)}, &resp); err != nil {
+		return chord.NodeRef{}, err
+	}
+	return msgToRef(resp), nil
+}
+
+// Predecessor implements chord.RPC.
+func (c *transportRPC) Predecessor(ref chord.NodeRef) (chord.NodeRef, error) {
+	var resp nodeRefMsg
+	if err := c.call(ref.Addr, TypePredecessor, nil, &resp); err != nil {
+		return chord.NodeRef{}, err
+	}
+	return msgToRef(resp), nil
+}
+
+// Notify implements chord.RPC.
+func (c *transportRPC) Notify(ref chord.NodeRef, candidate chord.NodeRef) error {
+	return c.call(ref.Addr, TypeNotify, notifyMsg{Candidate: refToMsg(candidate)}, nil)
+}
+
+// Ping implements chord.RPC.
+func (c *transportRPC) Ping(ref chord.NodeRef) error {
+	return c.call(ref.Addr, TypePing, nil, nil)
+}

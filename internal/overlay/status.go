@@ -1,0 +1,66 @@
+package overlay
+
+import (
+	"sync/atomic"
+
+	"clash/internal/core"
+	"clash/internal/metrics"
+)
+
+// Status is a JSON-marshalable snapshot of one overlay node, served by
+// clashd's HTTP status endpoint and by the TypeStatus wire request.
+type Status struct {
+	// Addr is the node's transport address / identity.
+	Addr string `json:"addr"`
+	// ChordID is the node's position on the identifier circle.
+	ChordID uint64 `json:"chordId"`
+	// Predecessor is the current predecessor address ("" when unknown).
+	Predecessor string `json:"predecessor,omitempty"`
+	// Successors is the successor list, nearest first.
+	Successors []string `json:"successors"`
+	// ActiveGroups lists the key groups this node currently manages.
+	ActiveGroups []string `json:"activeGroups"`
+	// TotalLoad is the node's load fraction at the last load check.
+	TotalLoad float64 `json:"totalLoad"`
+	// Queries is the number of continuous queries stored here.
+	Queries int `json:"queries"`
+	// PendingTransfers counts parked ACCEPT_KEYGROUP deliveries.
+	PendingTransfers int `json:"pendingTransfers"`
+	// MatchDrops counts match notifications that could not be delivered.
+	MatchDrops int64 `json:"matchDrops"`
+	// Counters are the cumulative protocol counters.
+	Counters core.Counters `json:"counters"`
+	// Series are the node's metrics time series (load, group counts,
+	// counters per load-check period).
+	Series []metrics.TimeSeries `json:"series"`
+}
+
+// Status captures the node's current state.
+func (n *Node) Status() Status {
+	succs := n.chord.Successors()
+	succAddrs := make([]string, len(succs))
+	for i, s := range succs {
+		succAddrs[i] = s.Addr
+	}
+	groups := n.server.ActiveGroups()
+	labels := make([]string, len(groups))
+	for i, g := range groups {
+		labels[i] = g.String()
+	}
+	n.mu.Lock()
+	pending := len(n.pending)
+	n.mu.Unlock()
+	return Status{
+		Addr:             n.Addr(),
+		ChordID:          uint64(n.chord.Self().ID),
+		Predecessor:      n.chord.PredecessorRef().Addr,
+		Successors:       succAddrs,
+		ActiveGroups:     labels,
+		TotalLoad:        n.server.TotalLoad(),
+		Queries:          n.engine.Len(),
+		PendingTransfers: pending,
+		MatchDrops:       atomic.LoadInt64(&n.matchDrops),
+		Counters:         n.server.Counters(),
+		Series:           n.series.Snapshot(),
+	}
+}

@@ -1,0 +1,279 @@
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Timeouts for the TCP transport. Dial and per-call deadlines keep a dead
+// peer from wedging the maintenance loop; the idle deadline reaps server-side
+// connections whose client went away.
+const (
+	tcpDialTimeout = 3 * time.Second
+	tcpCallTimeout = 10 * time.Second
+	tcpIdleTimeout = 5 * time.Minute
+	// tcpPoolSize bounds the idle outbound connections kept per remote
+	// address.
+	tcpPoolSize = 4
+	// tcpPoolIdle is how long an outbound connection may sit in the pool
+	// before it is discarded instead of reused. It is far below the
+	// server-side tcpIdleTimeout so a pooled connection is never handed out
+	// after the peer's reaper may have closed it (a write into such a
+	// connection "succeeds" into the dead socket buffer and cannot safely be
+	// retried).
+	tcpPoolIdle = time.Minute
+)
+
+// idleConn is one pooled outbound connection with its pool-entry time.
+type idleConn struct {
+	conn net.Conn
+	at   time.Time
+}
+
+// TCPTransport is the production transport: one listening socket answering
+// framed requests, plus a small pool of outbound connections per peer.
+// Requests multiplex one-per-frame: each connection carries a sequence of
+// request/reply exchanges (a stale pooled connection is retried once on a
+// fresh dial before the Call fails).
+type TCPTransport struct {
+	ln   net.Listener
+	addr string
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	serving map[net.Conn]struct{}
+	idle    map[string][]idleConn
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// ListenTCP binds a TCP transport and starts its accept loop. Pass an address
+// with port 0 to let the kernel choose (the chosen address is what Addr
+// returns and therefore the node's identity — use an address peers can reach).
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		serving: make(map[net.Conn]struct{}),
+		idle:    make(map[string][]idleConn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCPTransport) Addr() string { return t.addr }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Close implements Transport: it stops the accept loop and closes every open
+// connection, then waits for the per-connection goroutines to drain.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	for c := range t.serving {
+		c.Close()
+	}
+	for _, conns := range t.idle {
+		for _, c := range conns {
+			c.conn.Close()
+		}
+	}
+	t.idle = make(map[string][]idleConn)
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.serving[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn answers framed requests on one inbound connection until the peer
+// hangs up, a protocol error occurs, or the idle deadline passes.
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.serving, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout))
+		msgType, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		reply, herr := dispatch(h, msgType, payload)
+		_ = conn.SetWriteDeadline(time.Now().Add(tcpCallTimeout))
+		if herr != nil {
+			if err := writeFrame(conn, frameErr, []byte(herr.Error())); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(conn, frameOK, reply); err != nil {
+			return
+		}
+	}
+}
+
+// getConn returns a pooled idle connection to addr, or dials a new one.
+// pooled reports whether the connection came from the pool (and may be stale).
+func (t *TCPTransport) getConn(addr string) (conn net.Conn, pooled bool, err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
+	}
+	var expired []net.Conn
+	for conns := t.idle[addr]; len(conns) > 0; conns = t.idle[addr] {
+		last := conns[len(conns)-1]
+		t.idle[addr] = conns[:len(conns)-1]
+		if time.Since(last.at) > tcpPoolIdle {
+			expired = append(expired, last.conn)
+			continue
+		}
+		t.mu.Unlock()
+		for _, c := range expired {
+			c.Close()
+		}
+		return last.conn, true, nil
+	}
+	t.mu.Unlock()
+	for _, c := range expired {
+		c.Close()
+	}
+	conn, err = net.DialTimeout("tcp", addr, tcpDialTimeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	return conn, false, nil
+}
+
+// putConn returns a healthy connection to the pool (or closes it when full or
+// when the transport has shut down).
+func (t *TCPTransport) putConn(addr string, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.idle[addr]) >= tcpPoolSize {
+		conn.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], idleConn{conn: conn, at: time.Now()})
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	conn, pooled, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, rerr, wrote, err := t.exchange(conn, addr, msgType, payload)
+	if err != nil && pooled && !wrote {
+		// The pooled connection died while idle and the request never made
+		// it out; retry once on a fresh dial. If the request was written,
+		// the server may have executed it, and blindly resending would
+		// duplicate non-idempotent messages (ACCEPT_OBJECT) — surface the
+		// error instead.
+		conn, _, derr := t.getConnFresh(addr)
+		if derr != nil {
+			return nil, derr
+		}
+		reply, rerr, _, err = t.exchange(conn, addr, msgType, payload)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	return reply, nil
+}
+
+// getConnFresh always dials (bypassing the pool).
+func (t *TCPTransport) getConnFresh(addr string) (net.Conn, bool, error) {
+	if t.isClosed() {
+		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	return conn, false, nil
+}
+
+// exchange performs one request/reply on conn. A returned *RemoteError keeps
+// the connection healthy (it goes back to the pool); an I/O error closes it.
+// wrote reports whether any of the request may have reached the peer (the
+// caller must not blindly retry in that case).
+func (t *TCPTransport) exchange(conn net.Conn, addr, msgType string, payload []byte) (reply []byte, rerr *RemoteError, wrote bool, err error) {
+	deadline := time.Now().Add(tcpCallTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := writeFrame(conn, msgType, payload); err != nil {
+		conn.Close()
+		return nil, nil, false, err
+	}
+	replyType, replyPayload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, nil, true, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	switch replyType {
+	case frameOK:
+		t.putConn(addr, conn)
+		return replyPayload, nil, true, nil
+	case frameErr:
+		t.putConn(addr, conn)
+		return nil, &RemoteError{Msg: string(replyPayload)}, true, nil
+	default:
+		conn.Close()
+		return nil, nil, true, fmt.Errorf("%w: reply type %q", ErrBadFrame, replyType)
+	}
+}

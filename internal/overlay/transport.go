@@ -1,0 +1,69 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport errors.
+var (
+	// ErrUnreachable is returned by Call when the remote endpoint cannot be
+	// reached (connection refused, endpoint down, transport closed).
+	ErrUnreachable = errors.New("overlay: endpoint unreachable")
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("overlay: transport closed")
+)
+
+// RemoteError is an application-level error returned by the remote handler
+// (as opposed to a transport failure). The remote message survives the wire;
+// the remote error chain does not.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "overlay: remote error: " + e.Msg }
+
+// IsRemote reports whether err is an application error relayed from the
+// remote handler rather than a transport failure.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Handler processes one inbound request frame and returns the reply payload.
+// Returning an error sends a frameErr reply carrying the error text; the
+// error never tears down the connection.
+type Handler func(msgType string, payload []byte) ([]byte, error)
+
+// Transport is the messaging substrate an overlay node or client runs on:
+// a listening endpoint with an address peers can Call, plus the outbound Call
+// primitive. Implementations must be safe for concurrent use.
+//
+// Two implementations exist: MemNetwork endpoints for deterministic in-process
+// tests and TCPTransport for real deployments. Both speak the same framed wire
+// protocol (wire.go).
+type Transport interface {
+	// Addr returns the endpoint's address, which doubles as its identity:
+	// the chord ring position is the hash of this address and the CLASH
+	// ServerID is the address itself.
+	Addr() string
+	// SetHandler installs the inbound request handler. It must be called
+	// before the first Call can be answered; installing nil drops requests
+	// with an error reply.
+	SetHandler(h Handler)
+	// Call sends one request frame to addr and waits for the reply frame.
+	// It returns ErrUnreachable (wrapped) on transport failure and a
+	// *RemoteError when the remote handler returned an error.
+	Call(addr, msgType string, payload []byte) ([]byte, error)
+	// Close releases the endpoint. Outstanding and future Calls fail.
+	Close() error
+}
+
+// dispatch invokes h if non-nil, standardising the nil-handler error.
+func dispatch(h Handler, msgType string, payload []byte) ([]byte, error) {
+	if h == nil {
+		return nil, fmt.Errorf("no handler installed")
+	}
+	return h(msgType, payload)
+}

@@ -1,0 +1,196 @@
+package overlay
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		msgType string
+		payload []byte
+	}{
+		{TypePing, nil},
+		{TypeAcceptObject, []byte(`{"key":"0101","depth":2}`)},
+		{frameOK, []byte{}},
+		{frameErr, []byte("boom")},
+		{strings.Repeat("t", 255), bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, tc.msgType, tc.payload); err != nil {
+			t.Fatalf("writeFrame(%q): %v", tc.msgType, err)
+		}
+		gotType, gotPayload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame(%q): %v", tc.msgType, err)
+		}
+		if gotType != tc.msgType {
+			t.Errorf("type = %q, want %q", gotType, tc.msgType)
+		}
+		if !bytes.Equal(gotPayload, tc.payload) {
+			t.Errorf("payload mismatch for %q: got %d bytes, want %d", tc.msgType, len(gotPayload), len(tc.payload))
+		}
+	}
+}
+
+func TestFrameRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, "", nil); err == nil {
+		t.Error("writeFrame accepted empty message type")
+	}
+	if err := writeFrame(&buf, strings.Repeat("x", 256), nil); err == nil {
+		t.Error("writeFrame accepted 256-byte message type")
+	}
+	// An advertised body larger than the limit must be rejected before any
+	// allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := readFrame(bytes.NewReader(append(huge, 0x01))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("readFrame(huge) = %v, want ErrFrameTooLarge", err)
+	}
+	// A type length pointing past the body is malformed.
+	var bad bytes.Buffer
+	if err := writeFrame(&bad, "ab", nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := bad.Bytes()
+	raw[4] = 200 // type length > body
+	if _, _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("readFrame(bad type len) = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestMemTransportCallAndFailures(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	b.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
+		if msgType == "fail" {
+			return nil, fmt.Errorf("handler says no")
+		}
+		return append([]byte("echo:"), payload...), nil
+	})
+
+	reply, err := a.Call("b", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Errorf("reply = %q", reply)
+	}
+	if net.Calls("echo") != 1 {
+		t.Errorf("Calls(echo) = %d, want 1", net.Calls("echo"))
+	}
+
+	if _, err := a.Call("b", "fail", nil); !IsRemote(err) {
+		t.Errorf("remote handler error = %v, want RemoteError", err)
+	}
+	if _, err := a.Call("missing", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("call to unknown endpoint = %v, want ErrUnreachable", err)
+	}
+	net.SetDown("b", true)
+	if _, err := a.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("call to down endpoint = %v, want ErrUnreachable", err)
+	}
+	net.SetDown("b", false)
+	if _, err := a.Call("b", "echo", nil); err != nil {
+		t.Errorf("call after SetDown(false): %v", err)
+	}
+}
+
+func TestTCPTransportCall(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
+		switch msgType {
+		case "fail":
+			return nil, fmt.Errorf("nope")
+		default:
+			return append([]byte(msgType+":"), payload...), nil
+		}
+	})
+
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	reply, err := cli.Call(srv.Addr(), "echo", []byte("over tcp"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "echo:over tcp" {
+		t.Errorf("reply = %q", reply)
+	}
+
+	// An application error must not poison the pooled connection.
+	if _, err := cli.Call(srv.Addr(), "fail", nil); !IsRemote(err) {
+		t.Errorf("remote error = %v, want RemoteError", err)
+	}
+	if _, err := cli.Call(srv.Addr(), "echo", nil); err != nil {
+		t.Errorf("call after remote error: %v", err)
+	}
+
+	// Concurrent callers share the pool without corrupting frames.
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			reply, err := cli.Call(srv.Addr(), "echo", msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(reply) != "echo:"+string(msg) {
+				errs <- fmt.Errorf("reply %q for %q", reply, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if _, err := cli.Call("127.0.0.1:1", "echo", nil); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("dial refused = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPTransportClose(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetHandler(func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(srv.Addr(), "x", nil); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Errorf("client Close: %v", err)
+	}
+	if _, err := cli.Call(srv.Addr(), "x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Call after Close = %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("server Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

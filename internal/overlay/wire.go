@@ -1,0 +1,161 @@
+// Package overlay is the live CLASH overlay: it wires the transport-agnostic
+// protocol pieces (chord.Node, core.Server, cq.Engine, load.Meter) into
+// networked nodes and clients exchanging real messages.
+//
+// The wire protocol is deliberately simple: every message is one
+// length-prefixed binary frame carrying a short ASCII message type and a JSON
+// payload. Each request frame is answered by exactly one reply frame whose
+// type is either frameOK (payload = JSON reply) or frameErr (payload = error
+// string). The same framing is used by the TCP transport and — byte for byte —
+// by the in-memory transport, so deterministic tests exercise the exact
+// encoding that production traffic uses.
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire message types. The clash.* types correspond one-to-one to the protocol
+// messages in internal/core/messages.go; the chord.* types carry the chord.RPC
+// surface; the reply pseudo-types close each exchange.
+const (
+	// TypeFindSuccessor asks a node to resolve the successor of a hash point.
+	TypeFindSuccessor = "chord.find_successor"
+	// TypePredecessor asks a node for its current predecessor.
+	TypePredecessor = "chord.predecessor"
+	// TypeNotify tells a node about a possible predecessor.
+	TypeNotify = "chord.notify"
+	// TypePing checks liveness.
+	TypePing = "chord.ping"
+
+	// TypeAcceptObject carries a data packet or query registration
+	// (core.MsgAcceptObject).
+	TypeAcceptObject = "clash.accept_object"
+	// TypeAcceptKeyGroup transfers a key group and its query state
+	// (core.MsgAcceptKeyGroup).
+	TypeAcceptKeyGroup = "clash.accept_keygroup"
+	// TypeLoadReport is the periodic leaf→parent load report
+	// (core.MsgLoadReport).
+	TypeLoadReport = "clash.load_report"
+	// TypeReleaseKeyGroup reclaims a key group during consolidation
+	// (core.MsgReleaseKeyGroup).
+	TypeReleaseKeyGroup = "clash.release_keygroup"
+	// TypeMatch pushes a continuous-query match to the subscriber that
+	// registered the query.
+	TypeMatch = "clash.match"
+	// TypeChildMoved tells the parent of a transferred right child that the
+	// child group was re-homed to a different server (DHT ownership change),
+	// so load reports from the new holder are accepted and consolidation
+	// keeps working.
+	TypeChildMoved = "clash.child_moved"
+	// TypeStatus returns a node's JSON status snapshot.
+	TypeStatus = "clash.status"
+
+	// frameOK and frameErr are the two reply frame types.
+	frameOK  = "+ok"
+	frameErr = "-err"
+)
+
+// maxFrameSize bounds a single frame (type + payload) to keep a malformed or
+// hostile peer from forcing an unbounded allocation.
+const maxFrameSize = 16 << 20
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge is returned when a frame exceeds maxFrameSize.
+	ErrFrameTooLarge = errors.New("overlay: frame exceeds size limit")
+	// ErrBadFrame is returned when a frame is structurally invalid.
+	ErrBadFrame = errors.New("overlay: malformed frame")
+)
+
+// writeFrame writes one frame: a 4-byte big-endian body length, a 1-byte
+// message-type length, the message type, and the payload.
+func writeFrame(w io.Writer, msgType string, payload []byte) error {
+	if len(msgType) == 0 || len(msgType) > 255 {
+		return fmt.Errorf("%w: message type length %d", ErrBadFrame, len(msgType))
+	}
+	body := 1 + len(msgType) + len(payload)
+	if body > maxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	buf := make([]byte, 4+body)
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
+	buf[4] = byte(len(msgType))
+	copy(buf[5:], msgType)
+	copy(buf[5+len(msgType):], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame written by writeFrame.
+func readFrame(r io.Reader) (msgType string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if body > maxFrameSize {
+		return "", nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	}
+	if body < 1 {
+		return "", nil, fmt.Errorf("%w: empty body", ErrBadFrame)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	tl := int(buf[0])
+	if tl == 0 || 1+tl > len(buf) {
+		return "", nil, fmt.Errorf("%w: type length %d in %d-byte body", ErrBadFrame, tl, len(buf))
+	}
+	return string(buf[1 : 1+tl]), buf[1+tl:], nil
+}
+
+// nodeRefMsg is the JSON form of a chord.NodeRef.
+type nodeRefMsg struct {
+	Addr string `json:"addr"`
+	ID   uint64 `json:"id"`
+}
+
+// findSuccessorMsg is the payload of TypeFindSuccessor.
+type findSuccessorMsg struct {
+	ID uint64 `json:"id"`
+}
+
+// notifyMsg is the payload of TypeNotify.
+type notifyMsg struct {
+	Candidate nodeRefMsg `json:"candidate"`
+}
+
+// dataMsg is the application payload of a kind=data ACCEPT_OBJECT: the
+// attribute map the continuous-query predicates evaluate plus the opaque
+// record.
+type dataMsg struct {
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+	Payload []byte             `json:"payload,omitempty"`
+}
+
+// queryState is the application payload of a kind=query ACCEPT_OBJECT and the
+// per-query unit of state transfer: the serialised cq.Query plus the transport
+// address match notifications are pushed to.
+type queryState struct {
+	Query      []byte `json:"query"`
+	Subscriber string `json:"subscriber,omitempty"`
+}
+
+// childMovedMsg is the payload of TypeChildMoved.
+type childMovedMsg struct {
+	Group  string `json:"group"`
+	Holder string `json:"holder"`
+}
+
+// matchMsg is the payload of TypeMatch.
+type matchMsg struct {
+	QueryID string             `json:"queryId"`
+	Key     string             `json:"key"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+	Payload []byte             `json:"payload,omitempty"`
+}

@@ -179,6 +179,20 @@ func NewKeyGenerator(spec Spec, rng *rand.Rand) (*KeyGenerator, error) {
 // Spec returns the generator's workload spec.
 func (g *KeyGenerator) Spec() Spec { return g.spec }
 
+// Clone returns an independent generator for the same spec drawing from its
+// own PRNG stream seeded with seed. The clone shares the (read-only)
+// precomputed distribution tables with its parent, so cloning is cheap; a
+// concurrent load generator gives every connection its own clone instead of
+// serialising all sources on one *rand.Rand.
+func (g *KeyGenerator) Clone(seed int64) *KeyGenerator {
+	return &KeyGenerator{
+		spec:    g.spec,
+		rng:     rand.New(rand.NewSource(seed)),
+		cum:     g.cum,
+		weights: g.weights,
+	}
+}
+
 // BaseDistribution returns the probability of each base value (the normalised
 // Figure 3 curve).
 func (g *KeyGenerator) BaseDistribution() []float64 {

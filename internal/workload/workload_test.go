@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -225,4 +226,57 @@ func TestPaperSchedule(t *testing.T) {
 	if empty.Duration() != 0 || empty.KindAt(0) != WorkloadA {
 		t.Error("empty schedule defaults wrong")
 	}
+}
+
+func TestCloneIndependentStreams(t *testing.T) {
+	root := mustGen(t, WorkloadB, 1)
+
+	// Same seed → identical stream, independent of the parent's state.
+	a, b := root.Clone(7), root.Clone(7)
+	for i := 0; i < 1000; i++ {
+		if ka, kb := a.Next(), b.Next(); !ka.Equal(kb) {
+			t.Fatalf("clones with equal seeds diverged at %d: %v vs %v", i, ka, kb)
+		}
+	}
+	// Different seeds → different streams.
+	c, d := root.Clone(1), root.Clone(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Next().Equal(d.Next()) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("clones with different seeds coincided on %d/1000 keys", same)
+	}
+	// The clone preserves the spec and the skew profile.
+	if c.Spec() != root.Spec() {
+		t.Errorf("clone spec = %+v, want %+v", c.Spec(), root.Spec())
+	}
+	pRoot, pClone := root.BaseDistribution(), c.BaseDistribution()
+	for i := range pRoot {
+		if pRoot[i] != pClone[i] {
+			t.Fatalf("clone base distribution differs at %d", i)
+		}
+	}
+}
+
+func TestCloneConcurrentUse(t *testing.T) {
+	root := mustGen(t, WorkloadC, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := root.Clone(int64(w))
+			for i := 0; i < 2000; i++ {
+				_ = g.Next()
+				if i%100 == 0 {
+					_ = g.NextStreamLength()
+					_ = g.NextQueryLifetime()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
