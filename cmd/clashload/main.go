@@ -12,8 +12,14 @@
 //
 //	clashload -inproc 3 -packets 10000 -workload B -out BENCH_overlay.json
 //
-// Every connection draws keys from its own workload.KeyGenerator clone, so
-// the sources are independent streams rather than one shared PRNG.
+// With -batch N every worker ships its packets in N-object ACCEPT_BATCH
+// frames through Client.PublishBatch instead of one frame per packet.
+//
+// Call latency is recorded in an HDR-style bucketed histogram
+// (metrics.LatencyHist — no per-call allocation), so the reported p50/p95/p99
+// stay exact-shaped at millions of packets. Every connection draws keys from
+// its own workload.KeyGenerator clone, so the sources are independent
+// streams rather than one shared PRNG.
 package main
 
 import (
@@ -44,6 +50,7 @@ type benchConfig struct {
 	Seeds    string `json:"seeds,omitempty"`
 	Conns    int    `json:"conns"`
 	Packets  int    `json:"packets"`
+	Batch    int    `json:"batch,omitempty"`
 	Queries  int    `json:"queries"`
 	Workload string `json:"workload"`
 	KeyBits  int    `json:"key_bits"`
@@ -59,15 +66,16 @@ type nodeSnapshot struct {
 }
 
 type benchResults struct {
-	PacketsOK       int             `json:"packets_ok"`
-	Errors          int             `json:"errors"`
-	ElapsedSeconds  float64         `json:"elapsed_seconds"`
-	ThroughputPPS   float64         `json:"throughput_pps"`
-	LatencyUS       metrics.Summary `json:"latency_us"`
-	ProbesPerPacket float64         `json:"probes_per_packet"`
-	MatchesInline   int64           `json:"matches_inline"`
-	MatchesPushed   int64           `json:"matches_pushed"`
-	Nodes           []nodeSnapshot  `json:"overlay,omitempty"`
+	PacketsOK       int                    `json:"packets_ok"`
+	Errors          int                    `json:"errors"`
+	ElapsedSeconds  float64                `json:"elapsed_seconds"`
+	ThroughputPPS   float64                `json:"throughput_pps"`
+	LatencyUS       metrics.Summary        `json:"latency_us"`
+	ProbesPerPacket float64                `json:"probes_per_packet"`
+	MatchesInline   int64                  `json:"matches_inline"`
+	MatchesPushed   int64                  `json:"matches_pushed"`
+	Transport       overlay.TransportStats `json:"transport"`
+	Nodes           []nodeSnapshot         `json:"overlay,omitempty"`
 }
 
 type benchOut struct {
@@ -82,6 +90,7 @@ func main() {
 		inproc    = flag.Int("inproc", 0, "boot an N-node in-process overlay instead of connecting out")
 		conns     = flag.Int("conns", 8, "concurrent connections (each with its own key-generator clone)")
 		packets   = flag.Int("packets", 10000, "total data packets to publish")
+		batch     = flag.Int("batch", 0, "publish in N-packet ACCEPT_BATCH frames (0 = one frame per packet)")
 		queries   = flag.Int("queries", 16, "continuous queries to register before driving traffic")
 		kindFlag  = flag.String("workload", "B", "workload kind: A, B or C")
 		keyBits   = flag.Int("keybits", workload.DefaultKeyBits, "identifier key length N")
@@ -91,7 +100,7 @@ func main() {
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
 	)
 	flag.Parse()
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *randSeed, *out); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *randSeed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -110,7 +119,7 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string, keyBits int, capacity, streamLen float64, randSeed int64, out string) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, randSeed int64, out string) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -130,9 +139,13 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 		conns = 1
 	}
 
+	if batch < 0 {
+		batch = 0
+	}
 	cfg := benchConfig{
 		Conns:    conns,
 		Packets:  packets,
+		Batch:    batch,
 		Queries:  queries,
 		Workload: kind.String(),
 		KeyBits:  keyBits,
@@ -213,13 +226,14 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 	}
 
 	// Drive the packets from conns independent workers, each with its own
-	// generator clone (per-source PRNG streams).
+	// generator clone (per-source PRNG streams) and its own latency
+	// histogram (merged at the end; Record never allocates).
 	type workerResult struct {
-		latencies []float64
-		ok        int
-		errs      int
-		probes    int
-		matches   int64
+		hist    *metrics.LatencyHist
+		ok      int
+		errs    int
+		probes  int
+		matches int64
 	}
 	results := make([]workerResult, conns)
 	var wg sync.WaitGroup
@@ -235,9 +249,30 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 			gen := qgen.Clone(randSeed + int64(w) + 1)
 			attrRng := rand.New(rand.NewSource(randSeed + int64(w) + 1000))
 			res := &results[w]
-			res.latencies = make([]float64, 0, per)
+			res.hist = metrics.NewLatencyHist()
 			var key bitkey.Key
 			streamLeft := 0
+			var pending []overlay.BatchItem
+			flush := func() {
+				if len(pending) == 0 {
+					return
+				}
+				t0 := time.Now()
+				prs, errs := client.PublishBatch(pending)
+				// One histogram sample per batch frame: the latency a
+				// batched producer observes per flush.
+				res.hist.Record(time.Since(t0).Microseconds())
+				for i := range pending {
+					if errs[i] != nil {
+						res.errs++
+						continue
+					}
+					res.ok++
+					res.probes += prs[i].Probes
+					res.matches += int64(len(prs[i].Matches))
+				}
+				pending = pending[:0]
+			}
 			for i := 0; i < per; i++ {
 				if streamLeft == 0 {
 					key = gen.Next()
@@ -245,17 +280,25 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 				}
 				streamLeft--
 				attrs := map[string]float64{"speed": attrRng.Float64() * 100}
+				if batch > 0 {
+					pending = append(pending, overlay.BatchItem{Key: key, Attrs: attrs})
+					if len(pending) >= batch {
+						flush()
+					}
+					continue
+				}
 				t0 := time.Now()
 				pr, err := client.Publish(key, attrs, nil)
 				if err != nil {
 					res.errs++
 					continue
 				}
-				res.latencies = append(res.latencies, float64(time.Since(t0).Microseconds()))
+				res.hist.Record(time.Since(t0).Microseconds())
 				res.ok++
 				res.probes += pr.Probes
 				res.matches += int64(len(pr.Matches))
 			}
+			flush()
 		}(w, per)
 	}
 	wg.Wait()
@@ -264,11 +307,11 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 	// counter.
 	time.Sleep(200 * time.Millisecond)
 
-	var all []float64
+	hist := metrics.NewLatencyHist()
 	agg := workerResult{}
 	for i := range results {
 		r := &results[i]
-		all = append(all, r.latencies...)
+		hist.Merge(r.hist)
 		agg.ok += r.ok
 		agg.errs += r.errs
 		agg.probes += r.probes
@@ -279,9 +322,10 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 		PacketsOK:      agg.ok,
 		Errors:         agg.errs,
 		ElapsedSeconds: elapsed.Seconds(),
-		LatencyUS:      metrics.Summarize(all),
+		LatencyUS:      hist.Summary(),
 		MatchesInline:  agg.matches,
 		MatchesPushed:  atomic.LoadInt64(&pushed),
+		Transport:      clientTr.Stats(),
 	}
 	if elapsed > 0 {
 		res.ThroughputPPS = float64(agg.ok) / elapsed.Seconds()
@@ -301,14 +345,21 @@ func run(seedAddrs string, inproc, conns, packets, queries int, kindFlag string,
 		})
 	}
 
-	fmt.Printf("clashload: workload %s, %d conns, %d packets (%d queries registered)\n",
-		kind, conns, packets, registered)
+	batchNote := ""
+	if batch > 0 {
+		batchNote = fmt.Sprintf(", batch %d", batch)
+	}
+	fmt.Printf("clashload: workload %s, %d conns, %d packets%s (%d queries registered)\n",
+		kind, conns, packets, batchNote, registered)
 	fmt.Printf("  ok=%d errors=%d elapsed=%.2fs throughput=%.0f pkt/s\n",
 		res.PacketsOK, res.Errors, res.ElapsedSeconds, res.ThroughputPPS)
 	fmt.Printf("  latency µs: p50=%.0f p95=%.0f p99=%.0f max=%.0f (mean %.0f)\n",
 		res.LatencyUS.P50, res.LatencyUS.P95, res.LatencyUS.P99, res.LatencyUS.Max, res.LatencyUS.Mean)
 	fmt.Printf("  probes/packet=%.3f matches inline=%d pushed=%d (dropped %d)\n",
 		res.ProbesPerPacket, res.MatchesInline, res.MatchesPushed, client.Drops())
+	ts := res.Transport
+	fmt.Printf("  transport: frames in=%d out=%d bytes in=%d out=%d in-flight=%d reconnects=%d oversized=%d\n",
+		ts.FramesIn, ts.FramesOut, ts.BytesIn, ts.BytesOut, ts.InFlight, ts.Reconnects, ts.OversizedDrops)
 	for _, n := range res.Nodes {
 		fmt.Printf("  node %s: groups=%d splits=%d merges=%d accepted=%d released=%d\n",
 			n.Addr, len(n.ActiveGroups), n.Splits, n.Merges, n.Accepted, n.Released)

@@ -1,18 +1,25 @@
 package core
 
 // Wire message names and payloads for the CLASH protocol. The live overlay
-// (internal/overlay) serialises these as JSON over its transport; the planned
+// (internal/overlay) serialises these with the hand-rolled binary codec in
+// wire.go (MarshalWire/UnmarshalWire); the JSON tags are retained for the
+// legacy baseline benchmark and for human-readable dumps. The planned
 // discrete-event simulator will only count them. Keeping the definitions here
 // makes the protocol surface visible in one place and lets both drivers share
 // the same vocabulary when accounting for signaling overhead (paper §6.3).
+//
+// Identifier keys and key groups travel as (value, bits) pairs — the binary
+// representation internal/bitkey uses natively — rather than the binary-digit
+// strings of the original JSON protocol, so the hot encode path never renders
+// or parses strings.
 
 // MessageType enumerates the CLASH protocol messages.
 type MessageType string
 
 // Protocol message types. The first three appear verbatim in the paper; the
 // remaining ones are the signaling the paper describes without naming
-// (load reports for consolidation, reclaiming a key group, and per-query
-// state transfer during splits).
+// (load reports for consolidation, reclaiming a key group, per-query state
+// transfer during splits, and the vectored ACCEPT_OBJECT batch).
 const (
 	// MsgAcceptObject carries a data object or query insert from a client
 	// (identifier key + estimated depth).
@@ -20,6 +27,9 @@ const (
 	// MsgAcceptObjectReply is the server's OK / OK-corrected /
 	// INCORRECT_DEPTH response.
 	MsgAcceptObjectReply MessageType = "ACCEPT_OBJECT_REPLY"
+	// MsgAcceptBatch carries a vector of ACCEPT_OBJECT bodies in one frame
+	// (the batched publish path).
+	MsgAcceptBatch MessageType = "ACCEPT_BATCH"
 	// MsgAcceptKeyGroup transfers responsibility for a key group from an
 	// overloaded parent to its right-child server.
 	MsgAcceptKeyGroup MessageType = "ACCEPT_KEYGROUP"
@@ -38,8 +48,10 @@ const (
 
 // AcceptObjectMsg is the payload of MsgAcceptObject.
 type AcceptObjectMsg struct {
-	// Key is the full N-bit identifier key rendered as a binary string.
-	Key string `json:"key"`
+	// KeyValue and KeyBits are the full N-bit identifier key (right-aligned
+	// value + length, the bitkey.Key representation).
+	KeyValue uint64 `json:"keyValue"`
+	KeyBits  int    `json:"keyBits"`
 	// Depth is the client's estimated depth.
 	Depth int `json:"depth"`
 	// Kind distinguishes data packets from query registrations.
@@ -61,19 +73,38 @@ const (
 
 // AcceptObjectReplyMsg is the payload of MsgAcceptObjectReply.
 type AcceptObjectReplyMsg struct {
-	Status       string `json:"status"`
-	Group        string `json:"group,omitempty"`
+	// Status is the numeric Status (StatusOK / StatusOKCorrected /
+	// StatusIncorrectDepth); 0 marks a per-item failure inside a batch reply,
+	// with Error carrying the text.
+	Status       Status `json:"status"`
+	GroupValue   uint64 `json:"groupValue,omitempty"`
+	GroupBits    int    `json:"groupBits,omitempty"`
 	CorrectDepth int    `json:"correctDepth,omitempty"`
 	DMin         int    `json:"dmin,omitempty"`
 	// Matches carries the IDs of continuous queries matched by a data packet
 	// (filled by the overlay's query engine).
 	Matches []string `json:"matches,omitempty"`
+	// Error is the per-item failure text inside a batch reply (Status 0).
+	Error string `json:"error,omitempty"`
+}
+
+// AcceptBatchMsg is the payload of MsgAcceptBatch: a vector of ACCEPT_OBJECT
+// bodies processed under one server-table lock acquisition.
+type AcceptBatchMsg struct {
+	Objects []AcceptObjectMsg `json:"objects"`
+}
+
+// AcceptBatchReplyMsg is the reply to MsgAcceptBatch: one AcceptObjectReplyMsg
+// per object, in request order.
+type AcceptBatchReplyMsg struct {
+	Replies []AcceptObjectReplyMsg `json:"replies"`
 }
 
 // AcceptKeyGroupMsg is the payload of MsgAcceptKeyGroup.
 type AcceptKeyGroupMsg struct {
-	Group  string `json:"group"`
-	Parent string `json:"parent"`
+	GroupValue uint64 `json:"groupValue"`
+	GroupBits  int    `json:"groupBits"`
+	Parent     string `json:"parent"`
 	// Queries carries the serialised continuous queries whose keys fall in
 	// the transferred group (the application state migrated at split time).
 	Queries [][]byte `json:"queries,omitempty"`
@@ -81,14 +112,16 @@ type AcceptKeyGroupMsg struct {
 
 // LoadReportMsg is the payload of MsgLoadReport.
 type LoadReportMsg struct {
-	Group string  `json:"group"`
-	Load  float64 `json:"load"`
-	From  string  `json:"from"`
+	GroupValue uint64  `json:"groupValue"`
+	GroupBits  int     `json:"groupBits"`
+	Load       float64 `json:"load"`
+	From       string  `json:"from"`
 }
 
 // ReleaseKeyGroupMsg is the payload of MsgReleaseKeyGroup.
 type ReleaseKeyGroupMsg struct {
-	Group string `json:"group"`
+	GroupValue uint64 `json:"groupValue"`
+	GroupBits  int    `json:"groupBits"`
 	// Parent identifies the reclaiming server so the child can verify the
 	// request.
 	Parent string `json:"parent"`
@@ -96,10 +129,11 @@ type ReleaseKeyGroupMsg struct {
 
 // ReleaseKeyGroupReplyMsg returns the child's state for the reclaimed group.
 type ReleaseKeyGroupReplyMsg struct {
-	Group   string   `json:"group"`
-	Queries [][]byte `json:"queries,omitempty"`
-	OK      bool     `json:"ok"`
-	Error   string   `json:"error,omitempty"`
+	GroupValue uint64   `json:"groupValue"`
+	GroupBits  int      `json:"groupBits"`
+	Queries    [][]byte `json:"queries,omitempty"`
+	OK         bool     `json:"ok"`
+	Error      string   `json:"error,omitempty"`
 	// Gone reports that the server has no entry for the group at all — it
 	// released it earlier (e.g. the reply to a previous RELEASE_KEYGROUP was
 	// lost in transit) or re-homed it. The reclaiming parent may complete

@@ -165,6 +165,30 @@ func (s *Server) Validate() error {
 func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.acceptObjectLocked(k, estimatedDepth)
+}
+
+// HandleAcceptObjectBatch processes a vector of ACCEPT_OBJECT requests under
+// a single table-lock acquisition (the server side of the batched publish
+// path). results[i] and errs[i] describe keys[i]; a per-item validation
+// failure fills errs[i] and leaves results[i] zero without affecting the
+// other items.
+func (s *Server) HandleAcceptObjectBatch(keys []bitkey.Key, depths []int) (results []AcceptObjectResult, errs []error) {
+	if len(depths) != len(keys) {
+		panic("clash: batch keys/depths length mismatch")
+	}
+	results = make([]AcceptObjectResult, len(keys))
+	errs = make([]error, len(keys))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		results[i], errs[i] = s.acceptObjectLocked(k, depths[i])
+	}
+	return results, errs
+}
+
+// acceptObjectLocked is the ACCEPT_OBJECT state machine; s.mu must be held.
+func (s *Server) acceptObjectLocked(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
 	if k.Bits != s.table.KeyBits() {
 		return AcceptObjectResult{}, fmt.Errorf("%w: key %d bits, want %d", ErrBadKey, k.Bits, s.table.KeyBits())
 	}

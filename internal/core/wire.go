@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"clash/internal/wirecodec"
+)
+
+// Hand-rolled binary codec for the CLASH protocol messages: append-style
+// MarshalWire growing a caller-owned buffer (zero allocations steady-state
+// when the buffer comes from wirecodec.GetBuf) and UnmarshalWire decoding
+// from a frame payload.
+//
+// Compatibility rules (documented in the README "Wire protocol" section):
+// fields are encoded in declaration order; within one frame-header version,
+// fields may only ever be appended, and decoders ignore unrecognised
+// trailing bytes. Any incompatible change bumps the frame-header version
+// byte instead.
+
+// wireKeyBitsMax bounds the declared bit length of keys and groups on the
+// wire (bitkey.MaxBits mirrored here to keep the codec self-contained).
+const wireKeyBitsMax = 64
+
+func appendKey(b []byte, value uint64, bits int) []byte {
+	b = wirecodec.AppendInt(b, bits)
+	return wirecodec.AppendUvarint(b, value)
+}
+
+func readKey(r *wirecodec.Reader) (value uint64, bits int) {
+	bits = r.Int()
+	value = r.Uvarint()
+	return value, bits
+}
+
+// checkKey validates a decoded (value, bits) pair: the length must be in
+// range and the value must fit in it, mirroring bitkey.New.
+func checkKey(value uint64, bits int) error {
+	if bits < 0 || bits > wireKeyBitsMax {
+		return fmt.Errorf("%w: key bits %d", wirecodec.ErrInvalid, bits)
+	}
+	if bits < wireKeyBitsMax && value>>uint(bits) != 0 {
+		return fmt.Errorf("%w: key value %#x overflows %d bits", wirecodec.ErrInvalid, value, bits)
+	}
+	return nil
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *AcceptObjectMsg) MarshalWire(b []byte) []byte {
+	b = appendKey(b, m.KeyValue, m.KeyBits)
+	b = wirecodec.AppendInt(b, m.Depth)
+	b = wirecodec.AppendInt(b, int(m.Kind))
+	return wirecodec.AppendBytes(b, m.Payload)
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+// The Payload aliases data.
+func (m *AcceptObjectMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.KeyValue, m.KeyBits = readKey(r)
+	m.Depth = r.Int()
+	m.Kind = ObjectKind(r.Int())
+	m.Payload = r.Bytes()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.KeyValue, m.KeyBits)
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *AcceptObjectReplyMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendInt(b, int(m.Status))
+	b = appendKey(b, m.GroupValue, m.GroupBits)
+	b = wirecodec.AppendInt(b, m.CorrectDepth)
+	b = wirecodec.AppendInt(b, m.DMin)
+	b = wirecodec.AppendInt(b, len(m.Matches))
+	for _, id := range m.Matches {
+		b = wirecodec.AppendString(b, id)
+	}
+	return wirecodec.AppendString(b, m.Error)
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+func (m *AcceptObjectReplyMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.Status = Status(r.Int())
+	m.GroupValue, m.GroupBits = readKey(r)
+	m.CorrectDepth = r.Int()
+	m.DMin = r.Int()
+	n := r.Int()
+	m.Matches = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Matches = append(m.Matches, r.String())
+	}
+	m.Error = r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.GroupValue, m.GroupBits)
+}
+
+// MarshalWire appends the binary encoding of m to b. Each object is encoded
+// by the same per-object encoder as the single-object message (so the two
+// layouts can never drift apart) and carried as a length-prefixed record,
+// which keeps the append-only field-evolution rule valid for nested
+// messages too: an old reader skips a new writer's appended fields because
+// the record length tells it where the next object starts. The scratch
+// record buffer comes from the codec pool, so steady-state encoding stays
+// allocation-free.
+func (m *AcceptBatchMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendInt(b, len(m.Objects))
+	scratch := wirecodec.GetBuf()
+	for i := range m.Objects {
+		scratch = m.Objects[i].MarshalWire(scratch[:0])
+		b = wirecodec.AppendBytes(b, scratch)
+	}
+	wirecodec.PutBuf(scratch)
+	return b
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+// Object payloads alias data.
+func (m *AcceptBatchMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		// Each object costs at least one byte on the wire, so a count beyond
+		// the remaining input is hostile; reject before allocating.
+		return fmt.Errorf("%w: batch of %d in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Objects = m.Objects[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		var o AcceptObjectMsg
+		if err := o.UnmarshalWire(rec); err != nil {
+			return err
+		}
+		m.Objects = append(m.Objects, o)
+	}
+	return r.Err()
+}
+
+// MarshalWire appends the binary encoding of m to b (length-prefixed
+// per-reply records sharing the single-reply encoder, like the batch
+// request).
+func (m *AcceptBatchReplyMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendInt(b, len(m.Replies))
+	scratch := wirecodec.GetBuf()
+	for i := range m.Replies {
+		scratch = m.Replies[i].MarshalWire(scratch[:0])
+		b = wirecodec.AppendBytes(b, scratch)
+	}
+	wirecodec.PutBuf(scratch)
+	return b
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+func (m *AcceptBatchReplyMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		return fmt.Errorf("%w: batch reply of %d in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Replies = m.Replies[:0]
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		var rep AcceptObjectReplyMsg
+		if err := rep.UnmarshalWire(rec); err != nil {
+			return err
+		}
+		m.Replies = append(m.Replies, rep)
+	}
+	return r.Err()
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *AcceptKeyGroupMsg) MarshalWire(b []byte) []byte {
+	b = appendKey(b, m.GroupValue, m.GroupBits)
+	b = wirecodec.AppendString(b, m.Parent)
+	b = wirecodec.AppendInt(b, len(m.Queries))
+	for _, q := range m.Queries {
+		b = wirecodec.AppendBytes(b, q)
+	}
+	return b
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+// Query entries alias data.
+func (m *AcceptKeyGroupMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupValue, m.GroupBits = readKey(r)
+	m.Parent = r.String()
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		return fmt.Errorf("%w: %d queries in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Queries = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Queries = append(m.Queries, r.Bytes())
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.GroupValue, m.GroupBits)
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *LoadReportMsg) MarshalWire(b []byte) []byte {
+	b = appendKey(b, m.GroupValue, m.GroupBits)
+	b = wirecodec.AppendFloat64(b, m.Load)
+	return wirecodec.AppendString(b, m.From)
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+func (m *LoadReportMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupValue, m.GroupBits = readKey(r)
+	m.Load = r.Float64()
+	m.From = r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.GroupValue, m.GroupBits)
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *ReleaseKeyGroupMsg) MarshalWire(b []byte) []byte {
+	b = appendKey(b, m.GroupValue, m.GroupBits)
+	return wirecodec.AppendString(b, m.Parent)
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+func (m *ReleaseKeyGroupMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupValue, m.GroupBits = readKey(r)
+	m.Parent = r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.GroupValue, m.GroupBits)
+}
+
+// MarshalWire appends the binary encoding of m to b.
+func (m *ReleaseKeyGroupReplyMsg) MarshalWire(b []byte) []byte {
+	b = appendKey(b, m.GroupValue, m.GroupBits)
+	b = wirecodec.AppendBool(b, m.OK)
+	b = wirecodec.AppendBool(b, m.Gone)
+	b = wirecodec.AppendString(b, m.Error)
+	b = wirecodec.AppendInt(b, len(m.Queries))
+	for _, q := range m.Queries {
+		b = wirecodec.AppendBytes(b, q)
+	}
+	return b
+}
+
+// UnmarshalWire decodes the binary encoding produced by MarshalWire.
+// Query entries alias data.
+func (m *ReleaseKeyGroupReplyMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupValue, m.GroupBits = readKey(r)
+	m.OK = r.Bool()
+	m.Gone = r.Bool()
+	m.Error = r.String()
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		return fmt.Errorf("%w: %d queries in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Queries = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Queries = append(m.Queries, r.Bytes())
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return checkKey(m.GroupValue, m.GroupBits)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestAcceptObjectMsgWireRoundTrip(t *testing.T) {
+	cases := []AcceptObjectMsg{
+		{},
+		{KeyValue: 0b101101, KeyBits: 24, Depth: 7, Kind: ObjectData, Payload: []byte("payload")},
+		{KeyValue: 1<<63 - 1, KeyBits: 64, Depth: 64, Kind: ObjectQuery},
+	}
+	for _, m := range cases {
+		var got AcceptObjectMsg
+		if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+			t.Fatalf("UnmarshalWire(%+v): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip = %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestAcceptObjectReplyMsgWireRoundTrip(t *testing.T) {
+	cases := []AcceptObjectReplyMsg{
+		{Status: StatusOK, GroupValue: 0b11, GroupBits: 2, CorrectDepth: 2},
+		{Status: StatusIncorrectDepth, DMin: 5},
+		{Status: StatusOKCorrected, GroupValue: 9, GroupBits: 10, CorrectDepth: 10,
+			Matches: []string{"q-1", "q-2", ""}},
+		{Error: "bad item"},
+	}
+	for _, m := range cases {
+		var got AcceptObjectReplyMsg
+		if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+			t.Fatalf("UnmarshalWire(%+v): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip = %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestBatchMsgWireRoundTrip(t *testing.T) {
+	req := AcceptBatchMsg{Objects: []AcceptObjectMsg{
+		{KeyValue: 1, KeyBits: 8, Depth: 2, Kind: ObjectData, Payload: []byte("a")},
+		{KeyValue: 2, KeyBits: 8, Depth: 3, Kind: ObjectData},
+		{KeyValue: 255, KeyBits: 8, Depth: 8, Kind: ObjectQuery, Payload: []byte("qq")},
+	}}
+	var gotReq AcceptBatchMsg
+	if err := gotReq.UnmarshalWire(req.MarshalWire(nil)); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Errorf("batch round trip = %+v, want %+v", gotReq, req)
+	}
+
+	rep := AcceptBatchReplyMsg{Replies: []AcceptObjectReplyMsg{
+		{Status: StatusOK, GroupValue: 1, GroupBits: 4, CorrectDepth: 4, Matches: []string{"m"}},
+		{Error: "nope"},
+	}}
+	var gotRep AcceptBatchReplyMsg
+	if err := gotRep.UnmarshalWire(rep.MarshalWire(nil)); err != nil {
+		t.Fatalf("batch reply: %v", err)
+	}
+	if !reflect.DeepEqual(gotRep, rep) {
+		t.Errorf("batch reply round trip = %+v, want %+v", gotRep, rep)
+	}
+}
+
+func TestControlMsgWireRoundTrip(t *testing.T) {
+	akg := AcceptKeyGroupMsg{GroupValue: 0b001, GroupBits: 3, Parent: "node-1",
+		Queries: [][]byte{[]byte("q1"), nil, []byte("q3")}}
+	var gotAkg AcceptKeyGroupMsg
+	if err := gotAkg.UnmarshalWire(akg.MarshalWire(nil)); err != nil {
+		t.Fatalf("accept keygroup: %v", err)
+	}
+	if !reflect.DeepEqual(gotAkg, akg) {
+		t.Errorf("accept keygroup = %+v, want %+v", gotAkg, akg)
+	}
+
+	lr := LoadReportMsg{GroupValue: 5, GroupBits: 4, Load: 0.875, From: "node-2"}
+	var gotLr LoadReportMsg
+	if err := gotLr.UnmarshalWire(lr.MarshalWire(nil)); err != nil {
+		t.Fatalf("load report: %v", err)
+	}
+	if gotLr != lr {
+		t.Errorf("load report = %+v, want %+v", gotLr, lr)
+	}
+
+	rel := ReleaseKeyGroupMsg{GroupValue: 2, GroupBits: 2, Parent: "node-3"}
+	var gotRel ReleaseKeyGroupMsg
+	if err := gotRel.UnmarshalWire(rel.MarshalWire(nil)); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if gotRel != rel {
+		t.Errorf("release = %+v, want %+v", gotRel, rel)
+	}
+
+	rr := ReleaseKeyGroupReplyMsg{GroupValue: 2, GroupBits: 2, OK: false, Gone: true,
+		Error: "unknown group", Queries: [][]byte{[]byte("st")}}
+	var gotRr ReleaseKeyGroupReplyMsg
+	if err := gotRr.UnmarshalWire(rr.MarshalWire(nil)); err != nil {
+		t.Fatalf("release reply: %v", err)
+	}
+	if !reflect.DeepEqual(gotRr, rr) {
+		t.Errorf("release reply = %+v, want %+v", gotRr, rr)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	// A key value that does not fit its declared bit length must error.
+	bad := (&AcceptObjectMsg{KeyValue: 0xFF, KeyBits: 64, Depth: 0, Kind: ObjectData}).MarshalWire(nil)
+	// Rewrite bits to 4 (first varint) keeping the 0xFF value.
+	bad[0] = 4
+	var m AcceptObjectMsg
+	if err := m.UnmarshalWire(bad); err == nil {
+		t.Error("decoder accepted key value overflowing its bit length")
+	}
+
+	// Truncations of a valid message must error, never panic.
+	full := (&AcceptObjectReplyMsg{Status: StatusOK, GroupValue: 3, GroupBits: 2,
+		CorrectDepth: 2, Matches: []string{"q"}}).MarshalWire(nil)
+	for i := 0; i < len(full); i++ {
+		var rep AcceptObjectReplyMsg
+		if err := rep.UnmarshalWire(full[:i]); err == nil {
+			t.Errorf("decoder accepted %d-byte truncation of %d-byte message", i, len(full))
+		}
+	}
+
+	// A batch count far beyond the input must be rejected before allocation.
+	var batch AcceptBatchMsg
+	if err := batch.UnmarshalWire([]byte{0xFF, 0xFF, 0x03}); err == nil {
+		t.Error("decoder accepted hostile batch count")
+	}
+}
+
+// TestWireAppendStyle checks the append contract: marshalling into a non-empty
+// buffer preserves the prefix.
+func TestWireAppendStyle(t *testing.T) {
+	prefix := []byte("prefix")
+	m := AcceptObjectMsg{KeyValue: 7, KeyBits: 8, Depth: 1, Kind: ObjectData}
+	out := m.MarshalWire(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("MarshalWire clobbered the buffer prefix")
+	}
+	var got AcceptObjectMsg
+	if err := got.UnmarshalWire(out[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+}

@@ -1,7 +1,6 @@
 package overlay
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync/atomic"
 
@@ -9,6 +8,7 @@ import (
 	"clash/internal/chord"
 	"clash/internal/core"
 	"clash/internal/cq"
+	"clash/internal/wirecodec"
 )
 
 // Match is one continuous-query match pushed to the subscribing client.
@@ -29,8 +29,9 @@ const matchBuffer = 1024
 
 // Client is the CLASH client side: it resolves the depth of identifier keys
 // by probing through the overlay (paper §6's modified binary search), caches
-// (group → server) bindings in a core.Router, publishes data packets, and
-// registers continuous queries whose matches are pushed back to it.
+// (group → server) bindings in a core.Router, publishes data packets
+// (individually or in batched frames), and registers continuous queries whose
+// matches are pushed back to it.
 //
 // Client is safe for concurrent use; the router cache is shared across
 // goroutines so one connection's redirect teaches all the others.
@@ -88,10 +89,10 @@ func (c *Client) handle(msgType string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("unexpected message type %q", msgType)
 	}
 	var m matchMsg
-	if err := json.Unmarshal(payload, &m); err != nil {
+	if err := m.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	key, err := bitkey.Parse(m.Key)
+	key, err := bitkey.New(m.KeyValue, m.KeyBits)
 	if err != nil {
 		return nil, err
 	}
@@ -106,66 +107,60 @@ func (c *Client) handle(msgType string, payload []byte) ([]byte, error) {
 // lookupOwner resolves the overlay node responsible for a virtual key by
 // asking a seed node to run the chord lookup. Seeds are rotated on failure.
 func (c *Client) lookupOwner(vk bitkey.Key) (string, error) {
-	h := c.space.HashBytes(vk.Bytes())
-	req, err := json.Marshal(findSuccessorMsg{ID: uint64(h)})
-	if err != nil {
-		return "", err
-	}
+	req := findSuccessorMsg{ID: uint64(c.space.HashBytes(vk.Bytes()))}
 	start := int(c.seedIdx.Load())
 	var lastErr error
 	for i := 0; i < len(c.seeds); i++ {
 		seed := c.seeds[(start+i)%len(c.seeds)]
-		reply, err := c.tr.Call(seed, TypeFindSuccessor, req)
-		if err != nil {
+		var ref nodeRefMsg
+		if err := call(c.tr, seed, TypeFindSuccessor, &req, &ref); err != nil {
 			lastErr = err
 			c.seedIdx.Store(int64((start + i + 1) % len(c.seeds)))
 			continue
-		}
-		var ref nodeRefMsg
-		if err := json.Unmarshal(reply, &ref); err != nil {
-			return "", err
 		}
 		return ref.Addr, nil
 	}
 	return "", fmt.Errorf("overlay: no seed reachable: %w", lastErr)
 }
 
+// decodeAccept converts a wire reply into the core result.
+func decodeAccept(reply *core.AcceptObjectReplyMsg) (core.AcceptObjectResult, error) {
+	res := core.AcceptObjectResult{
+		Status:       reply.Status,
+		CorrectDepth: reply.CorrectDepth,
+		DMin:         reply.DMin,
+	}
+	switch reply.Status {
+	case core.StatusOK, core.StatusOKCorrected, core.StatusIncorrectDepth:
+	default:
+		return core.AcceptObjectResult{}, fmt.Errorf("overlay: unknown reply status %d (%s)", reply.Status, reply.Error)
+	}
+	if reply.GroupBits > 0 || reply.GroupValue != 0 {
+		prefix, err := bitkey.New(reply.GroupValue, reply.GroupBits)
+		if err != nil {
+			return core.AcceptObjectResult{}, err
+		}
+		res.Group = bitkey.NewGroup(prefix)
+	}
+	return res, nil
+}
+
 // acceptObject sends one ACCEPT_OBJECT request and decodes the reply.
 func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
-	msg, err := json.Marshal(core.AcceptObjectMsg{
-		Key:     key.String(),
-		Depth:   depth,
-		Kind:    kind,
-		Payload: payload,
-	})
-	if err != nil {
-		return core.AcceptObjectResult{}, nil, err
-	}
-	raw, err := c.tr.Call(addr, TypeAcceptObject, msg)
-	if err != nil {
-		return core.AcceptObjectResult{}, nil, err
+	req := core.AcceptObjectMsg{
+		KeyValue: key.Value,
+		KeyBits:  key.Bits,
+		Depth:    depth,
+		Kind:     kind,
+		Payload:  payload,
 	}
 	var reply core.AcceptObjectReplyMsg
-	if err := json.Unmarshal(raw, &reply); err != nil {
+	if err := call(c.tr, addr, TypeAcceptObject, &req, &reply); err != nil {
 		return core.AcceptObjectResult{}, nil, err
 	}
-	res := core.AcceptObjectResult{CorrectDepth: reply.CorrectDepth, DMin: reply.DMin}
-	switch reply.Status {
-	case core.StatusOK.String():
-		res.Status = core.StatusOK
-	case core.StatusOKCorrected.String():
-		res.Status = core.StatusOKCorrected
-	case core.StatusIncorrectDepth.String():
-		res.Status = core.StatusIncorrectDepth
-	default:
-		return core.AcceptObjectResult{}, nil, fmt.Errorf("overlay: unknown reply status %q", reply.Status)
-	}
-	if reply.Group != "" {
-		g, err := bitkey.ParseGroup(reply.Group)
-		if err != nil {
-			return core.AcceptObjectResult{}, nil, err
-		}
-		res.Group = g
+	res, err := decodeAccept(&reply)
+	if err != nil {
+		return core.AcceptObjectResult{}, nil, err
 	}
 	return res, &reply, nil
 }
@@ -253,10 +248,9 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 // identifier key and returns where it landed and which continuous queries it
 // matched.
 func (c *Client) Publish(key bitkey.Key, attrs map[string]float64, payload []byte) (*PublishResult, error) {
-	data, err := json.Marshal(dataMsg{Attrs: attrs, Payload: payload})
-	if err != nil {
-		return nil, err
-	}
+	msg := dataMsg{Attrs: attrs, Payload: payload}
+	data := marshalMsg(&msg)
+	defer wirecodec.PutBuf(data)
 	return c.deliver(key, core.ObjectData, data)
 }
 
@@ -268,10 +262,9 @@ func (c *Client) Register(q cq.Query) (*PublishResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := json.Marshal(queryState{Query: data, Subscriber: c.tr.Addr()})
-	if err != nil {
-		return nil, err
-	}
+	st := queryState{Query: data, Subscriber: c.tr.Addr()}
+	payload := marshalMsg(&st)
+	defer wirecodec.PutBuf(payload)
 	ik, err := q.IdentifierKey(c.keyBits)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,107 @@
+package overlay
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"clash/internal/core"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame parser: it must
+// error on malformed input, never panic, never return a payload longer than
+// the input, and always round-trip what appendFrame produced.
+func FuzzReadFrame(f *testing.F) {
+	seed := func(seq uint64, typ byte, payload []byte) {
+		buf, err := appendFrame(nil, seq, typ, payload)
+		if err == nil {
+			f.Add(buf)
+		}
+	}
+	seed(1, typePing, nil)
+	seed(1<<40, typeAcceptObject, []byte("payload"))
+	seed(7, typeReplyErr, bytes.Repeat([]byte{0xEE}, 300))
+	// Oversized declared length with a short stream.
+	var over [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(over[0:4], maxFrameSize+1)
+	over[12] = wireVersion
+	f.Add(over[:])
+	// Large declared length, truncated body.
+	var trunc [frameHeaderSize + 3]byte
+	binary.BigEndian.PutUint32(trunc[0:4], 1<<20)
+	trunc[12] = wireVersion
+	f.Add(trunc[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) && len(data) >= frameHeaderSize {
+				// Recoverable skip: the header must have been decoded.
+				want := binary.BigEndian.Uint64(data[4:12])
+				if got.seq != want {
+					t.Fatalf("oversized frame seq = %d, want %d", got.seq, want)
+				}
+			}
+			return
+		}
+		if len(got.payload) > len(data) {
+			t.Fatalf("payload %d bytes from %d-byte input", len(got.payload), len(data))
+		}
+		// Whatever parsed must re-encode to the bytes consumed.
+		enc, eerr := appendFrame(nil, got.seq, got.typ, got.payload)
+		if eerr != nil {
+			t.Fatalf("re-encode of parsed frame failed: %v", eerr)
+		}
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", enc, data[:len(enc)])
+		}
+	})
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to every MarshalWire/UnmarshalWire
+// pair in the protocol (overlay-local and core messages): decoding must never
+// panic or over-allocate, and anything that decodes must re-encode and decode
+// again to the same message (round-trip identity on the decoded value).
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, msg := range overlayWireCases() {
+		f.Add(msg.MarshalWire(nil))
+	}
+	coreMsgs := []wireMsg{
+		&core.AcceptObjectMsg{KeyValue: 0b1011, KeyBits: 16, Depth: 3, Kind: core.ObjectData, Payload: []byte("p")},
+		&core.AcceptObjectReplyMsg{Status: core.StatusOK, GroupValue: 3, GroupBits: 2, CorrectDepth: 2, Matches: []string{"q"}},
+		&core.AcceptBatchMsg{Objects: []core.AcceptObjectMsg{{KeyValue: 1, KeyBits: 4, Depth: 1, Kind: core.ObjectData}}},
+		&core.AcceptBatchReplyMsg{Replies: []core.AcceptObjectReplyMsg{{Status: core.StatusIncorrectDepth, DMin: 2}}},
+		&core.AcceptKeyGroupMsg{GroupValue: 1, GroupBits: 3, Parent: "p", Queries: [][]byte{[]byte("q")}},
+		&core.LoadReportMsg{GroupValue: 1, GroupBits: 1, Load: 0.5, From: "n"},
+		&core.ReleaseKeyGroupMsg{GroupValue: 1, GroupBits: 1, Parent: "p"},
+		&core.ReleaseKeyGroupReplyMsg{GroupValue: 1, GroupBits: 1, OK: true, Queries: [][]byte{[]byte("s")}},
+	}
+	for _, msg := range coreMsgs {
+		f.Add(msg.MarshalWire(nil))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		targets := append(overlayWireCases(), coreMsgs...)
+		for _, proto := range targets {
+			msg := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(wireMsg)
+			if err := msg.UnmarshalWire(data); err != nil {
+				continue
+			}
+			// Decoded fine: encode and decode again must be identity. The
+			// comparison goes through %#v (deterministic: sorted map keys)
+			// rather than DeepEqual so NaN attribute values — which are
+			// legal on the wire — do not false-positive as divergence.
+			enc := msg.MarshalWire(nil)
+			again := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(wireMsg)
+			if err := again.UnmarshalWire(enc); err != nil {
+				t.Fatalf("%T: re-decode of re-encode failed: %v", msg, err)
+			}
+			if got, want := fmt.Sprintf("%#v", again), fmt.Sprintf("%#v", msg); got != want {
+				t.Fatalf("%T: round trip diverged:\n got %s\nwant %s", msg, got, want)
+			}
+		}
+	})
+}

@@ -10,22 +10,27 @@ import (
 	"clash/internal/chord"
 	"clash/internal/core"
 	"clash/internal/cq"
+	"clash/internal/wirecodec"
 )
 
 // handle is the node's inbound request dispatcher (installed on the
-// transport by NewNode).
+// transport by NewNode). Payloads are decoded with the binary wire codec;
+// only the status snapshot stays JSON (it is a human-facing document).
 func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 	switch msgType {
 	case TypeFindSuccessor:
 		return n.handleFindSuccessor(payload)
 	case TypePredecessor:
-		return json.Marshal(refToMsg(n.chord.PredecessorRef()))
+		ref := refToMsg(n.chord.PredecessorRef())
+		return ref.MarshalWire(nil), nil
 	case TypeNotify:
 		return n.handleNotify(payload)
 	case TypePing:
 		return nil, nil
 	case TypeAcceptObject:
 		return n.handleAcceptObject(payload)
+	case TypeAcceptBatch:
+		return n.handleAcceptBatch(payload)
 	case TypeAcceptKeyGroup:
 		return n.handleAcceptKeyGroup(payload)
 	case TypeLoadReport:
@@ -43,19 +48,20 @@ func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 
 func (n *Node) handleFindSuccessor(payload []byte) ([]byte, error) {
 	var req findSuccessorMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
 	ref, err := n.chord.FindSuccessor(chord.ID(req.ID))
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(refToMsg(ref))
+	msg := refToMsg(ref)
+	return msg.MarshalWire(nil), nil
 }
 
 func (n *Node) handleNotify(payload []byte) ([]byte, error) {
 	var req notifyMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
 	n.chord.Notify(msgToRef(req.Candidate))
@@ -69,25 +75,81 @@ func (n *Node) handleNotify(payload []byte) ([]byte, error) {
 // depth resolution has landed on the right server (status OK / OK_CORRECTED).
 func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 	var req core.AcceptObjectMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	key, err := bitkey.Parse(req.Key)
+	reply, err := n.acceptOne(&req)
 	if err != nil {
 		return nil, err
+	}
+	return reply.MarshalWire(nil), nil
+}
+
+// handleAcceptBatch is the vectored ACCEPT_OBJECT path: all objects pass
+// through the server state machine under one table-lock acquisition, then
+// the per-object side effects (metering, query matching, match push) run
+// outside the lock. The reply carries one entry per object in request order;
+// per-object failures fill that entry's Error instead of failing the frame.
+func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
+	var req core.AcceptBatchMsg
+	if err := req.UnmarshalWire(payload); err != nil {
+		return nil, err
+	}
+	keys := make([]bitkey.Key, len(req.Objects))
+	depths := make([]int, len(req.Objects))
+	for i := range req.Objects {
+		o := &req.Objects[i]
+		k, err := bitkey.New(o.KeyValue, o.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+		depths[i] = o.Depth
+	}
+	results, errs := n.server.HandleAcceptObjectBatch(keys, depths)
+	out := core.AcceptBatchReplyMsg{Replies: make([]core.AcceptObjectReplyMsg, len(req.Objects))}
+	for i := range req.Objects {
+		if errs[i] != nil {
+			out.Replies[i] = core.AcceptObjectReplyMsg{Error: errs[i].Error()}
+			continue
+		}
+		rep, err := n.applyObject(&req.Objects[i], keys[i], results[i])
+		if err != nil {
+			out.Replies[i] = core.AcceptObjectReplyMsg{Error: err.Error()}
+			continue
+		}
+		out.Replies[i] = rep
+	}
+	return out.MarshalWire(nil), nil
+}
+
+// acceptOne runs one object through the server state machine and its side
+// effects.
+func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, error) {
+	key, err := bitkey.New(req.KeyValue, req.KeyBits)
+	if err != nil {
+		return core.AcceptObjectReplyMsg{}, err
 	}
 	res, err := n.server.HandleAcceptObject(key, req.Depth)
 	if err != nil {
-		return nil, err
+		return core.AcceptObjectReplyMsg{}, err
 	}
-	reply := core.AcceptObjectReplyMsg{Status: res.Status.String()}
+	return n.applyObject(req, key, res)
+}
+
+// applyObject converts a state-machine result into the wire reply and, when
+// the object landed on the right server, applies its application effect
+// (meter + query match for data, engine registration for queries).
+func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult) (core.AcceptObjectReplyMsg, error) {
+	reply := core.AcceptObjectReplyMsg{Status: res.Status}
 	switch res.Status {
 	case core.StatusOK, core.StatusOKCorrected:
-		reply.Group = res.Group.String()
+		reply.GroupValue = res.Group.Prefix.Value
+		reply.GroupBits = res.Group.Prefix.Bits
 		reply.CorrectDepth = res.CorrectDepth
 	case core.StatusIncorrectDepth:
 		reply.DMin = res.DMin
-		return json.Marshal(reply)
+		return reply, nil
 	}
 
 	switch req.Kind {
@@ -95,8 +157,8 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 		n.meter.RecordPackets(res.Group.String(), 1)
 		var data dataMsg
 		if len(req.Payload) > 0 {
-			if err := json.Unmarshal(req.Payload, &data); err != nil {
-				return nil, fmt.Errorf("bad data payload: %v", err)
+			if err := data.UnmarshalWire(req.Payload); err != nil {
+				return core.AcceptObjectReplyMsg{}, fmt.Errorf("bad data payload: %v", err)
 			}
 		}
 		ev := cq.Event{Key: key, Attrs: data.Attrs, Payload: data.Payload}
@@ -107,16 +169,16 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 		n.pushMatches(matched, ev)
 	case core.ObjectQuery:
 		var st queryState
-		if err := json.Unmarshal(req.Payload, &st); err != nil {
-			return nil, fmt.Errorf("bad query payload: %v", err)
+		if err := st.UnmarshalWire(req.Payload); err != nil {
+			return core.AcceptObjectReplyMsg{}, fmt.Errorf("bad query payload: %v", err)
 		}
 		q, err := cq.UnmarshalQuery(st.Query)
 		if err != nil {
-			return nil, err
+			return core.AcceptObjectReplyMsg{}, err
 		}
 		if err := n.engine.Register(q); err != nil {
 			if !errors.Is(err, cq.ErrDuplicateQuery) {
-				return nil, err
+				return core.AcceptObjectReplyMsg{}, err
 			}
 		} else {
 			n.meter.AddQueries(res.Group.String(), 1)
@@ -127,7 +189,7 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 			n.mu.Unlock()
 		}
 	}
-	return json.Marshal(reply)
+	return reply, nil
 }
 
 // pushMatches delivers match notifications to the subscribers of the matched
@@ -145,41 +207,42 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
 	}
 	n.mu.Unlock()
 	for id, sub := range targets {
-		payload, err := json.Marshal(matchMsg{
-			QueryID: id,
-			Key:     ev.Key.String(),
-			Attrs:   ev.Attrs,
-			Payload: ev.Payload,
-		})
-		if err != nil {
-			continue
+		msg := &matchMsg{
+			QueryID:  id,
+			KeyValue: ev.Key.Value,
+			KeyBits:  ev.Key.Bits,
+			Attrs:    ev.Attrs,
+			Payload:  ev.Payload,
 		}
 		n.wg.Add(1)
-		go func(sub string, payload []byte) {
+		go func(sub string, msg *matchMsg) {
 			defer n.wg.Done()
+			payload := marshalMsg(msg)
+			defer wirecodec.PutBuf(payload)
 			if _, err := n.tr.Call(sub, TypeMatch, payload); err != nil {
 				atomic.AddInt64(&n.matchDrops, 1)
 			}
-		}(sub, payload)
+		}(sub, msg)
 	}
 }
 
 func (n *Node) handleAcceptKeyGroup(payload []byte) ([]byte, error) {
 	var req core.AcceptKeyGroupMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	g, err := bitkey.ParseGroup(req.Group)
+	prefix, err := bitkey.New(req.GroupValue, req.GroupBits)
 	if err != nil {
 		return nil, err
 	}
+	g := bitkey.NewGroup(prefix)
 	if err := n.server.HandleAcceptKeyGroup(g, core.ServerID(req.Parent)); err != nil {
 		return nil, err
 	}
 	states := make([]queryState, 0, len(req.Queries))
 	for _, raw := range req.Queries {
 		var st queryState
-		if err := json.Unmarshal(raw, &st); err == nil {
+		if err := st.UnmarshalWire(raw); err == nil {
 			states = append(states, st)
 		}
 	}
@@ -190,17 +253,17 @@ func (n *Node) handleAcceptKeyGroup(payload []byte) ([]byte, error) {
 
 func (n *Node) handleLoadReport(payload []byte) ([]byte, error) {
 	var req core.LoadReportMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	g, err := bitkey.ParseGroup(req.Group)
+	prefix, err := bitkey.New(req.GroupValue, req.GroupBits)
 	if err != nil {
 		return nil, err
 	}
 	rep := core.LoadReport{
 		From:  core.ServerID(req.From),
 		To:    core.ServerID(n.Addr()),
-		Group: g,
+		Group: bitkey.NewGroup(prefix),
 		Load:  req.Load,
 	}
 	// A stale report (the sender's view lags a merge or re-transfer) is not
@@ -213,15 +276,15 @@ func (n *Node) handleLoadReport(payload []byte) ([]byte, error) {
 // overlay re-homed it to a different node.
 func (n *Node) handleChildMoved(payload []byte) ([]byte, error) {
 	var req childMovedMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	g, err := bitkey.ParseGroup(req.Group)
+	prefix, err := bitkey.New(req.GroupValue, req.GroupBits)
 	if err != nil {
 		return nil, err
 	}
 	// Stale notifications (the pair merged meanwhile) are dropped silently.
-	_ = n.server.HandleChildMoved(g, core.ServerID(req.Holder))
+	_ = n.server.HandleChildMoved(bitkey.NewGroup(prefix), core.ServerID(req.Holder))
 	return nil, nil
 }
 
@@ -229,13 +292,14 @@ func (n *Node) handleChildMoved(payload []byte) ([]byte, error) {
 // reclaiming parent during consolidation.
 func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
 	var req core.ReleaseKeyGroupMsg
-	if err := json.Unmarshal(payload, &req); err != nil {
+	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	g, err := bitkey.ParseGroup(req.Group)
+	prefix, err := bitkey.New(req.GroupValue, req.GroupBits)
 	if err != nil {
 		return nil, err
 	}
+	g := bitkey.NewGroup(prefix)
 	states := n.extractQueries(g)
 	if err := n.server.HandleRelease(g); err != nil {
 		// ErrUnknownGroup means this server holds nothing for the group (a
@@ -243,19 +307,19 @@ func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
 		// tell the parent it is gone so the merge can complete. Any other
 		// error (split further here) means the parent's view is stale.
 		n.installQueries(states)
-		return json.Marshal(core.ReleaseKeyGroupReplyMsg{
-			Group: req.Group,
-			OK:    false,
-			Error: err.Error(),
-			Gone:  errors.Is(err, core.ErrUnknownGroup),
-		})
+		reply := core.ReleaseKeyGroupReplyMsg{
+			GroupValue: req.GroupValue,
+			GroupBits:  req.GroupBits,
+			OK:         false,
+			Error:      err.Error(),
+			Gone:       errors.Is(err, core.ErrUnknownGroup),
+		}
+		return reply.MarshalWire(nil), nil
 	}
 	n.meter.Drop(g.String())
-	reply := core.ReleaseKeyGroupReplyMsg{Group: req.Group, OK: true}
-	for _, st := range states {
-		if data, err := json.Marshal(st); err == nil {
-			reply.Queries = append(reply.Queries, data)
-		}
+	reply := core.ReleaseKeyGroupReplyMsg{GroupValue: req.GroupValue, GroupBits: req.GroupBits, OK: true}
+	for i := range states {
+		reply.Queries = append(reply.Queries, states[i].MarshalWire(nil))
 	}
-	return json.Marshal(reply)
+	return reply.MarshalWire(nil), nil
 }

@@ -1,0 +1,18 @@
+package overlay
+
+import "encoding/json"
+
+// Legacy JSON codec, retained as the benchmark baseline for the hand-rolled
+// binary wire codec (BenchmarkWireCodec* vs BenchmarkJSONCodec*, snapshotted
+// in BENCH_wire.json). PR 2's overlay serialised every protocol message with
+// encoding/json; the binary codec replaced it on the live path, and these
+// wrappers keep the old cost measurable so the speedup claim stays
+// reproducible instead of becoming folklore.
+//
+// Do not use these on the wire: peers only accept the binary encoding.
+
+// legacyJSONMarshal is the PR 2 encode path: reflection-driven encoding/json.
+func legacyJSONMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// legacyJSONUnmarshal is the PR 2 decode path.
+func legacyJSONUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

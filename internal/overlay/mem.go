@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"clash/internal/wirecodec"
 )
 
 // MemNetwork is an in-memory transport fabric: endpoints created from the
 // same network reach each other by address without sockets. Every Call still
-// round-trips through the binary frame codec, so the serialisation path is
-// identical to TCP. Endpoints can be marked down to exercise failure handling,
-// and per-type call counts let tests assert on message complexity.
+// round-trips the request and the reply through the binary frame codec
+// (appendFrame/readFrame, sequence ID included), so the serialisation path is
+// byte-identical to TCP. Endpoints can be marked down to exercise failure
+// handling, and per-type call counts let tests assert on message complexity.
 type MemNetwork struct {
 	mu    sync.RWMutex
 	eps   map[string]*MemEndpoint
@@ -73,6 +77,9 @@ type MemEndpoint struct {
 	net  *MemNetwork
 	addr string
 
+	seq   atomic.Uint64
+	stats transportStats
+
 	mu      sync.RWMutex
 	handler Handler
 	closed  bool
@@ -90,6 +97,9 @@ func (e *MemEndpoint) SetHandler(h Handler) {
 	e.handler = h
 }
 
+// Stats implements Transport.
+func (e *MemEndpoint) Stats() TransportStats { return e.stats.snapshot() }
+
 func (e *MemEndpoint) isClosed() bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -104,47 +114,79 @@ func (e *MemEndpoint) Close() error {
 	return nil
 }
 
-// Call implements Transport. The request and reply both pass through the
-// frame codec so the encoded bytes are exactly what the TCP transport would
-// put on the wire; the handler runs synchronously on the caller's goroutine
-// without any fabric lock held, so re-entrant call chains (A→B→A) cannot
-// deadlock.
+// Call implements Transport. The request and the reply both pass through the
+// frame codec (with a real sequence ID, exactly the bytes TCP would carry);
+// the handler runs synchronously on the caller's goroutine without any fabric
+// lock held, so re-entrant call chains (A→B→A) cannot deadlock.
 func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
 	if e.isClosed() {
 		return nil, fmt.Errorf("%w: %s", ErrClosed, e.addr)
 	}
-	gotType, gotPayload, err := frameRoundTrip(msgType, payload)
+	typ, err := typeByte(msgType)
 	if err != nil {
 		return nil, err
 	}
-	target, err := e.net.route(addr, gotType)
+	seq := e.seq.Add(1)
+	e.stats.inFlight.Add(1)
+	defer e.stats.inFlight.Add(-1)
+
+	req, err := e.frameRoundTrip(seq, typ, payload, &e.stats)
+	if err != nil {
+		return nil, err
+	}
+	target, err := e.net.route(addr, typeName(req.typ))
 	if err != nil {
 		return nil, err
 	}
 	target.mu.RLock()
 	h := target.handler
 	target.mu.RUnlock()
-	reply, herr := dispatch(h, gotType, gotPayload)
+	target.stats.countIn(frameHeaderSize + len(req.payload))
+	reply, herr := dispatch(h, typeName(req.typ), req.payload)
 	if herr != nil {
-		// Errors cross the wire as frameErr text, like on TCP.
-		_, msg, err := frameRoundTrip(frameErr, []byte(herr.Error()))
+		// Errors cross the wire as typeReplyErr text, like on TCP.
+		rf, err := target.replyRoundTrip(seq, typeReplyErr, []byte(herr.Error()), e)
 		if err != nil {
 			return nil, err
 		}
-		return nil, &RemoteError{Msg: string(msg)}
+		return nil, &RemoteError{Msg: string(rf.payload)}
 	}
-	_, out, err := frameRoundTrip(frameOK, reply)
+	rf, err := target.replyRoundTrip(seq, typeReplyOK, reply, e)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	if rf.seq != seq {
+		return nil, fmt.Errorf("%w: reply seq %d for call %d", ErrBadFrame, rf.seq, seq)
+	}
+	return rf.payload, nil
 }
 
-// frameRoundTrip encodes one frame and decodes it back, exercising the codec.
-func frameRoundTrip(msgType string, payload []byte) (string, []byte, error) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, msgType, payload); err != nil {
-		return "", nil, err
+// frameRoundTrip encodes one frame and decodes it back, exercising the codec
+// and counting the caller's outbound side.
+func (e *MemEndpoint) frameRoundTrip(seq uint64, typ byte, payload []byte, out *transportStats) (frame, error) {
+	buf := wirecodec.GetBuf()
+	// Deferred as a closure so the buffer that actually went back to the
+	// pool is the grown one appendFrame returns, not the 512-byte original.
+	defer func() { wirecodec.PutBuf(buf) }()
+	buf, err := appendFrame(buf, seq, typ, payload)
+	if err != nil {
+		return frame{}, err
 	}
-	return readFrame(&buf)
+	out.countOut(len(buf))
+	f, err := readFrame(bytes.NewReader(buf))
+	if err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+// replyRoundTrip encodes the reply frame on the target side and decodes it on
+// the caller side, mirroring TCP's reply direction for the counters.
+func (t *MemEndpoint) replyRoundTrip(seq uint64, typ byte, payload []byte, caller *MemEndpoint) (frame, error) {
+	f, err := t.frameRoundTrip(seq, typ, payload, &t.stats)
+	if err != nil {
+		return frame{}, err
+	}
+	caller.stats.countIn(frameHeaderSize + len(f.payload))
+	return f, nil
 }

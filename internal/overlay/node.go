@@ -2,7 +2,6 @@ package overlay
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"sync"
 	"time"
@@ -362,15 +361,15 @@ func (n *Node) resetQueryCount(g bitkey.Group) {
 // acceptKeyGroupPayload builds the ACCEPT_KEYGROUP wire payload for a group
 // transfer carrying the extracted query state.
 func acceptKeyGroupPayload(g bitkey.Group, parent core.ServerID, states []queryState) ([]byte, error) {
-	msg := core.AcceptKeyGroupMsg{Group: g.String(), Parent: string(parent)}
-	for _, st := range states {
-		data, err := json.Marshal(st)
-		if err != nil {
-			return nil, err
-		}
-		msg.Queries = append(msg.Queries, data)
+	msg := core.AcceptKeyGroupMsg{
+		GroupValue: g.Prefix.Value,
+		GroupBits:  g.Prefix.Bits,
+		Parent:     string(parent),
 	}
-	return json.Marshal(msg)
+	for i := range states {
+		msg.Queries = append(msg.Queries, states[i].MarshalWire(nil))
+	}
+	return msg.MarshalWire(nil), nil
 }
 
 // deliverTransfer sends one ACCEPT_KEYGROUP message; on failure the transfer
@@ -472,26 +471,25 @@ func (n *Node) notifyChildMoved(e core.Entry, newHolder core.ServerID) {
 		_ = n.server.HandleChildMoved(e.Group, newHolder)
 		return
 	}
-	payload, err := json.Marshal(childMovedMsg{Group: e.Group.String(), Holder: string(newHolder)})
-	if err != nil {
-		return
+	msg := childMovedMsg{
+		GroupValue: e.Group.Prefix.Value,
+		GroupBits:  e.Group.Prefix.Bits,
+		Holder:     string(newHolder),
 	}
-	_, _ = n.tr.Call(string(e.Parent), TypeChildMoved, payload)
+	_, _ = n.tr.Call(string(e.Parent), TypeChildMoved, msg.MarshalWire(nil))
 }
 
 // sendLoadReports delivers this period's leaf→parent load reports.
 func (n *Node) sendLoadReports() {
 	for _, rep := range n.server.LoadReports() {
-		payload, err := json.Marshal(core.LoadReportMsg{
-			Group: rep.Group.String(),
-			Load:  rep.Load,
-			From:  string(rep.From),
-		})
-		if err != nil {
-			continue
+		msg := core.LoadReportMsg{
+			GroupValue: rep.Group.Prefix.Value,
+			GroupBits:  rep.Group.Prefix.Bits,
+			Load:       rep.Load,
+			From:       string(rep.From),
 		}
 		// Best effort: a missed report only delays consolidation.
-		_, _ = n.tr.Call(string(rep.To), TypeLoadReport, payload)
+		_, _ = n.tr.Call(string(rep.To), TypeLoadReport, msg.MarshalWire(nil))
 	}
 }
 
@@ -530,14 +528,12 @@ func (n *Node) reclaim(r pendingReclaim, now time.Time) {
 	self := core.ServerID(n.Addr())
 	var returned []queryState
 	if prop.RightHolder != self {
-		payload, err := json.Marshal(core.ReleaseKeyGroupMsg{
-			Group:  prop.RightChild.String(),
-			Parent: n.Addr(),
-		})
-		if err != nil {
-			return
+		msg := core.ReleaseKeyGroupMsg{
+			GroupValue: prop.RightChild.Prefix.Value,
+			GroupBits:  prop.RightChild.Prefix.Bits,
+			Parent:     n.Addr(),
 		}
-		reply, err := n.tr.Call(string(prop.RightHolder), TypeReleaseKeyGroup, payload)
+		reply, err := n.tr.Call(string(prop.RightHolder), TypeReleaseKeyGroup, msg.MarshalWire(nil))
 		if err != nil {
 			if !IsRemote(err) && r.attempts < reclaimRetryBudget {
 				r.attempts++
@@ -548,7 +544,7 @@ func (n *Node) reclaim(r pendingReclaim, now time.Time) {
 			return
 		}
 		var rel core.ReleaseKeyGroupReplyMsg
-		if err := json.Unmarshal(reply, &rel); err != nil {
+		if err := rel.UnmarshalWire(reply); err != nil {
 			return
 		}
 		if !rel.OK && !rel.Gone {
@@ -562,7 +558,7 @@ func (n *Node) reclaim(r pendingReclaim, now time.Time) {
 		// unowned.
 		for _, raw := range rel.Queries {
 			var st queryState
-			if err := json.Unmarshal(raw, &st); err == nil {
+			if err := st.UnmarshalWire(raw); err == nil {
 				returned = append(returned, st)
 			}
 		}
@@ -609,4 +605,12 @@ func (n *Node) record(now time.Time, total float64, ranked []load.GroupLoad) {
 	n.series.Observe("counter.objects_ok", t, float64(ctr.ObjectsOK))
 	n.series.Observe("counter.objects_corrected", t, float64(ctr.ObjectsCorrect))
 	n.series.Observe("counter.objects_wrong", t, float64(ctr.ObjectsWrong))
+	ts := n.tr.Stats()
+	n.series.Observe("net.frames_in", t, float64(ts.FramesIn))
+	n.series.Observe("net.frames_out", t, float64(ts.FramesOut))
+	n.series.Observe("net.bytes_in", t, float64(ts.BytesIn))
+	n.series.Observe("net.bytes_out", t, float64(ts.BytesOut))
+	n.series.Observe("net.in_flight", t, float64(ts.InFlight))
+	n.series.Observe("net.reconnects", t, float64(ts.Reconnects))
+	n.series.Observe("net.oversized_drops", t, float64(ts.OversizedDrops))
 }

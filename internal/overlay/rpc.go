@@ -1,15 +1,15 @@
 package overlay
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"clash/internal/chord"
+	"clash/internal/wirecodec"
 )
 
-// transportRPC implements chord.RPC by sending framed JSON requests through a
-// Transport. Any transport failure surfaces as chord.ErrNodeDown so the chord
-// maintenance logic treats it as a peer failure and repairs around it.
+// transportRPC implements chord.RPC by sending binary-framed requests through
+// a Transport. Any transport failure surfaces as chord.ErrNodeDown so the
+// chord maintenance logic treats it as a peer failure and repairs around it.
 type transportRPC struct {
 	tr Transport
 }
@@ -19,29 +19,37 @@ var _ chord.RPC = (*transportRPC)(nil)
 func refToMsg(r chord.NodeRef) nodeRefMsg { return nodeRefMsg{Addr: r.Addr, ID: uint64(r.ID)} }
 func msgToRef(m nodeRefMsg) chord.NodeRef { return chord.NodeRef{Addr: m.Addr, ID: chord.ID(m.ID)} }
 
-// call marshals req, performs the exchange and unmarshals into resp (which
-// may be nil for fire-and-forget replies).
-func (c *transportRPC) call(addr, msgType string, req, resp any) error {
+// call encodes req with the binary codec, performs the exchange and decodes
+// the reply into resp (which may be nil for fire-and-forget replies). The
+// request buffer comes from the codec pool, so the encode path does not
+// allocate in steady state.
+func call(tr Transport, addr, msgType string, req, resp wireMsg) error {
 	var payload []byte
 	if req != nil {
-		var err error
-		payload, err = json.Marshal(req)
-		if err != nil {
-			return fmt.Errorf("overlay: marshal %s: %w", msgType, err)
-		}
+		payload = marshalMsg(req)
+		defer wirecodec.PutBuf(payload)
 	}
-	reply, err := c.tr.Call(addr, msgType, payload)
+	reply, err := tr.Call(addr, msgType, payload)
 	if err != nil {
-		if IsRemote(err) {
-			return err
-		}
-		return fmt.Errorf("%w: %s (%v)", chord.ErrNodeDown, addr, err)
+		return err
 	}
 	if resp == nil {
 		return nil
 	}
-	if err := json.Unmarshal(reply, resp); err != nil {
-		return fmt.Errorf("overlay: unmarshal %s reply: %w", msgType, err)
+	if err := resp.UnmarshalWire(reply); err != nil {
+		return fmt.Errorf("overlay: decode %s reply: %w", msgType, err)
+	}
+	return nil
+}
+
+// call is the chord.RPC flavor of the package-level call: transport failures
+// become chord.ErrNodeDown.
+func (c *transportRPC) call(addr, msgType string, req, resp wireMsg) error {
+	if err := call(c.tr, addr, msgType, req, resp); err != nil {
+		if IsRemote(err) {
+			return err
+		}
+		return fmt.Errorf("%w: %s (%v)", chord.ErrNodeDown, addr, err)
 	}
 	return nil
 }
@@ -49,7 +57,7 @@ func (c *transportRPC) call(addr, msgType string, req, resp any) error {
 // FindSuccessor implements chord.RPC.
 func (c *transportRPC) FindSuccessor(ref chord.NodeRef, id chord.ID) (chord.NodeRef, error) {
 	var resp nodeRefMsg
-	if err := c.call(ref.Addr, TypeFindSuccessor, findSuccessorMsg{ID: uint64(id)}, &resp); err != nil {
+	if err := c.call(ref.Addr, TypeFindSuccessor, &findSuccessorMsg{ID: uint64(id)}, &resp); err != nil {
 		return chord.NodeRef{}, err
 	}
 	return msgToRef(resp), nil
@@ -66,7 +74,7 @@ func (c *transportRPC) Predecessor(ref chord.NodeRef) (chord.NodeRef, error) {
 
 // Notify implements chord.RPC.
 func (c *transportRPC) Notify(ref chord.NodeRef, candidate chord.NodeRef) error {
-	return c.call(ref.Addr, TypeNotify, notifyMsg{Candidate: refToMsg(candidate)}, nil)
+	return c.call(ref.Addr, TypeNotify, &notifyMsg{Candidate: refToMsg(candidate)}, nil)
 }
 
 // Ping implements chord.RPC.

@@ -30,6 +30,8 @@ type Status struct {
 	MatchDrops int64 `json:"matchDrops"`
 	// Counters are the cumulative protocol counters.
 	Counters core.Counters `json:"counters"`
+	// Transport are the node transport's frame/byte/connection counters.
+	Transport TransportStats `json:"transport"`
 	// Series are the node's metrics time series (load, group counts,
 	// counters per load-check period).
 	Series []metrics.TimeSeries `json:"series"`
@@ -61,6 +63,7 @@ func (n *Node) Status() Status {
 		PendingTransfers: pending,
 		MatchDrops:       atomic.LoadInt64(&n.matchDrops),
 		Counters:         n.server.Counters(),
+		Transport:        n.tr.Stats(),
 		Series:           n.series.Snapshot(),
 	}
 }

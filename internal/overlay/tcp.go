@@ -1,51 +1,61 @@
 package overlay
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"clash/internal/wirecodec"
 )
 
 // Timeouts for the TCP transport. Dial and per-call deadlines keep a dead
-// peer from wedging the maintenance loop; the idle deadline reaps server-side
-// connections whose client went away.
+// peer from wedging the maintenance loop; the idle deadline reaps connections
+// whose peer went away.
 const (
 	tcpDialTimeout = 3 * time.Second
 	tcpCallTimeout = 10 * time.Second
 	tcpIdleTimeout = 5 * time.Minute
-	// tcpPoolSize bounds the idle outbound connections kept per remote
-	// address.
-	tcpPoolSize = 4
-	// tcpPoolIdle is how long an outbound connection may sit in the pool
-	// before it is discarded instead of reused. It is far below the
-	// server-side tcpIdleTimeout so a pooled connection is never handed out
-	// after the peer's reaper may have closed it (a write into such a
-	// connection "succeeds" into the dead socket buffer and cannot safely be
-	// retried).
-	tcpPoolIdle = time.Minute
+	// tcpMuxIdle is how long an outbound multiplexed connection may sit with
+	// no call in flight before the client closes it itself. It is well below
+	// the server-side tcpIdleTimeout for the same reason the old pool's
+	// tcpPoolIdle was: the side that reaps first must be the client, so a
+	// request is never written into a socket the peer's reaper may already
+	// have closed (such a write "succeeds" into the dead buffer and cannot
+	// safely be retried).
+	tcpMuxIdle = time.Minute
+	// serverMaxConcurrent bounds how many pipelined requests one inbound
+	// connection may have dispatched at once; excess requests wait for a
+	// slot (backpressure) instead of spawning unbounded goroutines.
+	serverMaxConcurrent = 256
 )
 
-// idleConn is one pooled outbound connection with its pool-entry time.
-type idleConn struct {
-	conn net.Conn
-	at   time.Time
-}
+// errMuxClosed marks a Call that failed because the shared connection closed
+// before the request frame was handed to the writer loop. The request never
+// touched the socket, so retrying on a fresh connection is safe.
+var errMuxClosed = errors.New("overlay: connection closed before write")
 
 // TCPTransport is the production transport: one listening socket answering
-// framed requests, plus a small pool of outbound connections per peer.
-// Requests multiplex one-per-frame: each connection carries a sequence of
-// request/reply exchanges (a stale pooled connection is retried once on a
-// fresh dial before the Call fails).
+// framed requests, plus one multiplexed outbound connection per peer.
+// Concurrent Calls to the same address pipeline their frames onto that single
+// connection — a writer loop serialises request frames, a demux reader loop
+// matches replies to waiting calls by sequence ID — so N in-flight calls cost
+// one socket, not N lockstep exchanges. Inbound requests are dispatched
+// concurrently, so replies leave in completion order, not arrival order.
 type TCPTransport struct {
-	ln   net.Listener
-	addr string
+	ln    net.Listener
+	addr  string
+	stats transportStats
 
 	mu      sync.Mutex
 	handler Handler
 	closed  bool
 	serving map[net.Conn]struct{}
-	idle    map[string][]idleConn
+	muxes   map[string]*muxConn
+	dialing map[string]*sync.Mutex // per-addr dial serialisation
+	dialed  map[string]bool        // addrs dialed at least once (reconnect counting)
 	wg      sync.WaitGroup
 }
 
@@ -63,7 +73,9 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 		ln:      ln,
 		addr:    ln.Addr().String(),
 		serving: make(map[net.Conn]struct{}),
-		idle:    make(map[string][]idleConn),
+		muxes:   make(map[string]*muxConn),
+		dialing: make(map[string]*sync.Mutex),
+		dialed:  make(map[string]bool),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -80,8 +92,11 @@ func (t *TCPTransport) SetHandler(h Handler) {
 	t.handler = h
 }
 
-// Close implements Transport: it stops the accept loop and closes every open
-// connection, then waits for the per-connection goroutines to drain.
+// Stats implements Transport.
+func (t *TCPTransport) Stats() TransportStats { return t.stats.snapshot() }
+
+// Close implements Transport: it stops the accept loop, closes every inbound
+// connection and outbound mux, then waits for all connection goroutines.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -93,21 +108,16 @@ func (t *TCPTransport) Close() error {
 	for c := range t.serving {
 		c.Close()
 	}
-	for _, conns := range t.idle {
-		for _, c := range conns {
-			c.conn.Close()
-		}
+	muxes := make([]*muxConn, 0, len(t.muxes))
+	for _, mc := range t.muxes {
+		muxes = append(muxes, mc)
 	}
-	t.idle = make(map[string][]idleConn)
 	t.mu.Unlock()
+	for _, mc := range muxes {
+		mc.fail(fmt.Errorf("%w: %s", ErrClosed, t.addr))
+	}
 	t.wg.Wait()
 	return err
-}
-
-func (t *TCPTransport) isClosed() bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.closed
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -130,150 +140,480 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
+// numServing returns the number of live inbound connections (tests use it to
+// prove that pipelined calls share one socket).
+func (t *TCPTransport) numServing() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.serving)
+}
+
+// frameQueueDepth is the writer-loop channel capacity on both sides of a
+// connection; frameWriteBatch caps how many queued frames one writev
+// coalesces.
+const (
+	frameQueueDepth = 256
+	frameWriteBatch = 64
+)
+
+// writeScratch is a writer loop's reusable batching state: owned keeps the
+// collected frames for stats/pool return after net.Buffers.WriteTo has
+// consumed the bufs view. One writer goroutine owns each instance, so the
+// per-flush slices are reused instead of reallocated.
+type writeScratch struct {
+	bufs  net.Buffers
+	owned [][]byte
+}
+
+func newWriteScratch() *writeScratch {
+	return &writeScratch{
+		bufs:  make(net.Buffers, 0, frameWriteBatch),
+		owned: make([][]byte, 0, frameWriteBatch),
+	}
+}
+
+// drainWrite writes one frame plus everything else already queued in a
+// single writev, returning the frames' pooled buffers afterwards. It reports
+// whether the write succeeded.
+func (ws *writeScratch) drainWrite(conn net.Conn, stats *transportStats, first []byte, ch <-chan []byte) bool {
+	ws.owned = append(ws.owned[:0], first)
+	for len(ws.owned) < frameWriteBatch {
+		select {
+		case b := <-ch:
+			ws.owned = append(ws.owned, b)
+		default:
+			goto write
+		}
+	}
+write:
+	ws.bufs = append(ws.bufs[:0], ws.owned...)
+	_ = conn.SetWriteDeadline(time.Now().Add(tcpCallTimeout))
+	_, err := ws.bufs.WriteTo(conn) // writev: one syscall for the whole batch
+	for i, b := range ws.owned {
+		stats.countOut(len(b))
+		wirecodec.PutBuf(b)
+		ws.owned[i] = nil
+	}
+	return err == nil
+}
+
 // serveConn answers framed requests on one inbound connection until the peer
-// hangs up, a protocol error occurs, or the idle deadline passes.
+// hangs up, framing corrupts, or the idle deadline passes. Requests are
+// dispatched concurrently (bounded by serverMaxConcurrent) and each reply
+// carries its request's sequence ID, so a slow handler never head-of-line
+// blocks the requests pipelined behind it; a per-connection writer loop
+// coalesces queued replies into single writev calls.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer t.wg.Done()
+	var (
+		hwg     sync.WaitGroup
+		sem     = make(chan struct{}, serverMaxConcurrent)
+		writeCh = make(chan []byte, frameQueueDepth)
+		done    = make(chan struct{})
+		wdone   = make(chan struct{})
+	)
+	// Reply writer loop: drains queued frames ahead of shutdown, so every
+	// reply a handler produced is flushed before the connection winds down.
+	go func() {
+		defer close(wdone)
+		ws := newWriteScratch()
+		for {
+			select {
+			case buf := <-writeCh:
+				if !ws.drainWrite(conn, &t.stats, buf, writeCh) {
+					// The peer stopped reading; tear the connection down so
+					// the read loop exits too.
+					conn.Close()
+					return
+				}
+			default:
+				select {
+				case buf := <-writeCh:
+					if !ws.drainWrite(conn, &t.stats, buf, writeCh) {
+						conn.Close()
+						return
+					}
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
 	defer func() {
+		// Let in-flight handlers finish and the writer drain their replies
+		// before the socket closes: a peer that half-closed its write side
+		// after pipelining requests still receives every reply. On a dead
+		// connection the writer's write error closes the socket itself, so
+		// this drain cannot wedge (handlers fall through to wdone).
+		hwg.Wait()
+		close(done)
+		<-wdone
 		conn.Close()
 		t.mu.Lock()
 		delete(t.serving, conn)
 		t.mu.Unlock()
 	}()
+	writeReply := func(seq uint64, typ byte, payload []byte) {
+		buf, err := appendFrame(wirecodec.GetBuf(), seq, typ, payload)
+		if err != nil {
+			// An oversized reply must still answer its sequence ID — a
+			// dropped frame would leave the caller waiting out its timeout
+			// and retrying forever. The error text always fits.
+			buf, err = appendFrame(buf[:0], seq, typeReplyErr, []byte(err.Error()))
+			if err != nil {
+				wirecodec.PutBuf(buf)
+				return
+			}
+		}
+		select {
+		case writeCh <- buf:
+		case <-wdone:
+			wirecodec.PutBuf(buf)
+		}
+	}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout))
-		msgType, payload, err := readFrame(conn)
+		f, err := readFrame(conn)
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The oversized payload was skipped and framing is intact:
+				// answer with a framed error and keep the connection (and
+				// every pipelined call on it) alive.
+				t.stats.oversizedDrops.Add(1)
+				writeReply(f.seq, typeReplyErr, []byte(err.Error()))
+				continue
+			}
+			// EOF, deadline, or framing corruption: close.
 			return
 		}
+		t.stats.countIn(frameHeaderSize + len(f.payload))
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		reply, herr := dispatch(h, msgType, payload)
-		_ = conn.SetWriteDeadline(time.Now().Add(tcpCallTimeout))
-		if herr != nil {
-			if err := writeFrame(conn, frameErr, []byte(herr.Error())); err != nil {
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(f frame) {
+			defer hwg.Done()
+			defer func() { <-sem }()
+			reply, herr := dispatch(h, typeName(f.typ), f.payload)
+			if herr != nil {
+				writeReply(f.seq, typeReplyErr, []byte(herr.Error()))
 				return
 			}
-			continue
+			writeReply(f.seq, typeReplyOK, reply)
+		}(f)
+	}
+}
+
+// callResult is what the demux reader delivers to a waiting Call.
+type callResult struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// muxConn is one multiplexed outbound connection: a writer loop draining
+// request frames, a reader loop demultiplexing replies into the in-flight
+// map by sequence ID.
+type muxConn struct {
+	t    *TCPTransport
+	addr string
+	conn net.Conn
+
+	writeCh  chan []byte // encoded request frames (pooled buffers)
+	closeCh  chan struct{}
+	failOnce sync.Once
+
+	// lastUsed is the UnixNano of the last call registration or reply frame,
+	// read by the idle reaper to distinguish a genuinely idle connection
+	// from a read deadline armed before a late call arrived.
+	lastUsed atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[uint64]chan callResult
+	nextSeq  uint64
+	closed   bool
+}
+
+// touch records activity for the idle reaper.
+func (m *muxConn) touch() { m.lastUsed.Store(time.Now().UnixNano()) }
+
+func newMuxConn(t *TCPTransport, addr string, conn net.Conn) *muxConn {
+	m := &muxConn{
+		t:        t,
+		addr:     addr,
+		conn:     conn,
+		writeCh:  make(chan []byte, frameQueueDepth),
+		closeCh:  make(chan struct{}),
+		inflight: make(map[uint64]chan callResult),
+	}
+	m.touch()
+	return m
+}
+
+func (m *muxConn) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// idle reports whether no call is awaiting a reply.
+func (m *muxConn) idle() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight) == 0
+}
+
+// fail closes the connection and fails every in-flight call. It is safe to
+// call multiple times and from any goroutine (reader, writer, Close).
+func (m *muxConn) fail(err error) {
+	m.failOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		waiting := m.inflight
+		m.inflight = make(map[uint64]chan callResult)
+		m.mu.Unlock()
+		close(m.closeCh)
+		m.conn.Close()
+		for _, ch := range waiting {
+			ch <- callResult{err: err}
 		}
-		if err := writeFrame(conn, frameOK, reply); err != nil {
-			return
+	})
+}
+
+// writeLoop serialises request frames onto the socket, coalescing queued
+// frames into single writev calls.
+func (m *muxConn) writeLoop() {
+	defer m.t.wg.Done()
+	ws := newWriteScratch()
+	for {
+		select {
+		case buf := <-m.writeCh:
+			if !ws.drainWrite(m.conn, &m.t.stats, buf, m.writeCh) {
+				m.fail(fmt.Errorf("%s: write failed", m.addr))
+				return
+			}
+		case <-m.closeCh:
+			// Frames still queued belong to calls fail() already errored;
+			// recycle their buffers.
+			for {
+				select {
+				case buf := <-m.writeCh:
+					wirecodec.PutBuf(buf)
+				default:
+					return
+				}
+			}
 		}
 	}
 }
 
-// getConn returns a pooled idle connection to addr, or dials a new one.
-// pooled reports whether the connection came from the pool (and may be stale).
-func (t *TCPTransport) getConn(addr string) (conn net.Conn, pooled bool, err error) {
+// readLoop demultiplexes reply frames to the in-flight calls and reaps the
+// connection after tcpMuxIdle without traffic.
+func (m *muxConn) readLoop() {
+	defer m.t.wg.Done()
+	for {
+		_ = m.conn.SetReadDeadline(time.Now().Add(tcpMuxIdle))
+		f, err := readFrame(m.conn)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Only the oversized reply's call fails; the connection and
+				// the other in-flight calls stay healthy.
+				m.t.stats.oversizedDrops.Add(1)
+				m.deliver(f.seq, callResult{err: err})
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if since := time.Since(time.Unix(0, m.lastUsed.Load())); since < tcpMuxIdle {
+					// The deadline was armed before recent activity (a call
+					// registered late in the window); re-arm and keep going.
+					continue
+				}
+				if m.idle() {
+					// Clean idle self-reap: nothing is in flight (calls time
+					// out and deregister long before tcpMuxIdle), so closing
+					// now is invisible; failing with errMuxClosed lets a
+					// Call racing this close retry on a fresh dial.
+					m.fail(errMuxClosed)
+					return
+				}
+			}
+			m.fail(fmt.Errorf("read %s: %w", m.addr, err))
+			return
+		}
+		if f.typ != typeReplyOK && f.typ != typeReplyErr {
+			m.fail(fmt.Errorf("%w: reply type %#x", ErrBadFrame, f.typ))
+			return
+		}
+		m.touch()
+		m.t.stats.countIn(frameHeaderSize + len(f.payload))
+		m.deliver(f.seq, callResult{typ: f.typ, payload: f.payload})
+	}
+}
+
+// deliver hands a result to the call waiting on seq. Replies for unknown
+// sequence IDs (a call that timed out meanwhile) are dropped.
+func (m *muxConn) deliver(seq uint64, res callResult) {
+	m.mu.Lock()
+	ch, ok := m.inflight[seq]
+	delete(m.inflight, seq)
+	m.mu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
+// call performs one pipelined exchange on the shared connection.
+func (m *muxConn) call(typ byte, payload []byte) ([]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errMuxClosed
+	}
+	m.nextSeq++
+	seq := m.nextSeq
+	ch := make(chan callResult, 1)
+	m.inflight[seq] = ch
+	m.mu.Unlock()
+	m.touch()
+
+	buf := wirecodec.GetBuf()
+	buf, err := appendFrame(buf, seq, typ, payload)
+	if err != nil {
+		wirecodec.PutBuf(buf)
+		m.abandon(seq)
+		return nil, err
+	}
+	// Hand the frame to the writer loop: a successful send means the writer
+	// owns the frame (it reaches the socket or the whole connection fails,
+	// erroring this call through its in-flight channel), while losing to
+	// closeCh means the request never left this goroutine and is safe to
+	// retry elsewhere.
+	select {
+	case m.writeCh <- buf:
+	case <-m.closeCh:
+		wirecodec.PutBuf(buf)
+		m.abandon(seq)
+		return nil, errMuxClosed
+	}
+
+	timer := time.NewTimer(tcpCallTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.typ == typeReplyErr {
+			return nil, &RemoteError{Msg: string(res.payload)}
+		}
+		return res.payload, nil
+	case <-timer.C:
+		m.abandon(seq)
+		return nil, fmt.Errorf("call %s: timeout after %s", m.addr, tcpCallTimeout)
+	}
+}
+
+// abandon forgets an in-flight registration (failed enqueue or timeout).
+func (m *muxConn) abandon(seq uint64) {
+	m.mu.Lock()
+	delete(m.inflight, seq)
+	m.mu.Unlock()
+}
+
+// getMux returns the live shared connection to addr, dialing one when none
+// exists. Dials to the same address are serialised by a per-address lock so
+// a burst of first calls shares one connection instead of racing N dials.
+// fresh reports that this call created the connection (a Call that fails on
+// a fresh connection must not redial again).
+func (t *TCPTransport) getMux(addr string) (mc *muxConn, fresh bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
 	}
-	var expired []net.Conn
-	for conns := t.idle[addr]; len(conns) > 0; conns = t.idle[addr] {
-		last := conns[len(conns)-1]
-		t.idle[addr] = conns[:len(conns)-1]
-		if time.Since(last.at) > tcpPoolIdle {
-			expired = append(expired, last.conn)
-			continue
-		}
+	if mc := t.muxes[addr]; mc != nil && !mc.isClosed() {
 		t.mu.Unlock()
-		for _, c := range expired {
-			c.Close()
-		}
-		return last.conn, true, nil
+		return mc, false, nil
+	}
+	dl := t.dialing[addr]
+	if dl == nil {
+		dl = &sync.Mutex{}
+		t.dialing[addr] = dl
 	}
 	t.mu.Unlock()
-	for _, c := range expired {
-		c.Close()
-	}
-	conn, err = net.DialTimeout("tcp", addr, tcpDialTimeout)
-	if err != nil {
-		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
-	}
-	return conn, false, nil
-}
 
-// putConn returns a healthy connection to the pool (or closes it when full or
-// when the transport has shut down).
-func (t *TCPTransport) putConn(addr string, conn net.Conn) {
+	dl.Lock()
+	defer dl.Unlock()
+	// Someone else may have dialed while we waited for the lock.
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed || len(t.idle[addr]) >= tcpPoolSize {
-		conn.Close()
-		return
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
 	}
-	t.idle[addr] = append(t.idle[addr], idleConn{conn: conn, at: time.Now()})
+	if mc := t.muxes[addr]; mc != nil && !mc.isClosed() {
+		t.mu.Unlock()
+		return mc, false, nil
+	}
+	t.mu.Unlock()
+
+	conn, derr := net.DialTimeout("tcp", addr, tcpDialTimeout)
+	if derr != nil {
+		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, derr)
+	}
+	mc = newMuxConn(t, addr, conn)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
+	}
+	if t.dialed[addr] {
+		t.stats.reconnects.Add(1)
+	}
+	t.dialed[addr] = true
+	t.muxes[addr] = mc
+	t.wg.Add(2)
+	t.mu.Unlock()
+	go mc.writeLoop()
+	go mc.readLoop()
+	return mc, true, nil
 }
 
 // Call implements Transport.
 func (t *TCPTransport) Call(addr, msgType string, payload []byte) ([]byte, error) {
-	conn, pooled, err := t.getConn(addr)
+	typ, err := typeByte(msgType)
 	if err != nil {
 		return nil, err
 	}
-	reply, rerr, wrote, err := t.exchange(conn, addr, msgType, payload)
-	if err != nil && pooled && !wrote {
-		// The pooled connection died while idle and the request never made
-		// it out; retry once on a fresh dial. If the request was written,
-		// the server may have executed it, and blindly resending would
-		// duplicate non-idempotent messages (ACCEPT_OBJECT) — surface the
-		// error instead.
-		conn, _, derr := t.getConnFresh(addr)
+	t.stats.inFlight.Add(1)
+	defer t.stats.inFlight.Add(-1)
+	mc, fresh, err := t.getMux(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := mc.call(typ, payload)
+	if errors.Is(err, errMuxClosed) && !fresh {
+		// The shared connection died before our frame was written (e.g. the
+		// peer's idle reaper closed it); the request never made it out, so
+		// one retry on a fresh connection is safe even for non-idempotent
+		// messages.
+		mc, _, derr := t.getMux(addr)
 		if derr != nil {
 			return nil, derr
 		}
-		reply, rerr, _, err = t.exchange(conn, addr, msgType, payload)
+		reply, err = mc.call(typ, payload)
 	}
 	if err != nil {
+		if IsRemote(err) {
+			return nil, err
+		}
+		if errors.Is(err, ErrFrameTooLarge) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
-	if rerr != nil {
-		return nil, rerr
-	}
 	return reply, nil
-}
-
-// getConnFresh always dials (bypassing the pool).
-func (t *TCPTransport) getConnFresh(addr string) (net.Conn, bool, error) {
-	if t.isClosed() {
-		return nil, false, fmt.Errorf("%w: %s", ErrClosed, t.addr)
-	}
-	conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
-	if err != nil {
-		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
-	}
-	return conn, false, nil
-}
-
-// exchange performs one request/reply on conn. A returned *RemoteError keeps
-// the connection healthy (it goes back to the pool); an I/O error closes it.
-// wrote reports whether any of the request may have reached the peer (the
-// caller must not blindly retry in that case).
-func (t *TCPTransport) exchange(conn net.Conn, addr, msgType string, payload []byte) (reply []byte, rerr *RemoteError, wrote bool, err error) {
-	deadline := time.Now().Add(tcpCallTimeout)
-	_ = conn.SetDeadline(deadline)
-	if err := writeFrame(conn, msgType, payload); err != nil {
-		conn.Close()
-		return nil, nil, false, err
-	}
-	replyType, replyPayload, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, nil, true, err
-	}
-	_ = conn.SetDeadline(time.Time{})
-	switch replyType {
-	case frameOK:
-		t.putConn(addr, conn)
-		return replyPayload, nil, true, nil
-	case frameErr:
-		t.putConn(addr, conn)
-		return nil, &RemoteError{Msg: string(replyPayload)}, true, nil
-	default:
-		conn.Close()
-		return nil, nil, true, fmt.Errorf("%w: reply type %q", ErrBadFrame, replyType)
-	}
 }

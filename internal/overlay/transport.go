@@ -3,6 +3,7 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Transport errors.
@@ -32,13 +33,69 @@ func IsRemote(err error) bool {
 }
 
 // Handler processes one inbound request frame and returns the reply payload.
-// Returning an error sends a frameErr reply carrying the error text; the
-// error never tears down the connection.
+// Returning an error sends a typeReplyErr reply carrying the error text; the
+// error never tears down the connection. Handlers run concurrently (the TCP
+// transport dispatches pipelined requests in parallel), so they must be safe
+// for concurrent use.
 type Handler func(msgType string, payload []byte) ([]byte, error)
+
+// TransportStats is a snapshot of one transport's cumulative counters,
+// surfaced through the node status endpoint and printed by clashload.
+type TransportStats struct {
+	// FramesIn / FramesOut count complete frames read and written (requests
+	// and replies alike).
+	FramesIn  uint64 `json:"framesIn"`
+	FramesOut uint64 `json:"framesOut"`
+	// BytesIn / BytesOut count frame bytes, headers included.
+	BytesIn  uint64 `json:"bytesIn"`
+	BytesOut uint64 `json:"bytesOut"`
+	// InFlight is the number of outbound Calls currently awaiting a reply.
+	InFlight int64 `json:"inFlight"`
+	// Reconnects counts outbound connections dialed to replace a broken or
+	// expired one (first dials to a peer are not reconnects).
+	Reconnects uint64 `json:"reconnects"`
+	// OversizedDrops counts inbound frames discarded (and answered with a
+	// framed error) because their payload exceeded maxFrameSize.
+	OversizedDrops uint64 `json:"oversizedDrops"`
+}
+
+// transportStats is the shared atomic counter block embedded by both
+// transports.
+type transportStats struct {
+	framesIn, framesOut atomic.Uint64
+	bytesIn, bytesOut   atomic.Uint64
+	inFlight            atomic.Int64
+	reconnects          atomic.Uint64
+	oversizedDrops      atomic.Uint64
+}
+
+func (s *transportStats) countIn(bytes int) {
+	s.framesIn.Add(1)
+	s.bytesIn.Add(uint64(bytes))
+}
+
+func (s *transportStats) countOut(bytes int) {
+	s.framesOut.Add(1)
+	s.bytesOut.Add(uint64(bytes))
+}
+
+func (s *transportStats) snapshot() TransportStats {
+	return TransportStats{
+		FramesIn:       s.framesIn.Load(),
+		FramesOut:      s.framesOut.Load(),
+		BytesIn:        s.bytesIn.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		InFlight:       s.inFlight.Load(),
+		Reconnects:     s.reconnects.Load(),
+		OversizedDrops: s.oversizedDrops.Load(),
+	}
+}
 
 // Transport is the messaging substrate an overlay node or client runs on:
 // a listening endpoint with an address peers can Call, plus the outbound Call
-// primitive. Implementations must be safe for concurrent use.
+// primitive. Implementations must be safe for concurrent use, and concurrent
+// Calls to the same address must be able to share one underlying connection
+// (pipelining): a Call never waits for an unrelated Call's reply.
 //
 // Two implementations exist: MemNetwork endpoints for deterministic in-process
 // tests and TCPTransport for real deployments. Both speak the same framed wire
@@ -52,10 +109,13 @@ type Transport interface {
 	// before the first Call can be answered; installing nil drops requests
 	// with an error reply.
 	SetHandler(h Handler)
-	// Call sends one request frame to addr and waits for the reply frame.
-	// It returns ErrUnreachable (wrapped) on transport failure and a
-	// *RemoteError when the remote handler returned an error.
+	// Call sends one request frame to addr and waits for the reply frame
+	// with the matching sequence ID. It returns ErrUnreachable (wrapped) on
+	// transport failure and a *RemoteError when the remote handler returned
+	// an error.
 	Call(addr, msgType string, payload []byte) ([]byte, error)
+	// Stats returns the transport's cumulative counters.
+	Stats() TransportStats
 	// Close releases the endpoint. Outstanding and future Calls fail.
 	Close() error
 }
@@ -64,6 +124,9 @@ type Transport interface {
 func dispatch(h Handler, msgType string, payload []byte) ([]byte, error) {
 	if h == nil {
 		return nil, fmt.Errorf("no handler installed")
+	}
+	if msgType == "" {
+		return nil, fmt.Errorf("unknown message type byte")
 	}
 	return h(msgType, payload)
 }

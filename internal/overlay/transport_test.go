@@ -2,66 +2,134 @@ package overlay
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"strings"
+	"io"
+	"net"
 	"sync"
 	"testing"
+	"time"
+
+	"clash/internal/core"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
 	cases := []struct {
-		msgType string
+		seq     uint64
+		typ     byte
 		payload []byte
 	}{
-		{TypePing, nil},
-		{TypeAcceptObject, []byte(`{"key":"0101","depth":2}`)},
-		{frameOK, []byte{}},
-		{frameErr, []byte("boom")},
-		{strings.Repeat("t", 255), bytes.Repeat([]byte{0xAB}, 4096)},
+		{1, typePing, nil},
+		{2, typeAcceptObject, []byte{0x18, 0x05, 0x02, 0x01, 0x00}},
+		{1 << 40, typeReplyOK, []byte{}},
+		{7, typeReplyErr, []byte("boom")},
+		{0, typeAcceptBatch, bytes.Repeat([]byte{0xAB}, 4096)},
 	}
 	for _, tc := range cases {
-		var buf bytes.Buffer
-		if err := writeFrame(&buf, tc.msgType, tc.payload); err != nil {
-			t.Fatalf("writeFrame(%q): %v", tc.msgType, err)
-		}
-		gotType, gotPayload, err := readFrame(&buf)
+		buf, err := appendFrame(nil, tc.seq, tc.typ, tc.payload)
 		if err != nil {
-			t.Fatalf("readFrame(%q): %v", tc.msgType, err)
+			t.Fatalf("appendFrame(%d): %v", tc.seq, err)
 		}
-		if gotType != tc.msgType {
-			t.Errorf("type = %q, want %q", gotType, tc.msgType)
+		got, err := readFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("readFrame(%d): %v", tc.seq, err)
 		}
-		if !bytes.Equal(gotPayload, tc.payload) {
-			t.Errorf("payload mismatch for %q: got %d bytes, want %d", tc.msgType, len(gotPayload), len(tc.payload))
+		if got.seq != tc.seq || got.typ != tc.typ {
+			t.Errorf("frame = (%d, %#x), want (%d, %#x)", got.seq, got.typ, tc.seq, tc.typ)
+		}
+		if !bytes.Equal(got.payload, tc.payload) {
+			t.Errorf("payload mismatch for seq %d: got %d bytes, want %d", tc.seq, len(got.payload), len(tc.payload))
 		}
 	}
 }
 
-func TestFrameRejectsBadInput(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, "", nil); err == nil {
-		t.Error("writeFrame accepted empty message type")
-	}
-	if err := writeFrame(&buf, strings.Repeat("x", 256), nil); err == nil {
-		t.Error("writeFrame accepted 256-byte message type")
-	}
-	// An advertised body larger than the limit must be rejected before any
-	// allocation.
-	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
-	if _, _, err := readFrame(bytes.NewReader(append(huge, 0x01))); !errors.Is(err, ErrFrameTooLarge) {
-		t.Errorf("readFrame(huge) = %v, want ErrFrameTooLarge", err)
-	}
-	// A type length pointing past the body is malformed.
-	var bad bytes.Buffer
-	if err := writeFrame(&bad, "ab", nil); err != nil {
+// TestFrameGoldenBytes pins the frame layout documented in wire.go: length,
+// sequence ID, version byte, type byte, payload.
+func TestFrameGoldenBytes(t *testing.T) {
+	buf, err := appendFrame(nil, 0x0102030405060708, typeAcceptObject, []byte{0xCA, 0xFE})
+	if err != nil {
 		t.Fatal(err)
 	}
-	raw := bad.Bytes()
-	raw[4] = 200 // type length > body
-	if _, _, err := readFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadFrame) {
-		t.Errorf("readFrame(bad type len) = %v, want ErrBadFrame", err)
+	want := []byte{
+		0, 0, 0, 2, // payload length
+		1, 2, 3, 4, 5, 6, 7, 8, // seq
+		wireVersion,
+		typeAcceptObject,
+		0xCA, 0xFE,
 	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("frame bytes = %x, want %x", buf, want)
+	}
+}
+
+func TestFrameRejectsBadInput(t *testing.T) {
+	// Truncated header.
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("readFrame accepted truncated header")
+	}
+	// Unknown version is unrecoverable framing corruption.
+	buf, err := appendFrame(nil, 1, typePing, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf...)
+	bad[12] = 99
+	if _, err := readFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("readFrame(bad version) = %v, want ErrBadFrame", err)
+	}
+	// Oversized payload on the write side is rejected before any I/O.
+	if _, err := appendFrame(nil, 1, typePing, make([]byte, maxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("appendFrame(huge) = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestFrameOversizeRecoverable checks the bugfix: an oversized inbound frame
+// is skipped with its header intact, and the next frame on the same stream
+// still parses — the connection need not die.
+func TestFrameOversizeRecoverable(t *testing.T) {
+	var stream bytes.Buffer
+	// Hand-craft an oversized frame: huge declared length + that many bytes.
+	huge := uint32(maxFrameSize + 3)
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], huge)
+	binary.BigEndian.PutUint64(hdr[4:12], 42)
+	hdr[12] = wireVersion
+	hdr[13] = typeAcceptObject
+	stream.Write(hdr[:])
+	if _, err := io.CopyN(&stream, zeroReader{}, int64(huge)); err != nil {
+		t.Fatal(err)
+	}
+	// Followed by a healthy frame.
+	good, err := appendFrame(nil, 43, typePing, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Write(good)
+
+	f, err := readFrame(&stream)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("readFrame(oversized) = %v, want ErrFrameTooLarge", err)
+	}
+	if f.seq != 42 || f.typ != typeAcceptObject {
+		t.Errorf("oversized header = (%d, %#x), want (42, accept_object)", f.seq, f.typ)
+	}
+	f, err = readFrame(&stream)
+	if err != nil {
+		t.Fatalf("readFrame after oversized: %v", err)
+	}
+	if f.seq != 43 || string(f.payload) != "after" {
+		t.Errorf("next frame = (%d, %q)", f.seq, f.payload)
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
 }
 
 func TestMemTransportCallAndFailures(t *testing.T) {
@@ -69,36 +137,47 @@ func TestMemTransportCallAndFailures(t *testing.T) {
 	a := net.Endpoint("a")
 	b := net.Endpoint("b")
 	b.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
-		if msgType == "fail" {
+		if msgType == TypeStatus {
 			return nil, fmt.Errorf("handler says no")
 		}
 		return append([]byte("echo:"), payload...), nil
 	})
 
-	reply, err := a.Call("b", "echo", []byte("hi"))
+	reply, err := a.Call("b", TypePing, []byte("hi"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if string(reply) != "echo:hi" {
 		t.Errorf("reply = %q", reply)
 	}
-	if net.Calls("echo") != 1 {
-		t.Errorf("Calls(echo) = %d, want 1", net.Calls("echo"))
+	if net.Calls(TypePing) != 1 {
+		t.Errorf("Calls(ping) = %d, want 1", net.Calls(TypePing))
 	}
 
-	if _, err := a.Call("b", "fail", nil); !IsRemote(err) {
+	if _, err := a.Call("b", TypeStatus, nil); !IsRemote(err) {
 		t.Errorf("remote handler error = %v, want RemoteError", err)
 	}
-	if _, err := a.Call("missing", "echo", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call("b", "not.registered", nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unregistered type = %v, want ErrBadFrame", err)
+	}
+	if _, err := a.Call("missing", TypePing, nil); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("call to unknown endpoint = %v, want ErrUnreachable", err)
 	}
 	net.SetDown("b", true)
-	if _, err := a.Call("b", "echo", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := a.Call("b", TypePing, nil); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("call to down endpoint = %v, want ErrUnreachable", err)
 	}
 	net.SetDown("b", false)
-	if _, err := a.Call("b", "echo", nil); err != nil {
+	if _, err := a.Call("b", TypePing, nil); err != nil {
 		t.Errorf("call after SetDown(false): %v", err)
+	}
+
+	st := a.Stats()
+	if st.FramesOut == 0 || st.BytesOut == 0 {
+		t.Errorf("caller stats not counted: %+v", st)
+	}
+	if bst := b.Stats(); bst.FramesIn == 0 {
+		t.Errorf("target stats not counted: %+v", bst)
 	}
 }
 
@@ -110,7 +189,7 @@ func TestTCPTransportCall(t *testing.T) {
 	defer srv.Close()
 	srv.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
 		switch msgType {
-		case "fail":
+		case TypeStatus:
 			return nil, fmt.Errorf("nope")
 		default:
 			return append([]byte(msgType+":"), payload...), nil
@@ -123,36 +202,37 @@ func TestTCPTransportCall(t *testing.T) {
 	}
 	defer cli.Close()
 
-	reply, err := cli.Call(srv.Addr(), "echo", []byte("over tcp"))
+	reply, err := cli.Call(srv.Addr(), TypePing, []byte("over tcp"))
 	if err != nil {
 		t.Fatalf("Call: %v", err)
 	}
-	if string(reply) != "echo:over tcp" {
+	if string(reply) != TypePing+":over tcp" {
 		t.Errorf("reply = %q", reply)
 	}
 
-	// An application error must not poison the pooled connection.
-	if _, err := cli.Call(srv.Addr(), "fail", nil); !IsRemote(err) {
+	// An application error must not poison the shared connection.
+	if _, err := cli.Call(srv.Addr(), TypeStatus, nil); !IsRemote(err) {
 		t.Errorf("remote error = %v, want RemoteError", err)
 	}
-	if _, err := cli.Call(srv.Addr(), "echo", nil); err != nil {
+	if _, err := cli.Call(srv.Addr(), TypePing, nil); err != nil {
 		t.Errorf("call after remote error: %v", err)
 	}
 
-	// Concurrent callers share the pool without corrupting frames.
+	// Concurrent callers share the multiplexed connection without corrupting
+	// or cross-wiring frames.
 	var wg sync.WaitGroup
-	errs := make(chan error, 32)
-	for i := 0; i < 32; i++ {
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			msg := []byte(fmt.Sprintf("msg-%d", i))
-			reply, err := cli.Call(srv.Addr(), "echo", msg)
+			reply, err := cli.Call(srv.Addr(), TypePing, msg)
 			if err != nil {
 				errs <- err
 				return
 			}
-			if string(reply) != "echo:"+string(msg) {
+			if string(reply) != TypePing+":"+string(msg) {
 				errs <- fmt.Errorf("reply %q for %q", reply, msg)
 			}
 		}(i)
@@ -163,8 +243,228 @@ func TestTCPTransportCall(t *testing.T) {
 		t.Error(err)
 	}
 
-	if _, err := cli.Call("127.0.0.1:1", "echo", nil); !errors.Is(err, ErrUnreachable) {
+	if got := srv.numServing(); got != 1 {
+		t.Errorf("server connections = %d, want 1 (multiplexed)", got)
+	}
+	if st := cli.Stats(); st.Reconnects != 0 {
+		t.Errorf("reconnects = %d, want 0", st.Reconnects)
+	}
+
+	if _, err := cli.Call("127.0.0.1:1", TypePing, nil); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("dial refused = %v, want ErrUnreachable", err)
+	}
+}
+
+// TestTCPPipelining is the acceptance test for the multiplexed transport:
+// 32+ concurrent Calls complete over a single TCP connection with replies
+// arriving out of order. The handler holds every early request hostage until
+// the last request of the wave has been received — impossible to satisfy
+// with sequential request/reply exchanges on one socket, and proof that the
+// demux reader matches replies by sequence ID rather than by arrival order.
+func TestTCPPipelining(t *testing.T) {
+	const calls = 48
+
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var (
+		mu      sync.Mutex
+		arrived int
+		release = make(chan struct{})
+	)
+	srv.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		arrived++
+		if arrived == calls {
+			close(release)
+		}
+		mu.Unlock()
+		// Every request blocks until the whole wave is on the server: replies
+		// can only be produced once all requests were accepted concurrently.
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("wave never completed")
+		}
+		return append([]byte("r:"), payload...), nil
+	})
+
+	cli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("c%02d", i))
+			reply, err := cli.Call(srv.Addr(), TypePing, msg)
+			if err != nil {
+				errs <- fmt.Errorf("call %d: %w", i, err)
+				return
+			}
+			if string(reply) != "r:"+string(msg) {
+				errs <- fmt.Errorf("call %d got %q", i, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := srv.numServing(); got != 1 {
+		t.Errorf("server connections = %d, want exactly 1 for %d concurrent calls", got, calls)
+	}
+	st := cli.Stats()
+	if st.Reconnects != 0 {
+		t.Errorf("reconnects = %d, want 0", st.Reconnects)
+	}
+	if st.FramesOut < calls {
+		t.Errorf("frames out = %d, want >= %d", st.FramesOut, calls)
+	}
+}
+
+// TestTCPOversizedFrameKeepsConnection checks the server half of the
+// oversize bugfix end to end: a hand-crafted oversized frame gets a framed
+// error reply (same seq) and the connection keeps serving pipelined traffic.
+func TestTCPOversizedFrameKeepsConnection(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
+		return []byte("pong"), nil
+	})
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Oversized frame: declared length over the limit, then the payload.
+	huge := uint32(maxFrameSize + 1)
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], huge)
+	binary.BigEndian.PutUint64(hdr[4:12], 99)
+	hdr[12] = wireVersion
+	hdr[13] = typePing
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.CopyN(conn, zeroReader{}, int64(huge)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("reading error reply: %v", err)
+	}
+	if f.seq != 99 || f.typ != typeReplyErr {
+		t.Fatalf("reply = (%d, %#x), want (99, typeReplyErr)", f.seq, f.typ)
+	}
+
+	// The connection is still alive: a healthy frame gets a healthy reply.
+	good, err := appendFrame(nil, 100, typePing, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	f, err = readFrame(conn)
+	if err != nil {
+		t.Fatalf("reading reply after oversized frame: %v", err)
+	}
+	if f.seq != 100 || f.typ != typeReplyOK || string(f.payload) != "pong" {
+		t.Errorf("reply = (%d, %#x, %q)", f.seq, f.typ, f.payload)
+	}
+	if st := srv.Stats(); st.OversizedDrops != 1 {
+		t.Errorf("oversized drops = %d, want 1", st.OversizedDrops)
+	}
+}
+
+// TestCrossTransportByteIdentity proves the in-memory and TCP transports put
+// the same bytes on the wire: the handler on each transport records the raw
+// payload it received for identical requests (including a batch frame), and
+// the recorded bytes must match exactly. Framing itself is shared
+// (appendFrame) and pinned by TestFrameGoldenBytes.
+func TestCrossTransportByteIdentity(t *testing.T) {
+	batch := core.AcceptBatchMsg{Objects: []core.AcceptObjectMsg{
+		{KeyValue: 0b1011, KeyBits: 16, Depth: 3, Kind: core.ObjectData, Payload: []byte("p0")},
+		{KeyValue: 0x7FFF, KeyBits: 16, Depth: 9, Kind: core.ObjectQuery, Payload: []byte("p1")},
+	}}
+	requests := []struct {
+		msgType string
+		payload []byte
+	}{
+		{TypePing, nil},
+		{TypeAcceptObject, (&core.AcceptObjectMsg{KeyValue: 5, KeyBits: 8, Depth: 2, Kind: core.ObjectData}).MarshalWire(nil)},
+		{TypeAcceptBatch, batch.MarshalWire(nil)},
+		{TypeFindSuccessor, (&findSuccessorMsg{ID: 123456}).MarshalWire(nil)},
+	}
+
+	type recorder struct {
+		mu  sync.Mutex
+		got [][]byte
+	}
+	record := func() (Handler, *recorder) {
+		r := &recorder{}
+		return func(msgType string, payload []byte) ([]byte, error) {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.got = append(r.got, append([]byte(nil), payload...))
+			return []byte(msgType), nil
+		}, r
+	}
+
+	memNet := NewMemNetwork()
+	memCli := memNet.Endpoint("cli")
+	memSrv := memNet.Endpoint("srv")
+	memHandler, memGot := record()
+	memSrv.SetHandler(memHandler)
+
+	tcpSrv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpSrv.Close()
+	tcpHandler, tcpGot := record()
+	tcpSrv.SetHandler(tcpHandler)
+	tcpCli, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpCli.Close()
+
+	for _, req := range requests {
+		if _, err := memCli.Call("srv", req.msgType, req.payload); err != nil {
+			t.Fatalf("mem call %s: %v", req.msgType, err)
+		}
+		if _, err := tcpCli.Call(tcpSrv.Addr(), req.msgType, req.payload); err != nil {
+			t.Fatalf("tcp call %s: %v", req.msgType, err)
+		}
+	}
+	memGot.mu.Lock()
+	defer memGot.mu.Unlock()
+	tcpGot.mu.Lock()
+	defer tcpGot.mu.Unlock()
+	if len(memGot.got) != len(requests) || len(tcpGot.got) != len(requests) {
+		t.Fatalf("recorded %d mem / %d tcp payloads, want %d", len(memGot.got), len(tcpGot.got), len(requests))
+	}
+	for i := range requests {
+		if !bytes.Equal(memGot.got[i], tcpGot.got[i]) {
+			t.Errorf("%s: mem payload %x != tcp payload %x", requests[i].msgType, memGot.got[i], tcpGot.got[i])
+		}
 	}
 }
 
@@ -178,13 +478,13 @@ func TestTCPTransportClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Call(srv.Addr(), "x", nil); err != nil {
+	if _, err := cli.Call(srv.Addr(), TypePing, nil); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if err := cli.Close(); err != nil {
 		t.Errorf("client Close: %v", err)
 	}
-	if _, err := cli.Call(srv.Addr(), "x", nil); !errors.Is(err, ErrClosed) {
+	if _, err := cli.Call(srv.Addr(), TypePing, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("Call after Close = %v, want ErrClosed", err)
 	}
 	if err := srv.Close(); err != nil {

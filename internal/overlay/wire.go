@@ -2,13 +2,29 @@
 // protocol pieces (chord.Node, core.Server, cq.Engine, load.Meter) into
 // networked nodes and clients exchanging real messages.
 //
-// The wire protocol is deliberately simple: every message is one
-// length-prefixed binary frame carrying a short ASCII message type and a JSON
-// payload. Each request frame is answered by exactly one reply frame whose
-// type is either frameOK (payload = JSON reply) or frameErr (payload = error
-// string). The same framing is used by the TCP transport and — byte for byte —
-// by the in-memory transport, so deterministic tests exercise the exact
-// encoding that production traffic uses.
+// The wire protocol is a hand-rolled binary codec over length-prefixed,
+// sequence-numbered frames:
+//
+//	offset  size  field
+//	0       4     payload length (big-endian uint32)
+//	4       8     sequence ID   (big-endian uint64)
+//	12      1     protocol version (wireVersion)
+//	13      1     message type byte
+//	14      n     payload (message-specific binary encoding, wirecodec)
+//
+// Requests carry a caller-chosen sequence ID; the matching reply echoes it
+// with type typeReplyOK (payload = encoded reply message) or typeReplyErr
+// (payload = error text). Because replies are matched by sequence ID rather
+// than by position, many calls can be in flight on one connection at once
+// and replies may arrive out of order (see tcp.go). The same framing is used
+// by the TCP transport and — byte for byte — by the in-memory transport, so
+// deterministic tests exercise the exact encoding production traffic uses.
+//
+// Versioning: the version byte names the frame layout and the per-message
+// field layout as a whole. Within one version, message fields may only ever
+// be appended (decoders ignore unrecognised trailing bytes); any
+// incompatible change bumps wireVersion, and a reader that sees an unknown
+// version closes the connection as corrupt.
 package overlay
 
 import (
@@ -16,11 +32,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
+
+	"clash/internal/wirecodec"
 )
 
-// Wire message types. The clash.* types correspond one-to-one to the protocol
-// messages in internal/core/messages.go; the chord.* types carry the chord.RPC
-// surface; the reply pseudo-types close each exchange.
+// Wire message types (protocol names). The clash.* types correspond
+// one-to-one to the protocol messages in internal/core/messages.go; the
+// chord.* types carry the chord.RPC surface. On the wire each name travels
+// as a single type byte (see typeByte/typeName).
 const (
 	// TypeFindSuccessor asks a node to resolve the successor of a hash point.
 	TypeFindSuccessor = "chord.find_successor"
@@ -34,6 +54,9 @@ const (
 	// TypeAcceptObject carries a data packet or query registration
 	// (core.MsgAcceptObject).
 	TypeAcceptObject = "clash.accept_object"
+	// TypeAcceptBatch carries a vector of ACCEPT_OBJECT bodies in one frame
+	// (core.MsgAcceptBatch).
+	TypeAcceptBatch = "clash.accept_batch"
 	// TypeAcceptKeyGroup transfers a key group and its query state
 	// (core.MsgAcceptKeyGroup).
 	TypeAcceptKeyGroup = "clash.accept_keygroup"
@@ -53,71 +76,191 @@ const (
 	TypeChildMoved = "clash.child_moved"
 	// TypeStatus returns a node's JSON status snapshot.
 	TypeStatus = "clash.status"
-
-	// frameOK and frameErr are the two reply frame types.
-	frameOK  = "+ok"
-	frameErr = "-err"
 )
 
-// maxFrameSize bounds a single frame (type + payload) to keep a malformed or
-// hostile peer from forcing an unbounded allocation.
-const maxFrameSize = 16 << 20
+// Wire type bytes. Request types live below 0xF0; the two reply types sit at
+// the top of the space. New types are appended, never renumbered (renumbering
+// is an incompatible change and would bump wireVersion).
+const (
+	typeFindSuccessor   byte = 0x01
+	typePredecessor     byte = 0x02
+	typeNotify          byte = 0x03
+	typePing            byte = 0x04
+	typeAcceptObject    byte = 0x10
+	typeAcceptBatch     byte = 0x11
+	typeAcceptKeyGroup  byte = 0x12
+	typeLoadReport      byte = 0x13
+	typeReleaseKeyGroup byte = 0x14
+	typeMatch           byte = 0x15
+	typeChildMoved      byte = 0x16
+	typeStatus          byte = 0x17
+
+	typeReplyOK  byte = 0xF0
+	typeReplyErr byte = 0xF1
+)
+
+// typeRegistry maps protocol names to type bytes; nameRegistry is the
+// inverse, indexed by type byte for allocation-free lookup on the read path.
+var (
+	typeRegistry = map[string]byte{
+		TypeFindSuccessor:   typeFindSuccessor,
+		TypePredecessor:     typePredecessor,
+		TypeNotify:          typeNotify,
+		TypePing:            typePing,
+		TypeAcceptObject:    typeAcceptObject,
+		TypeAcceptBatch:     typeAcceptBatch,
+		TypeAcceptKeyGroup:  typeAcceptKeyGroup,
+		TypeLoadReport:      typeLoadReport,
+		TypeReleaseKeyGroup: typeReleaseKeyGroup,
+		TypeMatch:           typeMatch,
+		TypeChildMoved:      typeChildMoved,
+		TypeStatus:          typeStatus,
+	}
+	nameRegistry [256]string
+)
+
+func init() {
+	for name, b := range typeRegistry {
+		nameRegistry[b] = name
+	}
+}
+
+// typeByte resolves a protocol name to its wire byte.
+func typeByte(name string) (byte, error) {
+	b, ok := typeRegistry[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: unregistered message type %q", ErrBadFrame, name)
+	}
+	return b, nil
+}
+
+// typeName resolves a wire byte to its protocol name ("" when unknown; an
+// unknown request type is answered with a framed error, not a closed
+// connection).
+func typeName(b byte) string { return nameRegistry[b] }
+
+// Frame geometry.
+const (
+	// wireVersion is the frame-layout version emitted and accepted.
+	wireVersion = 1
+	// frameHeaderSize is the fixed header: length + seq + version + type.
+	frameHeaderSize = 4 + 8 + 1 + 1
+	// maxFrameSize bounds a frame payload to keep a malformed or hostile
+	// peer from forcing an unbounded allocation.
+	maxFrameSize = 16 << 20
+	// frameReadChunk caps how much payload is allocated ahead of the bytes
+	// actually received, bounding the damage of a length header whose
+	// payload never arrives.
+	frameReadChunk = 64 << 10
+)
 
 // Framing errors.
 var (
-	// ErrFrameTooLarge is returned when a frame exceeds maxFrameSize.
+	// ErrFrameTooLarge is returned when a frame payload exceeds maxFrameSize.
+	// On the read side it is recoverable: the oversized payload has been
+	// skipped and the connection remains framed (readFrame returns the header
+	// so the server can answer with a framed error).
 	ErrFrameTooLarge = errors.New("overlay: frame exceeds size limit")
-	// ErrBadFrame is returned when a frame is structurally invalid.
+	// ErrBadFrame is returned when a frame is structurally invalid
+	// (unknown version, unregistered type on the write path). It is
+	// unrecoverable on the read side: framing sync cannot be trusted.
 	ErrBadFrame = errors.New("overlay: malformed frame")
 )
 
-// writeFrame writes one frame: a 4-byte big-endian body length, a 1-byte
-// message-type length, the message type, and the payload.
-func writeFrame(w io.Writer, msgType string, payload []byte) error {
-	if len(msgType) == 0 || len(msgType) > 255 {
-		return fmt.Errorf("%w: message type length %d", ErrBadFrame, len(msgType))
-	}
-	body := 1 + len(msgType) + len(payload)
-	if body > maxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
-	}
-	buf := make([]byte, 4+body)
-	binary.BigEndian.PutUint32(buf[:4], uint32(body))
-	buf[4] = byte(len(msgType))
-	copy(buf[5:], msgType)
-	copy(buf[5+len(msgType):], payload)
-	_, err := w.Write(buf)
-	return err
+// frame is one decoded wire frame.
+type frame struct {
+	seq     uint64
+	typ     byte
+	payload []byte
 }
 
-// readFrame reads one frame written by writeFrame.
-func readFrame(r io.Reader) (msgType string, payload []byte, err error) {
-	var hdr [4]byte
+// appendFrame appends the complete frame encoding to dst. It is the single
+// encoder both transports use, which is what keeps them byte-identical.
+func appendFrame(dst []byte, seq uint64, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrameSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	dst = append(dst, wireVersion, typ)
+	return append(dst, payload...), nil
+}
+
+// readFrame reads one frame from r. On success the payload is freshly
+// allocated (it is handed across goroutines on the demux path).
+//
+// When the advertised payload exceeds maxFrameSize, readFrame discards the
+// payload from the stream and returns the decoded header alongside
+// ErrFrameTooLarge: framing stays intact, so the caller can answer with a
+// framed error and keep the connection. Any other error (short read, unknown
+// version) is unrecoverable.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return "", nil, err
+		return frame{}, err
 	}
-	body := binary.BigEndian.Uint32(hdr[:])
-	if body > maxFrameSize {
-		return "", nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, body)
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	f := frame{
+		seq: binary.BigEndian.Uint64(hdr[4:12]),
+		typ: hdr[13],
 	}
-	if body < 1 {
-		return "", nil, fmt.Errorf("%w: empty body", ErrBadFrame)
+	if ver := hdr[12]; ver != wireVersion {
+		return frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, ver, wireVersion)
 	}
-	buf := make([]byte, body)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", nil, err
+	if n > maxFrameSize {
+		// Recoverable: skip the oversized payload so the stream stays framed.
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return frame{}, err
+		}
+		return f, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	tl := int(buf[0])
-	if tl == 0 || 1+tl > len(buf) {
-		return "", nil, fmt.Errorf("%w: type length %d in %d-byte body", ErrBadFrame, tl, len(buf))
+	// Read the payload in capped chunks growing with the data that actually
+	// arrives, so a malformed header declaring a huge length cannot force a
+	// huge allocation before the stream runs dry.
+	remaining := int(n)
+	for remaining > 0 {
+		k := remaining
+		if k > frameReadChunk {
+			k = frameReadChunk
+		}
+		start := len(f.payload)
+		f.payload = slices.Grow(f.payload, k)[:start+k]
+		if _, err := io.ReadFull(r, f.payload[start:]); err != nil {
+			return frame{}, err
+		}
+		remaining -= k
 	}
-	return string(buf[1 : 1+tl]), buf[1+tl:], nil
+	return f, nil
 }
 
-// nodeRefMsg is the JSON form of a chord.NodeRef.
+// wireMsg is a protocol message with the hand-rolled binary codec.
+type wireMsg interface {
+	// MarshalWire appends the message encoding to b and returns the grown
+	// buffer (append-style, allocation-free into a pooled buffer).
+	MarshalWire(b []byte) []byte
+	// UnmarshalWire decodes the message from data. Byte-slice fields may
+	// alias data.
+	UnmarshalWire(data []byte) error
+}
+
+// nodeRefMsg is the wire form of a chord.NodeRef.
 type nodeRefMsg struct {
 	Addr string `json:"addr"`
 	ID   uint64 `json:"id"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *nodeRefMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendString(b, m.Addr)
+	return wirecodec.AppendUvarint(b, m.ID)
+}
+
+// UnmarshalWire implements wireMsg.
+func (m *nodeRefMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.Addr = r.String()
+	m.ID = r.Uvarint()
+	return r.Err()
 }
 
 // findSuccessorMsg is the payload of TypeFindSuccessor.
@@ -125,17 +268,88 @@ type findSuccessorMsg struct {
 	ID uint64 `json:"id"`
 }
 
+// MarshalWire implements wireMsg.
+func (m *findSuccessorMsg) MarshalWire(b []byte) []byte {
+	return wirecodec.AppendUvarint(b, m.ID)
+}
+
+// UnmarshalWire implements wireMsg.
+func (m *findSuccessorMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.ID = r.Uvarint()
+	return r.Err()
+}
+
 // notifyMsg is the payload of TypeNotify.
 type notifyMsg struct {
 	Candidate nodeRefMsg `json:"candidate"`
 }
 
+// MarshalWire implements wireMsg.
+func (m *notifyMsg) MarshalWire(b []byte) []byte {
+	return m.Candidate.MarshalWire(b)
+}
+
+// UnmarshalWire implements wireMsg.
+func (m *notifyMsg) UnmarshalWire(data []byte) error {
+	return m.Candidate.UnmarshalWire(data)
+}
+
 // dataMsg is the application payload of a kind=data ACCEPT_OBJECT: the
 // attribute map the continuous-query predicates evaluate plus the opaque
-// record.
+// record. Attribute iteration order is not part of the encoding contract
+// (round-trip preserves the map, not the byte order across separate encodes).
 type dataMsg struct {
 	Attrs   map[string]float64 `json:"attrs,omitempty"`
 	Payload []byte             `json:"payload,omitempty"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *dataMsg) MarshalWire(b []byte) []byte {
+	b = appendAttrs(b, m.Attrs)
+	return wirecodec.AppendBytes(b, m.Payload)
+}
+
+// appendAttrs encodes a count-prefixed attribute map (the encode mirror of
+// readAttrs; both message types carrying attrs share the pair).
+func appendAttrs(b []byte, attrs map[string]float64) []byte {
+	b = wirecodec.AppendInt(b, len(attrs))
+	for k, v := range attrs {
+		b = wirecodec.AppendString(b, k)
+		b = wirecodec.AppendFloat64(b, v)
+	}
+	return b
+}
+
+// UnmarshalWire implements wireMsg. Payload aliases data.
+func (m *dataMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	var err error
+	m.Attrs, err = readAttrs(r)
+	if err != nil {
+		return err
+	}
+	m.Payload = r.Bytes()
+	return r.Err()
+}
+
+// readAttrs decodes a count-prefixed attribute map, validating the count
+// against the minimum encoded size per entry (1-byte name length + 8-byte
+// float) so a hostile count cannot force a huge map pre-allocation.
+func readAttrs(r *wirecodec.Reader) (map[string]float64, error) {
+	n := r.Int()
+	if r.Err() == nil && n > r.Len()/9 {
+		return nil, fmt.Errorf("%w: %d attrs in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	if n == 0 {
+		return nil, r.Err()
+	}
+	attrs := make(map[string]float64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		attrs[k] = r.Float64()
+	}
+	return attrs, r.Err()
 }
 
 // queryState is the application payload of a kind=query ACCEPT_OBJECT and the
@@ -146,16 +360,78 @@ type queryState struct {
 	Subscriber string `json:"subscriber,omitempty"`
 }
 
+// MarshalWire implements wireMsg.
+func (m *queryState) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendBytes(b, m.Query)
+	return wirecodec.AppendString(b, m.Subscriber)
+}
+
+// UnmarshalWire implements wireMsg. Query aliases data.
+func (m *queryState) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.Query = r.Bytes()
+	m.Subscriber = r.String()
+	return r.Err()
+}
+
 // childMovedMsg is the payload of TypeChildMoved.
 type childMovedMsg struct {
-	Group  string `json:"group"`
-	Holder string `json:"holder"`
+	GroupValue uint64 `json:"groupValue"`
+	GroupBits  int    `json:"groupBits"`
+	Holder     string `json:"holder"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *childMovedMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendInt(b, m.GroupBits)
+	b = wirecodec.AppendUvarint(b, m.GroupValue)
+	return wirecodec.AppendString(b, m.Holder)
+}
+
+// UnmarshalWire implements wireMsg.
+func (m *childMovedMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupBits = r.Int()
+	m.GroupValue = r.Uvarint()
+	m.Holder = r.String()
+	return r.Err()
 }
 
 // matchMsg is the payload of TypeMatch.
 type matchMsg struct {
-	QueryID string             `json:"queryId"`
-	Key     string             `json:"key"`
-	Attrs   map[string]float64 `json:"attrs,omitempty"`
-	Payload []byte             `json:"payload,omitempty"`
+	QueryID  string             `json:"queryId"`
+	KeyValue uint64             `json:"keyValue"`
+	KeyBits  int                `json:"keyBits"`
+	Attrs    map[string]float64 `json:"attrs,omitempty"`
+	Payload  []byte             `json:"payload,omitempty"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *matchMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendString(b, m.QueryID)
+	b = wirecodec.AppendInt(b, m.KeyBits)
+	b = wirecodec.AppendUvarint(b, m.KeyValue)
+	b = appendAttrs(b, m.Attrs)
+	return wirecodec.AppendBytes(b, m.Payload)
+}
+
+// UnmarshalWire implements wireMsg. Payload aliases data.
+func (m *matchMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.QueryID = r.String()
+	m.KeyBits = r.Int()
+	m.KeyValue = r.Uvarint()
+	var err error
+	m.Attrs, err = readAttrs(r)
+	if err != nil {
+		return err
+	}
+	m.Payload = r.Bytes()
+	return r.Err()
+}
+
+// marshalMsg encodes msg into a pooled buffer. The caller must hand the
+// buffer back with wirecodec.PutBuf after the transport call returns.
+func marshalMsg(msg wireMsg) []byte {
+	return msg.MarshalWire(wirecodec.GetBuf())
 }

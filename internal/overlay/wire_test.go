@@ -1,0 +1,255 @@
+package overlay
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"clash/internal/bitkey"
+	"clash/internal/cq"
+	"clash/internal/wirecodec"
+)
+
+// overlayWireCases returns one populated instance of every overlay-local
+// wire message (round-trip and fuzz tests iterate them).
+func overlayWireCases() []wireMsg {
+	return []wireMsg{
+		&nodeRefMsg{Addr: "10.0.0.1:7001", ID: 1<<63 - 1},
+		&findSuccessorMsg{ID: 424242},
+		&notifyMsg{Candidate: nodeRefMsg{Addr: "n2", ID: 7}},
+		&dataMsg{Attrs: map[string]float64{"speed": 88.5, "lat": -12.25}, Payload: []byte("record")},
+		&dataMsg{},
+		&queryState{Query: []byte(`{"id":"q"}`), Subscriber: "client-1"},
+		&childMovedMsg{GroupValue: 0b101, GroupBits: 3, Holder: "n3"},
+		&matchMsg{QueryID: "q-hot", KeyValue: 0xBEEF, KeyBits: 16,
+			Attrs: map[string]float64{"speed": 99}, Payload: []byte("evt")},
+	}
+}
+
+func TestOverlayMsgWireRoundTrip(t *testing.T) {
+	for _, msg := range overlayWireCases() {
+		enc := msg.MarshalWire(nil)
+		// Decode into a fresh instance of the same concrete type.
+		got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
+		if err := got.UnmarshalWire(enc); err != nil {
+			t.Fatalf("UnmarshalWire(%T): %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T round trip = %+v, want %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestOverlayMsgWireRejectsTruncation(t *testing.T) {
+	for _, msg := range overlayWireCases() {
+		enc := msg.MarshalWire(nil)
+		for i := 0; i < len(enc); i++ {
+			got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
+			if err := got.UnmarshalWire(enc[:i]); err == nil {
+				// Messages whose every field is optional-zero decode fine from
+				// a prefix only if that prefix is itself a valid encoding of a
+				// zero message; the empty dataMsg (attrs count 0, empty
+				// payload) is 2 bytes, so shorter prefixes must error.
+				t.Errorf("%T accepted %d-byte truncation of %d bytes", msg, i, len(enc))
+			}
+		}
+	}
+}
+
+// TestAttrCountGuard pins the over-allocation guard: an attribute count
+// larger than the remaining input could possibly encode (9 bytes minimum
+// per entry) must be rejected before the map is allocated.
+func TestAttrCountGuard(t *testing.T) {
+	// Count says 1000 attrs, but only ~20 bytes follow.
+	hostile := wirecodec.AppendInt(nil, 1000)
+	hostile = append(hostile, bytes.Repeat([]byte{0x01}, 20)...)
+	var d dataMsg
+	if err := d.UnmarshalWire(hostile); err == nil {
+		t.Error("dataMsg accepted hostile attr count")
+	}
+	var m matchMsg
+	withPrefix := wirecodec.AppendString(nil, "q")
+	withPrefix = wirecodec.AppendInt(withPrefix, 8)
+	withPrefix = wirecodec.AppendUvarint(withPrefix, 5)
+	withPrefix = append(withPrefix, hostile...)
+	if err := m.UnmarshalWire(withPrefix); err == nil {
+		t.Error("matchMsg accepted hostile attr count")
+	}
+	// A legitimate boundary case still decodes: one attr in exactly 9+ bytes.
+	ok := (&dataMsg{Attrs: map[string]float64{"": 1}}).MarshalWire(nil)
+	var d2 dataMsg
+	if err := d2.UnmarshalWire(ok); err != nil {
+		t.Errorf("minimal attr map rejected: %v", err)
+	}
+}
+
+// TestTypeRegistryBijective pins the name↔byte mapping: every registered
+// name resolves to a distinct byte and back.
+func TestTypeRegistryBijective(t *testing.T) {
+	seen := map[byte]string{}
+	for name, b := range typeRegistry {
+		if prev, dup := seen[b]; dup {
+			t.Errorf("type byte %#x assigned to both %q and %q", b, prev, name)
+		}
+		seen[b] = name
+		if typeName(b) != name {
+			t.Errorf("typeName(%#x) = %q, want %q", b, typeName(b), name)
+		}
+	}
+	if typeName(0x7E) != "" {
+		t.Errorf("unassigned byte resolved to %q", typeName(0x7E))
+	}
+	if _, err := typeByte("no.such.type"); err == nil {
+		t.Error("typeByte accepted an unregistered name")
+	}
+}
+
+// prefixKey builds a key whose top bits are prefix (of prefixBits) and whose
+// remaining bits come from low.
+func prefixKey(t *testing.T, keyBits int, prefix uint64, prefixBits int, low uint64) bitkey.Key {
+	t.Helper()
+	rest := keyBits - prefixBits
+	k, err := bitkey.New(prefix<<uint(rest)|low&(1<<uint(rest)-1), keyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestBatchThroughOverlay drives the batched publish path end to end: a
+// client warms its route cache, then publishes a batch that must cross as
+// one TypeAcceptBatch frame per server, match continuous queries inline and
+// keep per-item accounting.
+func TestBatchThroughOverlay(t *testing.T) {
+	netw := NewMemNetwork()
+	cfg := testConfig()
+	nodes := buildOverlay(t, netw, 3, cfg)
+	seeds := []string{nodes[0].Addr(), nodes[1].Addr(), nodes[2].Addr()}
+
+	client, err := NewClient(netw.Endpoint("batch-client"), cfg.KeyBits, cfg.Space, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	query := cq.Query{
+		ID:         "q-batch",
+		Region:     bitkey.MustParseGroup("001"),
+		Predicates: []cq.Predicate{{Attr: "speed", Op: cq.OpGt, Value: 50}},
+	}
+	if _, err := client.Register(query); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	// Warm the cache across all four root groups.
+	for top := uint64(0); top < 4; top++ {
+		if _, err := client.Publish(prefixKey(t, cfg.KeyBits, top, 2, top*17+1), nil, nil); err != nil {
+			t.Fatalf("warmup publish: %v", err)
+		}
+	}
+	// Batch across the four depth-3 regions 000..011; every packet passes
+	// the predicate, so exactly the 001* items must match the query.
+	const n = 64
+	var items []BatchItem
+	for i := 0; i < n; i++ {
+		items = append(items, BatchItem{
+			Key:   prefixKey(t, cfg.KeyBits, uint64(i%4), 3, uint64(i)),
+			Attrs: map[string]float64{"speed": 80},
+		})
+	}
+	batchFramesBefore := netw.Calls(TypeAcceptBatch)
+	singlesBefore := netw.Calls(TypeAcceptObject)
+	results, errs := client.PublishBatch(items)
+	for i := range items {
+		if errs[i] != nil {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Server == "" {
+			t.Fatalf("item %d: missing result", i)
+		}
+	}
+	batchFrames := netw.Calls(TypeAcceptBatch) - batchFramesBefore
+	if batchFrames == 0 {
+		t.Fatal("no TypeAcceptBatch frame crossed the wire")
+	}
+	holders := map[string]bool{}
+	for _, r := range results {
+		holders[r.Server] = true
+	}
+	if batchFrames > len(holders) {
+		t.Errorf("batch used %d frames for %d servers", batchFrames, len(holders))
+	}
+	if got := netw.Calls(TypeAcceptObject) - singlesBefore; got != 0 {
+		t.Errorf("%d single-object frames sent despite warm cache", got)
+	}
+	matched := 0
+	for i, r := range results {
+		inRegion := i%4 == 1
+		if got := len(r.Matches) > 0; got != inRegion {
+			t.Errorf("item %d: matched=%v, in 001* region=%v", i, got, inRegion)
+		}
+		if len(r.Matches) > 0 {
+			matched++
+		}
+	}
+	if matched != n/4 {
+		t.Errorf("matched %d items, want %d", matched, n/4)
+	}
+}
+
+// TestBatcherFlushes exercises the size- and interval-triggered flushes.
+func TestBatcherFlushes(t *testing.T) {
+	netw := NewMemNetwork()
+	cfg := testConfig()
+	nodes := buildOverlay(t, netw, 2, cfg)
+	client, err := NewClient(netw.Endpoint("batcher-client"), cfg.KeyBits, cfg.Space, nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	done := 0
+	b := client.NewBatcher(8, 20*time.Millisecond, func(item BatchItem, res *PublishResult, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			t.Errorf("batched publish of %v: %v", item.Key, err)
+			return
+		}
+		done++
+	})
+	for i := 0; i < 20; i++ {
+		if err := b.Publish(prefixKey(t, cfg.KeyBits, uint64(i%4), 2, uint64(i)), nil, nil); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if done != 20 {
+		t.Errorf("delivered %d of 20 batched packets", done)
+	}
+	if err := b.Publish(prefixKey(t, cfg.KeyBits, 0, 2, 0), nil, nil); err == nil {
+		t.Error("Publish after Close succeeded")
+	}
+}
+
+// frameBytesEqualAcrossEncoders double-checks that repeated encodes of the
+// same frame are identical (the codec is deterministic for identical input).
+func TestFrameEncodeDeterministic(t *testing.T) {
+	payload := (&findSuccessorMsg{ID: 99}).MarshalWire(nil)
+	a, err := appendFrame(nil, 7, typeFindSuccessor, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appendFrame(nil, 7, typeFindSuccessor, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same frame encoded differently twice")
+	}
+}

@@ -1,0 +1,220 @@
+// Package wirecodec provides the low-level binary encoding primitives the
+// CLASH wire protocol is built from: append-style writers (varint, fixed
+// width, length-prefixed bytes) that grow a caller-owned buffer without
+// intermediate allocations, a sticky-error Reader for decoding, and a
+// sync.Pool of scratch buffers so the steady-state encode path allocates
+// nothing.
+//
+// Encoding conventions:
+//
+//   - unsigned integers: LEB128 varints (encoding/binary.AppendUvarint)
+//   - booleans: one byte, 0 or 1
+//   - float64: 8 fixed bytes, IEEE-754 bits big-endian
+//   - byte strings / strings: uvarint length followed by the raw bytes
+//
+// Decoders validate every length against the remaining input before touching
+// it, so malformed input errors out without over-allocating.
+package wirecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated is returned when the input ends before a value does.
+	ErrTruncated = errors.New("wirecodec: truncated input")
+	// ErrInvalid is returned when a value is structurally invalid (varint
+	// overflow, length exceeding the remaining input).
+	ErrInvalid = errors.New("wirecodec: invalid encoding")
+)
+
+// AppendUvarint appends v as a LEB128 varint.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendInt appends a non-negative int as a uvarint. Negative values are
+// clamped to zero (protocol integers — depths, counts, kinds — are never
+// negative; clamping keeps the encoder total).
+func AppendInt(b []byte, v int) []byte {
+	if v < 0 {
+		v = 0
+	}
+	return binary.AppendUvarint(b, uint64(v))
+}
+
+// AppendBool appends a boolean as one byte.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendFloat64 appends the IEEE-754 bits of f, big-endian.
+func AppendFloat64(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendBytes appends p with a uvarint length prefix.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendString appends s with a uvarint length prefix.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Reader decodes values sequentially from a byte slice. The first decoding
+// failure sticks: every later call returns a zero value and Err reports the
+// failure, so callers check the error once after reading all fields.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader never mutates b; Bytes
+// results alias it.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads one varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrTruncated)
+		} else {
+			r.fail(ErrInvalid)
+		}
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Int reads a uvarint into an int, failing on values beyond the int range.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt32 {
+		// Protocol ints (depths, counts, statuses) are small; anything this
+		// large is a malformed or hostile frame.
+		r.fail(ErrInvalid)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads one boolean byte.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b) < 1 {
+		r.fail(ErrTruncated)
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	if v > 1 {
+		r.fail(ErrInvalid)
+		return false
+	}
+	return v == 1
+}
+
+// Float64 reads 8 fixed bytes as an IEEE-754 float64.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// Bytes reads a length-prefixed byte string. The result aliases the input
+// buffer; callers that retain it past the buffer's lifetime must copy.
+// A zero length yields nil.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail(ErrInvalid)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// BytesCopy is Bytes with an owned copy of the result.
+func (r *Reader) BytesCopy() []byte {
+	b := r.Bytes()
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.Bytes())
+}
+
+// bufPool recycles encode scratch buffers. Buffers start at 512 bytes and
+// grow with use; oversized ones (a rare huge state transfer) are dropped
+// instead of pinned.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// maxPooledBuf bounds the capacity of buffers returned to the pool.
+const maxPooledBuf = 1 << 20
+
+// GetBuf returns an empty scratch buffer from the pool. Append to it freely
+// (reassigning on growth) and hand the final slice back with PutBuf.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer obtained from GetBuf (or grown from one) to the
+// pool. The caller must not use b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
