@@ -45,15 +45,16 @@ func main() {
 		bootstrapDepth = flag.Int("bootstrap-depth", 2, "depth of the initial key-space partition (bootstrap node only)")
 		stabilize      = flag.Duration("stabilize", 250*time.Millisecond, "chord stabilization interval")
 		loadCheck      = flag.Duration("load-check", 2*time.Second, "load measurement window and check interval")
+		seed           = flag.Int64("seed", 0, "root seed for the maintenance-loop jitter (reproducible runs)")
 	)
 	flag.Parse()
-	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck); err != nil {
+	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "clashd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration) error {
+func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration, seed int64) error {
 	space, err := chord.NewSpace(spaceBits)
 	if err != nil {
 		return err
@@ -69,6 +70,7 @@ func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64
 		BootstrapDepth:    bootstrapDepth,
 		StabilizeInterval: stabilize,
 		LoadCheckInterval: loadCheck,
+		Seed:              seed,
 	})
 	if err != nil {
 		tr.Close()

@@ -4,13 +4,19 @@
 //
 // Against a running overlay (see cmd/clashd):
 //
-//	clashload -seed 127.0.0.1:7001 -conns 8 -packets 100000 -workload B
+//	clashload -connect 127.0.0.1:7001 -conns 8 -packets 100000 -workload B
 //
 // Self-contained smoke mode — boot an N-node overlay on the in-memory
 // transport inside this process and drive it (used by CI and for the
 // checked-in BENCH_overlay.json snapshot):
 //
 //	clashload -inproc 3 -packets 10000 -workload B -out BENCH_overlay.json
+//
+// -seed sets the root PRNG seed threaded through every workload generator
+// clone and the in-process nodes' maintenance jitter, so two inproc runs with
+// the same seed behave identically. -latency/-loss put a network link model
+// (internal/sim/link) under the in-memory fabric, so inproc smoke runs stop
+// being a zero-RTT fantasy.
 //
 // With -batch N every worker ships its packets in N-object ACCEPT_BATCH
 // frames through Client.PublishBatch instead of one frame per packet.
@@ -41,6 +47,7 @@ import (
 	"clash/internal/load"
 	"clash/internal/metrics"
 	"clash/internal/overlay"
+	"clash/internal/sim/link"
 	"clash/internal/workload"
 )
 
@@ -86,7 +93,7 @@ type benchOut struct {
 
 func main() {
 	var (
-		seedAddrs = flag.String("seed", "", "comma-separated overlay node addresses to connect to")
+		seedAddrs = flag.String("connect", "", "comma-separated overlay node addresses to connect to")
 		inproc    = flag.Int("inproc", 0, "boot an N-node in-process overlay instead of connecting out")
 		conns     = flag.Int("conns", 8, "concurrent connections (each with its own key-generator clone)")
 		packets   = flag.Int("packets", 10000, "total data packets to publish")
@@ -96,11 +103,15 @@ func main() {
 		keyBits   = flag.Int("keybits", workload.DefaultKeyBits, "identifier key length N")
 		capacity  = flag.Float64("capacity", 5000, "per-node capacity (inproc mode)")
 		streamLen = flag.Float64("stream-len", 0, "mean virtual-stream length Ld in packets (0 = the paper's 1000)")
-		randSeed  = flag.Int64("rand-seed", 1, "base PRNG seed for the workload generators")
+		latency   = flag.Duration("latency", 0, "mean one-way link latency injected under -inproc (0 disables)")
+		loss      = flag.Float64("loss", 0, "per-message loss probability injected under -inproc")
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
 	)
+	var randSeed int64
+	flag.Int64Var(&randSeed, "seed", 1, "root PRNG seed: workload generator clones + inproc maintenance jitter")
+	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *randSeed, *out); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, randSeed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -119,7 +130,7 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, randSeed int64, out string) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, randSeed int64, out string) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -137,6 +148,9 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 	}
 	if conns < 1 {
 		conns = 1
+	}
+	if (latency > 0 || loss > 0) && inproc <= 0 {
+		return fmt.Errorf("-latency/-loss model the in-memory fabric and need -inproc N")
 	}
 
 	if batch < 0 {
@@ -164,9 +178,16 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		cfg.Mode = "inproc"
 		cfg.Nodes = inproc
 		netw := overlay.NewMemNetwork()
-		nodes, err = bootInproc(ctx, netw, inproc, keyBits, space, capacity)
+		nodes, err = bootInproc(ctx, netw, inproc, keyBits, space, capacity, randSeed)
 		if err != nil {
 			return err
+		}
+		// Engage the link model after boot (the measurement run starts from
+		// a converged overlay; the simulator does the same).
+		if latency > 0 || loss > 0 {
+			if err := netw.SetLink(link.WAN(latency, loss), randSeed); err != nil {
+				return err
+			}
 		}
 		for _, n := range nodes {
 			seeds = append(seeds, n.Addr())
@@ -180,7 +201,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 			seeds[i] = strings.TrimSpace(seeds[i])
 		}
 		if len(seeds) == 0 || seeds[0] == "" {
-			return fmt.Errorf("need -seed addresses or -inproc N")
+			return fmt.Errorf("need -connect addresses or -inproc N")
 		}
 		clientTr, err = overlay.ListenTCP("127.0.0.1:0")
 		if err != nil {
@@ -382,11 +403,21 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		fmt.Printf("  snapshot written to %s\n", out)
 	}
 	// Fail loudly so CI smoke runs go red when the overlay stops serving.
+	// With loss injected into the inproc fabric some failures are the point
+	// of the exercise, but only in rough proportion to the injected loss —
+	// a generous 20x-expectation bound keeps the gate meaningful against
+	// unrelated regressions.
 	if agg.ok == 0 {
 		return fmt.Errorf("no packet was delivered (%d errors)", agg.errs)
 	}
-	if agg.errs > 0 {
-		return fmt.Errorf("%d of %d publishes failed", agg.errs, packets)
+	allowedErrs := 0
+	if inproc > 0 && loss > 0 {
+		// Each publish crosses the link at least twice (request + reply).
+		allowedErrs = int(20*loss*2*float64(packets)) + 10
+	}
+	if agg.errs > allowedErrs {
+		return fmt.Errorf("%d of %d publishes failed (allowed %d at loss %g)",
+			agg.errs, packets, allowedErrs, loss)
 	}
 	return nil
 }
@@ -394,7 +425,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 // bootInproc builds an N-node overlay on the in-memory fabric: node 0
 // bootstraps the initial partition, the rest join, the ring is converged with
 // explicit maintenance rounds, and every node's Run loop is started.
-func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, space chord.Space, capacity float64) ([]*overlay.Node, error) {
+func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, space chord.Space, capacity float64, seed int64) ([]*overlay.Node, error) {
 	cfg := overlay.Config{
 		KeyBits:           keyBits,
 		Space:             space,
@@ -402,6 +433,7 @@ func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, s
 		BootstrapDepth:    2,
 		StabilizeInterval: 50 * time.Millisecond,
 		LoadCheckInterval: 500 * time.Millisecond,
+		Seed:              seed,
 	}
 	nodes := make([]*overlay.Node, n)
 	for i := range nodes {

@@ -73,6 +73,15 @@ func (ln *LocalNetwork) FindSuccessor(ref NodeRef, id ID) (NodeRef, error) {
 	return n.FindSuccessor(id)
 }
 
+// Successor implements RPC.
+func (ln *LocalNetwork) Successor(ref NodeRef) (NodeRef, error) {
+	n, err := ln.lookup(ref.Addr, "Successor")
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return n.Successor(), nil
+}
+
 // Predecessor implements RPC.
 func (ln *LocalNetwork) Predecessor(ref NodeRef) (NodeRef, error) {
 	n, err := ln.lookup(ref.Addr, "Predecessor")

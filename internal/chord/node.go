@@ -26,6 +26,11 @@ func (n NodeRef) IsZero() bool { return n.Addr == "" }
 type RPC interface {
 	// FindSuccessor asks the node at ref to resolve the successor of id.
 	FindSuccessor(ref NodeRef, id ID) (NodeRef, error)
+	// Successor asks the node at ref for its current immediate successor.
+	// Unlike FindSuccessor it involves no routing — it reads one pointer —
+	// so chains of Successor calls stay inside the ring ref belongs to even
+	// when finger tables are polluted with members of a diverged ring.
+	Successor(ref NodeRef) (NodeRef, error)
 	// Predecessor asks the node at ref for its current predecessor (which
 	// may be the zero NodeRef).
 	Predecessor(ref NodeRef) (NodeRef, error)
@@ -102,7 +107,11 @@ func (n *Node) Successors() []NodeRef {
 }
 
 // Join makes the node join the ring that bootstrap belongs to. Joining a zero
-// bootstrap is a no-op (the node stays a singleton ring).
+// bootstrap is a no-op (the node stays a singleton ring). The finger table is
+// reset to the new successor: entries surviving from a previous membership
+// may point into a ring this node is leaving behind, and a single stale
+// finger is enough to route future lookups — including its own fix-finger
+// refreshes — back into the old ring.
 func (n *Node) Join(bootstrap NodeRef) error {
 	if bootstrap.IsZero() || bootstrap.Addr == n.self.Addr {
 		return nil
@@ -111,12 +120,69 @@ func (n *Node) Join(bootstrap NodeRef) error {
 	if err != nil {
 		return fmt.Errorf("join via %s: %w", bootstrap.Addr, err)
 	}
+	n.adopt(succ)
+	return nil
+}
+
+// maxChainHops bounds a JoinChain successor walk (a ring cannot meaningfully
+// exceed this membership in-process).
+const maxChainHops = 1 << 20
+
+// JoinChain joins the ring bootstrap belongs to by walking its successor
+// pointers until it finds the arc covering this node's identifier, then
+// adopting that arc's endpoint as successor. The walk costs O(ring) hops
+// where Join costs O(log ring), but it cannot be diverted: successor chains
+// stay inside the contact's ring no matter how polluted finger tables are,
+// which makes JoinChain the correct reintegration path after a partition has
+// split the overlay into parallel self-consistent rings (Zave's analysis of
+// Chord correctness — membership operations must not trust fingers).
+func (n *Node) JoinChain(bootstrap NodeRef) error {
+	if bootstrap.IsZero() || bootstrap.Addr == n.self.Addr {
+		return nil
+	}
+	cur := bootstrap
+	for i := 0; i < maxChainHops; i++ {
+		// A couple of per-hop retries ride out transient message loss (one
+		// lost frame must not abort a walk hundreds of hops long); a hop
+		// onto a genuinely dead node still fails fast.
+		var next NodeRef
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if next, err = n.rpc.Successor(cur); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("join chain via %s: %w", cur.Addr, err)
+		}
+		if next.IsZero() || next.Addr == n.self.Addr {
+			return fmt.Errorf("join chain via %s: ring already lists %s", bootstrap.Addr, n.self.Addr)
+		}
+		if Between(cur.ID, next.ID, n.self.ID) || next.Addr == bootstrap.Addr {
+			// Our identifier falls on the (cur, next] arc — next is our
+			// successor. A full wrap back to the bootstrap without a match
+			// can only mean an inconsistent walk snapshot; adopting the
+			// bootstrap's successor is still inside its ring and the next
+			// stabilization round tightens it.
+			n.adopt(next)
+			return nil
+		}
+		cur = next
+	}
+	return fmt.Errorf("join chain via %s: no arc found in %d hops", bootstrap.Addr, maxChainHops)
+}
+
+// adopt installs succ as the sole successor, clears the predecessor and
+// resets the finger table for a fresh membership.
+func (n *Node) adopt(succ NodeRef) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.predecessor = NodeRef{}
 	n.successors = n.successors[:1]
 	n.successors[0] = succ
-	return nil
+	for i := range n.fingers {
+		n.fingers[i] = succ
+	}
 }
 
 // FindSuccessor resolves the successor of id, forwarding through the finger
@@ -162,34 +228,72 @@ func (n *Node) closestPrecedingNode(id ID) NodeRef {
 	return n.self
 }
 
+// stabilizeWalkLimit bounds how many interposed nodes one Stabilize round
+// adopts while walking its successor's predecessor chain back toward itself.
+const stabilizeWalkLimit = 32
+
 // Stabilize runs one round of Chord's stabilization: it learns about nodes
 // that have joined between itself and its successor, repairs a failed
 // successor using the successor list, and notifies the successor of its own
 // existence.
+//
+// Unlike textbook chord (which adopts succ.predecessor once, converging one
+// hop per round), the predecessor chain is walked back toward this node up to
+// stabilizeWalkLimit steps, so a whole batch of nodes that joined — or
+// rejoined after a crash or partition — between us and our successor is
+// absorbed in a single round. Mass-churn recovery time drops from O(gap)
+// rounds to O(gap / limit).
 func (n *Node) Stabilize() error {
 	n.mu.RLock()
 	succ := n.successors[0]
 	self := n.self
 	n.mu.RUnlock()
 
-	if succ.Addr != self.Addr {
+	if succ.Addr == self.Addr {
+		// Singleton with a live notifier: recover a *forward* edge by asking
+		// the predecessor — the one contact we still have — to look up our
+		// true successor in its ring. Adopting the predecessor itself (the
+		// textbook shortcut) plants a backward edge when the node decayed to
+		// a singleton mid-ring, and backward edges corrupt the ring beyond
+		// what stabilization can repair: the wrongly-bypassed nodes and
+		// their notify targets lock into stable wrong successor/predecessor
+		// pairs. The lookup degenerates to the predecessor only in the
+		// two-node ring, where that is the correct successor.
+		if pred := n.PredecessorRef(); !pred.IsZero() && pred.Addr != self.Addr {
+			target, err := n.rpc.FindSuccessor(pred, n.space.Add(self.ID, 1))
+			switch {
+			case err != nil || target.IsZero():
+				// Unreachable or confused predecessor: stay singleton; the
+				// overlay re-joins through its repair contact.
+			case target.Addr == self.Addr:
+				// The predecessor's ring still lists us as its successor: a
+				// two-node ring, close it.
+				n.mu.Lock()
+				n.successors[0] = pred
+				n.mu.Unlock()
+				succ = pred
+			default:
+				n.mu.Lock()
+				n.successors[0] = target
+				n.mu.Unlock()
+				succ = target
+			}
+		}
+	} else {
 		if err := n.rpc.Ping(succ); err != nil {
 			n.dropSuccessor(succ)
 			return nil
 		}
-	}
-
-	pred, err := func() (NodeRef, error) {
-		if succ.Addr == self.Addr {
-			return n.PredecessorRef(), nil
+		for i := 0; i < stabilizeWalkLimit; i++ {
+			pred, err := n.rpc.Predecessor(succ)
+			if err != nil || pred.IsZero() || !BetweenOpen(self.ID, succ.ID, pred.ID) {
+				break
+			}
+			n.mu.Lock()
+			n.successors[0] = pred
+			n.mu.Unlock()
+			succ = pred
 		}
-		return n.rpc.Predecessor(succ)
-	}()
-	if err == nil && !pred.IsZero() && BetweenOpen(self.ID, succ.ID, pred.ID) {
-		n.mu.Lock()
-		n.successors[0] = pred
-		succ = pred
-		n.mu.Unlock()
 	}
 
 	if succ.Addr != self.Addr {

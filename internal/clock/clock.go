@@ -1,0 +1,57 @@
+// Package clock abstracts the time source the overlay's periodic machinery
+// runs on. Production code uses the real wall clock (Real); the discrete-event
+// simulator (internal/sim) injects a virtual clock driven by its event queue,
+// so unmodified overlay nodes run at virtual time with no wall-clock reads in
+// the simulated path.
+package clock
+
+import "time"
+
+// Clock supplies the current time and timer/ticker primitives. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d of this clock's time.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a timer firing once after d of this clock's time.
+	NewTimer(d time.Duration) Timer
+}
+
+// Ticker is the clock-agnostic flavor of *time.Ticker. C is a method rather
+// than a field so virtual implementations can be plain structs.
+type Ticker interface {
+	// C returns the channel ticks are delivered on.
+	C() <-chan time.Time
+	// Stop turns the ticker off. It does not close C.
+	Stop()
+}
+
+// Timer is the clock-agnostic flavor of *time.Timer.
+type Timer interface {
+	// C returns the channel the expiry is delivered on.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing, reporting whether it did.
+	Stop() bool
+}
+
+// Real returns the wall clock (package time).
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }

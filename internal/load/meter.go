@@ -3,10 +3,11 @@ package load
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // Meter accumulates per-group work measurements over a measurement interval.
-// A server (live overlay) or the planned simulator records packet arrivals and query
+// A server (live overlay) or the simulator records packet arrivals and query
 // registrations against group labels; at each load-check period the owner
 // reads the per-group samples, converts them to loads with a Model and resets
 // the rate counters for the next interval.
@@ -17,20 +18,42 @@ type Meter struct {
 	mu      sync.Mutex
 	arrived map[string]float64 // packets observed this interval, per group
 	queries map[string]int     // currently registered queries, per group
-	window  float64            // interval length in seconds
+	window  float64            // nominal interval length in seconds
+
+	// now, when set, timestamps snapshots so rates are computed over the
+	// actual elapsed interval instead of the nominal window (see
+	// NewMeterClock). lastSnap is the previous snapshot time.
+	now      func() time.Time
+	lastSnap time.Time
 }
 
 // NewMeter creates a meter for a measurement window of the given length in
 // seconds. The window is used to convert packet counts into rates.
 func NewMeter(windowSeconds float64) *Meter {
+	return NewMeterClock(windowSeconds, nil)
+}
+
+// NewMeterClock creates a meter that reads interval boundaries from the given
+// clock: each Snapshot converts packet counts into rates using the time
+// actually elapsed since the previous snapshot, clamped to [window/2,
+// window*2] so one jittered or delayed period cannot produce a wild rate
+// estimate. The overlay passes its node clock here, which is what lets the
+// simulator's virtual clock drive measurement windows in virtual time. A nil
+// now falls back to the fixed nominal window (NewMeter's behavior).
+func NewMeterClock(windowSeconds float64, now func() time.Time) *Meter {
 	if windowSeconds <= 0 {
 		windowSeconds = 1
 	}
-	return &Meter{
+	m := &Meter{
 		arrived: make(map[string]float64),
 		queries: make(map[string]int),
 		window:  windowSeconds,
+		now:     now,
 	}
+	if now != nil {
+		m.lastSnap = now()
+	}
+	return m
 }
 
 // RecordPackets adds n packet arrivals for a group in the current interval.
@@ -73,14 +96,23 @@ func (m *Meter) Drop(group string) {
 
 // Snapshot returns the per-group samples for the interval that just ended and
 // resets the packet counters (query counts persist, since queries are
-// long-lived state).
+// long-lived state). With a clock (NewMeterClock) the rate denominator is the
+// clamped elapsed time since the previous snapshot; without one it is the
+// nominal window.
 func (m *Meter) Snapshot() map[string]Sample {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	window := m.window
+	if m.now != nil {
+		t := m.now()
+		elapsed := t.Sub(m.lastSnap).Seconds()
+		m.lastSnap = t
+		window = min(max(elapsed, m.window/2), m.window*2)
+	}
 	out := make(map[string]Sample, len(m.arrived)+len(m.queries))
 	for g, pkts := range m.arrived {
 		s := out[g]
-		s.DataRate = pkts / m.window
+		s.DataRate = pkts / window
 		out[g] = s
 	}
 	for g, q := range m.queries {

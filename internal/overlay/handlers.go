@@ -23,6 +23,9 @@ func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 	case TypePredecessor:
 		ref := refToMsg(n.chord.PredecessorRef())
 		return ref.MarshalWire(nil), nil
+	case TypeSuccessor:
+		ref := refToMsg(n.chord.Successor())
+		return ref.MarshalWire(nil), nil
 	case TypeNotify:
 		return n.handleNotify(payload)
 	case TypePing:
@@ -193,36 +196,48 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 }
 
 // pushMatches delivers match notifications to the subscribers of the matched
-// queries, asynchronously so a slow subscriber never blocks the data path.
+// queries — asynchronously by default so a slow subscriber never blocks the
+// data path, or inline when Config.InlineMatchPush is set (the simulator's
+// single-threaded mode). Deliveries follow the matched order (engine.Match
+// sorts by query ID), so a deterministic transport sees a deterministic
+// message sequence.
 func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
 	if len(matched) == 0 {
 		return
 	}
+	type target struct{ id, sub string }
 	n.mu.Lock()
-	targets := make(map[string]string, len(matched))
+	targets := make([]target, 0, len(matched))
 	for _, q := range matched {
 		if sub := n.subscribers[q.ID]; sub != "" {
-			targets[q.ID] = sub
+			targets = append(targets, target{id: q.ID, sub: sub})
 		}
 	}
 	n.mu.Unlock()
-	for id, sub := range targets {
+	for _, t := range targets {
 		msg := &matchMsg{
-			QueryID:  id,
+			QueryID:  t.id,
 			KeyValue: ev.Key.Value,
 			KeyBits:  ev.Key.Bits,
 			Attrs:    ev.Attrs,
 			Payload:  ev.Payload,
 		}
-		n.wg.Add(1)
-		go func(sub string, msg *matchMsg) {
-			defer n.wg.Done()
+		deliver := func(sub string, msg *matchMsg) {
 			payload := marshalMsg(msg)
 			defer wirecodec.PutBuf(payload)
 			if _, err := n.tr.Call(sub, TypeMatch, payload); err != nil {
 				atomic.AddInt64(&n.matchDrops, 1)
 			}
-		}(sub, msg)
+		}
+		if n.cfg.InlineMatchPush {
+			deliver(t.sub, msg)
+			continue
+		}
+		n.wg.Add(1)
+		go func(sub string, msg *matchMsg) {
+			defer n.wg.Done()
+			deliver(sub, msg)
+		}(t.sub, msg)
 	}
 }
 
@@ -268,7 +283,7 @@ func (n *Node) handleLoadReport(payload []byte) ([]byte, error) {
 	}
 	// A stale report (the sender's view lags a merge or re-transfer) is not
 	// an error worth a failed reply; it is simply dropped.
-	_ = n.server.HandleLoadReport(rep, n.cfg.Clock())
+	_ = n.server.HandleLoadReport(rep, n.cfg.Clock.Now())
 	return nil, nil
 }
 

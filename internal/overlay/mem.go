@@ -3,9 +3,12 @@ package overlay
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"clash/internal/sim/link"
 	"clash/internal/wirecodec"
 )
 
@@ -15,11 +18,19 @@ import (
 // (appendFrame/readFrame, sequence ID included), so the serialisation path is
 // byte-identical to TCP. Endpoints can be marked down to exercise failure
 // handling, and per-type call counts let tests assert on message complexity.
+// SetLink optionally applies a network link model (latency/jitter/loss) to
+// every crossing message, so -inproc smoke runs stop being a zero-RTT
+// fantasy.
 type MemNetwork struct {
 	mu    sync.RWMutex
 	eps   map[string]*MemEndpoint
 	down  map[string]bool
 	calls map[string]int
+	// modeled mirrors "a non-zero link model is installed" so the hot call
+	// path skips the fabric mutex entirely in the default zero-RTT mode.
+	modeled atomic.Bool
+	link    link.Model
+	rng     *rand.Rand
 }
 
 // NewMemNetwork creates an empty fabric.
@@ -48,6 +59,48 @@ func (n *MemNetwork) SetDown(addr string, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.down[addr] = down
+}
+
+// SetLink installs a link model applied to every message crossing the fabric:
+// each direction of a Call sleeps a sampled one-way latency (real time —
+// MemNetwork runs on the wall clock; the virtual-time analogue lives in
+// internal/sim), and lost messages surface as ErrUnreachable after the
+// model's drop timeout. The seed makes the latency/loss draws reproducible.
+// A zero model restores the instantaneous fabric.
+func (n *MemNetwork) SetLink(m link.Model, seed int64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link = m
+	n.rng = rand.New(rand.NewSource(seed))
+	n.modeled.Store(!m.Zero())
+	return nil
+}
+
+// sampleLink draws the fate of one message crossing the fabric.
+func (n *MemNetwork) sampleLink() (latency time.Duration, dropped bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.link.Zero() || n.rng == nil {
+		return 0, false
+	}
+	return n.link.Sample(n.rng)
+}
+
+// crossLink applies one direction of the link model in real time, reporting
+// whether the message survived. The atomic fast path keeps the default
+// zero-RTT fabric off the mutex entirely.
+func (n *MemNetwork) crossLink() (ok bool) {
+	if !n.modeled.Load() {
+		return true
+	}
+	latency, dropped := n.sampleLink()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return !dropped
 }
 
 // Calls returns how many requests of the given type crossed the fabric.
@@ -138,6 +191,9 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	if !e.net.crossLink() {
+		return nil, fmt.Errorf("%w: %s: request lost", ErrUnreachable, addr)
+	}
 	target.mu.RLock()
 	h := target.handler
 	target.mu.RUnlock()
@@ -149,6 +205,9 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 		if err != nil {
 			return nil, err
 		}
+		if !e.net.crossLink() {
+			return nil, fmt.Errorf("%w: %s: reply lost", ErrUnreachable, addr)
+		}
 		return nil, &RemoteError{Msg: string(rf.payload)}
 	}
 	rf, err := target.replyRoundTrip(seq, typeReplyOK, reply, e)
@@ -157,6 +216,9 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 	}
 	if rf.seq != seq {
 		return nil, fmt.Errorf("%w: reply seq %d for call %d", ErrBadFrame, rf.seq, seq)
+	}
+	if !e.net.crossLink() {
+		return nil, fmt.Errorf("%w: %s: reply lost", ErrUnreachable, addr)
 	}
 	return rf.payload, nil
 }

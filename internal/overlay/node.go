@@ -3,11 +3,14 @@ package overlay
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clash/internal/bitkey"
 	"clash/internal/chord"
+	"clash/internal/clock"
 	"clash/internal/core"
 	"clash/internal/cq"
 	"clash/internal/load"
@@ -36,8 +39,23 @@ type Config struct {
 	// LoadCheckInterval is the measurement window and how often Run performs
 	// the load check (default 2s; the paper uses 5 minutes at its scale).
 	LoadCheckInterval time.Duration
-	// Clock supplies the node's time (default time.Now; tests inject one).
-	Clock func() time.Time
+	// Clock supplies the node's time source (default the real wall clock).
+	// The discrete-event simulator injects its virtual clock here, which is
+	// what lets an unmodified Node run at virtual time.
+	Clock clock.Clock
+	// Seed derandomises the maintenance jitter: Run staggers its first
+	// stabilization and load check by a pseudo-random fraction of the
+	// respective interval drawn from Seed combined with the node address, so
+	// a fleet booted together does not thundering-herd its maintenance, yet
+	// two runs with the same seed behave identically (clashd -seed,
+	// clashload -seed).
+	Seed int64
+	// InlineMatchPush delivers continuous-query match notifications
+	// synchronously on the data path instead of from per-match goroutines.
+	// The live overlay keeps the default (async, so a slow subscriber never
+	// blocks packet processing); the simulator sets it to keep event
+	// execution single-threaded and deterministic.
+	InlineMatchPush bool
 }
 
 func (c Config) withDefaults() Config {
@@ -63,7 +81,7 @@ func (c Config) withDefaults() Config {
 		c.LoadCheckInterval = 2 * time.Second
 	}
 	if c.Clock == nil {
-		c.Clock = time.Now
+		c.Clock = clock.Real()
 	}
 	return c
 }
@@ -103,6 +121,7 @@ type Node struct {
 	pending     []pendingTransfer
 	reclaims    []pendingReclaim
 	matchDrops  int64
+	joinTarget  string // last Join contact, for islanding self-repair
 
 	wg sync.WaitGroup
 }
@@ -130,9 +149,9 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 		chord:       chord.NewNode(tr.Addr(), cfg.Space, &transportRPC{tr: tr}),
 		server:      server,
 		engine:      engine,
-		meter:       load.NewMeter(cfg.LoadCheckInterval.Seconds()),
+		meter:       load.NewMeterClock(cfg.LoadCheckInterval.Seconds(), cfg.Clock.Now),
 		series:      metrics.NewSet(),
-		start:       cfg.Clock(),
+		start:       cfg.Clock.Now(),
 		subscribers: make(map[string]string),
 	}
 	tr.SetHandler(n.handle)
@@ -151,6 +170,19 @@ func (n *Node) Engine() *cq.Engine { return n.engine }
 
 // Series exposes the node's metrics set.
 func (n *Node) Series() *metrics.Set { return n.series }
+
+// Successors returns the node's current chord successor list (nearest first);
+// a lightweight accessor for ring-convergence checks (the full Status
+// snapshot copies the metrics series too).
+func (n *Node) Successors() []chord.NodeRef { return n.chord.Successors() }
+
+// Predecessor returns the node's current chord predecessor (zero when
+// unknown).
+func (n *Node) Predecessor() chord.NodeRef { return n.chord.PredecessorRef() }
+
+// MatchDrops returns how many match notifications this node failed to
+// deliver to their subscribers.
+func (n *Node) MatchDrops() int64 { return atomic.LoadInt64(&n.matchDrops) }
 
 // Close stops background deliveries and closes the transport.
 func (n *Node) Close() error {
@@ -176,8 +208,14 @@ func (n *Node) BootstrapRoots() error {
 }
 
 // Join joins the overlay through the node at bootstrap and runs an immediate
-// stabilization round so the ring learns about us quickly.
+// stabilization round so the ring learns about us quickly. The contact is
+// remembered: if this node ever finds itself islanded (its successor list
+// decayed back to itself — e.g. every successor crashed at once, or a
+// partition isolated it), Tick re-joins through it.
 func (n *Node) Join(bootstrap string) error {
+	n.mu.Lock()
+	n.joinTarget = bootstrap
+	n.mu.Unlock()
 	ref := chord.NodeRef{Addr: bootstrap, ID: n.cfg.Space.HashString(bootstrap)}
 	if err := n.chord.Join(ref); err != nil {
 		return err
@@ -188,29 +226,104 @@ func (n *Node) Join(bootstrap string) error {
 	return n.chord.FixAllFingers()
 }
 
+// Rejoin re-enters the overlay through the node at bootstrap after this node
+// was crashed, isolated or otherwise cut off. Unlike Join it resolves the
+// ring position with a successor-chain walk (chord.Node.JoinChain) instead of
+// a finger-routed lookup: after a partition the overlay can consist of
+// parallel self-consistent rings, and a finger-routed lookup from inside one
+// of them happily answers from the wrong ring, which is how parallel rings
+// persist forever. O(ring) hops, so reserved for reintegration.
+func (n *Node) Rejoin(bootstrap string) error {
+	n.mu.Lock()
+	n.joinTarget = bootstrap
+	n.mu.Unlock()
+	ref := chord.NodeRef{Addr: bootstrap, ID: n.cfg.Space.HashString(bootstrap)}
+	if err := n.chord.JoinChain(ref); err != nil {
+		return err
+	}
+	if err := n.chord.Stabilize(); err != nil {
+		return err
+	}
+	return n.chord.FixAllFingers()
+}
+
+// FixAllFingers refreshes the node's whole chord finger table (one lookup
+// per finger). The simulator's boot uses it to converge lookups without
+// paying a full maintenance round per finger.
+func (n *Node) FixAllFingers() error { return n.chord.FixAllFingers() }
+
+// SetRepairContact sets the address Tick re-joins through when the node
+// finds itself islanded, without joining now. Join sets it implicitly; a
+// bootstrap node (which never calls Join) should be given one as soon as the
+// overlay has a second member, or it can never recover from losing its whole
+// successor list — and an islanded node is poison, because a chord singleton
+// answers FindSuccessor with itself for every identifier.
+func (n *Node) SetRepairContact(addr string) {
+	n.mu.Lock()
+	n.joinTarget = addr
+	n.mu.Unlock()
+}
+
 // Tick runs one round of chord maintenance. The owner (Run, or a test) calls
 // it periodically.
 func (n *Node) Tick() {
+	n.mu.Lock()
+	target := n.joinTarget
+	n.mu.Unlock()
+	if target != "" && n.chord.Successor().Addr == n.Addr() {
+		// Islanded: a singleton that once joined a ring can never be found
+		// by stabilization again (nobody points at it and it points at
+		// nobody), so re-enter through the remembered contact. Best effort —
+		// retried every tick until the contact answers.
+		_ = n.Rejoin(target)
+	}
 	_ = n.chord.Stabilize()
 	n.chord.CheckPredecessor()
 	_ = n.chord.FixFingers()
 }
 
 // Run drives the maintenance loop until ctx is cancelled: chord stabilization
-// every StabilizeInterval and the CLASH load check every LoadCheckInterval.
+// every StabilizeInterval and the CLASH load check every LoadCheckInterval,
+// both on the configured clock. The first round of each is staggered by a
+// jitter drawn deterministically from Config.Seed and the node address, so a
+// fleet booted at the same instant spreads its maintenance over the interval
+// instead of synchronising — and two runs with the same seed stagger
+// identically.
 func (n *Node) Run(ctx context.Context) {
-	stab := time.NewTicker(n.cfg.StabilizeInterval)
-	defer stab.Stop()
-	check := time.NewTicker(n.cfg.LoadCheckInterval)
-	defer check.Stop()
+	rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(n.cfg.Space.HashString(n.Addr()))))
+	// Each loop gets its own jitter drawn from its own interval: the first
+	// round fires off a timer, then the ticker takes over at the regular
+	// cadence.
+	stabT := n.cfg.Clock.NewTimer(time.Duration(rng.Int63n(int64(n.cfg.StabilizeInterval))) + 1)
+	checkT := n.cfg.Clock.NewTimer(time.Duration(rng.Int63n(int64(n.cfg.LoadCheckInterval))) + 1)
+	defer stabT.Stop()
+	defer checkT.Stop()
+	var stab, check clock.Ticker
+	defer func() {
+		if stab != nil {
+			stab.Stop()
+		}
+		if check != nil {
+			check.Stop()
+		}
+	}()
+	stabC, checkC := stabT.C(), checkT.C()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-stab.C:
+		case <-stabC:
+			if stab == nil {
+				stab = n.cfg.Clock.NewTicker(n.cfg.StabilizeInterval)
+				stabC = stab.C()
+			}
 			n.Tick()
-		case <-check.C:
-			n.LoadCheck(n.cfg.Clock())
+		case <-checkC:
+			if check == nil {
+				check = n.cfg.Clock.NewTicker(n.cfg.LoadCheckInterval)
+				checkC = check.C()
+			}
+			n.LoadCheck(n.cfg.Clock.Now())
 		}
 	}
 }

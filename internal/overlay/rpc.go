@@ -63,6 +63,15 @@ func (c *transportRPC) FindSuccessor(ref chord.NodeRef, id chord.ID) (chord.Node
 	return msgToRef(resp), nil
 }
 
+// Successor implements chord.RPC.
+func (c *transportRPC) Successor(ref chord.NodeRef) (chord.NodeRef, error) {
+	var resp nodeRefMsg
+	if err := c.call(ref.Addr, TypeSuccessor, nil, &resp); err != nil {
+		return chord.NodeRef{}, err
+	}
+	return msgToRef(resp), nil
+}
+
 // Predecessor implements chord.RPC.
 func (c *transportRPC) Predecessor(ref chord.NodeRef) (chord.NodeRef, error) {
 	var resp nodeRefMsg

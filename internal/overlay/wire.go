@@ -46,6 +46,9 @@ const (
 	TypeFindSuccessor = "chord.find_successor"
 	// TypePredecessor asks a node for its current predecessor.
 	TypePredecessor = "chord.predecessor"
+	// TypeSuccessor asks a node for its current immediate successor (a
+	// single pointer read — no routing, see chord.RPC.Successor).
+	TypeSuccessor = "chord.successor"
 	// TypeNotify tells a node about a possible predecessor.
 	TypeNotify = "chord.notify"
 	// TypePing checks liveness.
@@ -94,6 +97,7 @@ const (
 	typeMatch           byte = 0x15
 	typeChildMoved      byte = 0x16
 	typeStatus          byte = 0x17
+	typeSuccessor       byte = 0x18
 
 	typeReplyOK  byte = 0xF0
 	typeReplyErr byte = 0xF1
@@ -115,6 +119,7 @@ var (
 		TypeMatch:           typeMatch,
 		TypeChildMoved:      typeChildMoved,
 		TypeStatus:          typeStatus,
+		TypeSuccessor:       typeSuccessor,
 	}
 	nameRegistry [256]string
 )
@@ -139,12 +144,28 @@ func typeByte(name string) (byte, error) {
 // connection).
 func typeName(b byte) string { return nameRegistry[b] }
 
+// MessageTypes returns every registered protocol message name, sorted. The
+// simulator iterates it to aggregate per-type counters, so a newly added
+// wire type is picked up without a second hand-maintained list.
+func MessageTypes() []string {
+	out := make([]string, 0, len(typeRegistry))
+	for name := range typeRegistry {
+		out = append(out, name)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // Frame geometry.
 const (
 	// wireVersion is the frame-layout version emitted and accepted.
 	wireVersion = 1
 	// frameHeaderSize is the fixed header: length + seq + version + type.
 	frameHeaderSize = 4 + 8 + 1 + 1
+	// FrameOverhead is the per-message framing cost in bytes, exported so
+	// transports outside this package (the simulator's) account frame bytes
+	// the same way the real ones do.
+	FrameOverhead = frameHeaderSize
 	// maxFrameSize bounds a frame payload to keep a malformed or hostile
 	// peer from forcing an unbounded allocation.
 	maxFrameSize = 16 << 20

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"clash/internal/sim/link"
+	"clash/internal/workload"
+)
+
+// TestChordMassChurn is the mass-churn regression gate: 200 virtual nodes
+// join at boot, waves of crashes and rejoins hit the overlay on the sim
+// clock, and at the end the chord ring must have reconverged exactly and no
+// key-group ownership may have been lost — the active groups of the live
+// nodes must still partition the key space with no overlap. Crashed nodes
+// keep their server tables (a process restart), so ownership flows back
+// through the DHT reconciliation when they return.
+//
+// The link is lossless so the final ring state is exact (the lossy flavor of
+// this scenario runs in clashsim as `churn`); latency and jitter stay on.
+func TestChordMassChurn(t *testing.T) {
+	n := 200
+	churn := n / 10
+	sc := Scenario{
+		Name:           "mass-churn-test",
+		Nodes:          n,
+		Seed:           1,
+		KeyBits:        workload.DefaultKeyBits,
+		BootstrapDepth: 6,
+		Capacity:       50,
+		Workload:       workload.WorkloadB,
+		CheckEvery:     30 * time.Second,
+		StabilizeEvery: 7500 * time.Millisecond,
+		Queries:        32,
+		Link:           link.WAN(20*time.Millisecond, 0),
+		Phases: []Phase{
+			{Name: "steady", Ticks: 16, Packets: 600},
+		},
+		Churn: []ChurnEvent{
+			{Tick: 2, Crash: churn},
+			{Tick: 4, Crash: churn},
+			{Tick: 6, Rejoin: churn},
+			{Tick: 7, Crash: churn},
+			{Tick: 9, Rejoin: 2 * churn},
+		},
+		Expect: Expect{CoverageComplete: true, RingConverged: true},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if !res.RingConverged {
+		t.Fatalf("ring did not reconverge: %d stale successors", res.RingDrift)
+	}
+	if !res.CoverageComplete {
+		t.Fatalf("key-group ownership lost: coverage incomplete (%d overlaps)", res.CoverageOverlaps)
+	}
+	if res.CoverageOverlaps != 0 {
+		t.Fatalf("%d overlapping key ranges: a group is active on two nodes", res.CoverageOverlaps)
+	}
+	last := res.Ticks[len(res.Ticks)-1]
+	if last.LiveNodes != n {
+		t.Fatalf("live nodes = %d, want all %d rejoined", last.LiveNodes, n)
+	}
+	// The churn must actually have taken nodes down mid-run.
+	min := n
+	for _, tk := range res.Ticks {
+		if tk.LiveNodes < min {
+			min = tk.LiveNodes
+		}
+	}
+	if min >= n {
+		t.Fatal("churn schedule never took a node down")
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineEventOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	eng.At(3*time.Second, func() { order = append(order, 3) })
+	eng.At(time.Second, func() { order = append(order, 1) })
+	eng.At(2*time.Second, func() { order = append(order, 2) })
+	// Same-instant events run in schedule order (sequence tiebreak).
+	eng.At(2*time.Second, func() { order = append(order, 4) })
+	eng.RunUntil(10 * time.Second)
+	want := []int{1, 2, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	if eng.VirtualNow() != 10*time.Second {
+		t.Errorf("VirtualNow = %s, want 10s", eng.VirtualNow())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine(1)
+	var at []time.Duration
+	eng.At(time.Second, func() {
+		eng.After(time.Second, func() { at = append(at, eng.VirtualNow()) })
+		eng.After(500*time.Millisecond, func() { at = append(at, eng.VirtualNow()) })
+	})
+	eng.RunUntil(5 * time.Second)
+	if len(at) != 2 || at[0] != 1500*time.Millisecond || at[1] != 2*time.Second {
+		t.Fatalf("nested events ran at %v", at)
+	}
+}
+
+func TestEngineClockMonotonic(t *testing.T) {
+	eng := NewEngine(1)
+	// Scheduling in the past clamps to now: the clock never runs backward.
+	eng.RunUntil(5 * time.Second)
+	ran := time.Duration(-1)
+	eng.At(time.Second, func() { ran = eng.VirtualNow() })
+	eng.RunUntil(6 * time.Second)
+	if ran != 5*time.Second {
+		t.Errorf("past event ran at %s, want clamped to 5s", ran)
+	}
+}
+
+func TestEngineTimerAndTicker(t *testing.T) {
+	eng := NewEngine(1)
+	timer := eng.NewTimer(2 * time.Second)
+	ticker := eng.NewTicker(time.Second)
+	eng.RunUntil(3500 * time.Millisecond)
+
+	select {
+	case ts := <-timer.C():
+		if got := ts.Sub(simEpoch); got != 2*time.Second {
+			t.Errorf("timer fired at %s, want 2s", got)
+		}
+	default:
+		t.Error("timer did not fire")
+	}
+	// The ticker channel holds one tick (like time.Ticker, extra ticks drop).
+	select {
+	case <-ticker.C():
+	default:
+		t.Error("ticker did not fire")
+	}
+	ticker.Stop()
+
+	stopped := eng.NewTimer(time.Second)
+	if !stopped.Stop() {
+		t.Error("Stop before expiry = false, want true")
+	}
+	eng.RunUntil(10 * time.Second)
+	select {
+	case <-stopped.C():
+		t.Error("stopped timer fired")
+	default:
+	}
+}
+
+func TestEngineDeterministicRand(t *testing.T) {
+	a, b := NewEngine(7), NewEngine(7)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Uint64() != b.Rand().Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

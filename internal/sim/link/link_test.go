@@ -1,0 +1,61 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{}).Validate(); err != nil {
+		t.Errorf("zero model invalid: %v", err)
+	}
+	if err := (Model{Loss: 1}).Validate(); err == nil {
+		t.Error("loss 1 accepted")
+	}
+	if err := (Model{BaseLatency: -1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if !(Model{}).Zero() {
+		t.Error("zero model not Zero")
+	}
+	if (Model{BaseLatency: time.Millisecond}).Zero() {
+		t.Error("latency model reported Zero")
+	}
+}
+
+func TestSampleRangeAndLoss(t *testing.T) {
+	m := Model{BaseLatency: 10 * time.Millisecond, Jitter: 4 * time.Millisecond,
+		Loss: 0.25, DropTimeout: 100 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	drops := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		lat, dropped := m.Sample(rng)
+		if dropped {
+			drops++
+			if lat != m.DropTimeout {
+				t.Fatalf("dropped latency = %s, want the drop timeout", lat)
+			}
+			continue
+		}
+		if lat < m.BaseLatency || lat >= m.BaseLatency+m.Jitter {
+			t.Fatalf("latency %s outside [base, base+jitter)", lat)
+		}
+	}
+	if frac := float64(drops) / n; frac < 0.22 || frac > 0.28 {
+		t.Errorf("drop fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	m := WAN(20*time.Millisecond, 0.01)
+	a, b := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		la, da := m.Sample(a)
+		lb, db := m.Sample(b)
+		if la != lb || da != db {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

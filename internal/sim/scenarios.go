@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"clash/internal/load"
+	"clash/internal/sim/link"
+	"clash/internal/workload"
+)
+
+// Named builds one of the predefined scenarios with the given node count and
+// seed (nodes <= 0 selects the scenario's default size). The four names cover
+// the behaviors the paper's evaluation exercises:
+//
+//	split-merge     a heavy-skew load wave forces load-driven splits, then
+//	                the cooldown consolidates the tree back (the §6 Figure 4
+//	                shape); lossless WAN links, so every CQ match must arrive
+//	churn           nodes crash and rejoin throughout a steady workload on a
+//	                lossy WAN; the ring and the key-space coverage must be
+//	                whole at the end
+//	flash-crowd     a uniform baseline, then most traffic slams one narrow
+//	                key region and decays again
+//	partition-heal  the fabric splits in two for several periods, heals, and
+//	                the isolated side rejoins; the ring and coverage must
+//	                recover
+func Named(name string, nodes int, seed int64) (Scenario, error) {
+	switch name {
+	case "split-merge":
+		return splitMerge(nodes, seed), nil
+	case "churn":
+		return churn(nodes, seed), nil
+	case "flash-crowd":
+		return flashCrowd(nodes, seed), nil
+	case "partition-heal":
+		return partitionHeal(nodes, seed), nil
+	default:
+		return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the predefined scenario names.
+func Names() []string {
+	out := []string{"split-merge", "churn", "flash-crowd", "partition-heal"}
+	sort.Strings(out)
+	return out
+}
+
+// bootstrapDepthFor picks the initial partition depth: roughly one root group
+// per 16 nodes, at least the paper's depth-2 partition, at most depth 8.
+func bootstrapDepthFor(nodes int) int {
+	d := int(math.Round(math.Log2(float64(nodes)/16 + 1)))
+	return min(max(d+2, 2), 8)
+}
+
+// base fills the scenario fields every named scenario shares.
+func base(name string, nodes, defaultNodes int, seed int64) Scenario {
+	if nodes <= 0 {
+		nodes = defaultNodes
+	}
+	return Scenario{
+		Name:           name,
+		Nodes:          nodes,
+		Seed:           seed,
+		KeyBits:        workload.DefaultKeyBits,
+		BootstrapDepth: bootstrapDepthFor(nodes),
+		Capacity:       50,
+		Workload:       workload.WorkloadC,
+		CheckEvery:     30 * time.Second,
+		StabilizeEvery: 7500 * time.Millisecond,
+		Queries:        64,
+		Link:           link.WAN(20*time.Millisecond, 0),
+	}
+}
+
+func splitMerge(nodes int, seed int64) Scenario {
+	sc := base("split-merge", nodes, 300, seed)
+	// The hot wave is sized from the workload's own base distribution so the
+	// hottest root group lands at ~4x the overload threshold at any overlay
+	// size (a deeper bootstrap partition spreads the skew thinner, so the
+	// aggregate rate must rise to overload the peak's holder).
+	hot := hotPacketsFor(sc, 4)
+	sc.Phases = []Phase{
+		{Name: "warm", Ticks: 2, Packets: hot / 10},
+		{Name: "hot", Ticks: 5, Packets: hot},
+		{Name: "cool", Ticks: 11, Packets: hot / 100},
+	}
+	sc.Expect = Expect{
+		MinSplits:           1,
+		MinMerges:           1,
+		AllMatchesDelivered: true,
+		CoverageComplete:    true,
+		RingConverged:       true,
+	}
+	return sc
+}
+
+func churn(nodes int, seed int64) Scenario {
+	sc := base("churn", nodes, 200, seed)
+	sc.Workload = workload.WorkloadB
+	sc.Link = link.WAN(20*time.Millisecond, 0.002)
+	pkts := int(sc.Capacity * sc.CheckEverySeconds())
+	sc.Phases = []Phase{
+		{Name: "steady", Ticks: 18, Packets: pkts},
+	}
+	churn := max(sc.Nodes/10, 1)
+	sc.Churn = []ChurnEvent{
+		{Tick: 2, Crash: churn},
+		{Tick: 4, Crash: churn},
+		{Tick: 6, Rejoin: churn},
+		{Tick: 7, Crash: churn},
+		{Tick: 9, Rejoin: 2 * churn},
+	}
+	sc.Expect = Expect{CoverageComplete: true, MaxRingDrift: max(sc.Nodes/50, 2)}
+	return sc
+}
+
+func flashCrowd(nodes int, seed int64) Scenario {
+	sc := base("flash-crowd", nodes, 200, seed)
+	sc.Workload = workload.WorkloadA
+	pkts := int(sc.Capacity * sc.CheckEverySeconds())
+	// The crowd slams one base value with 90% of a 10x traffic spike.
+	sc.Phases = []Phase{
+		{Name: "baseline", Ticks: 3, Packets: pkts},
+		{Name: "crowd", Ticks: 4, Packets: 10 * pkts, HotShare: 0.9, HotBase: 0xA5},
+		{Name: "decay", Ticks: 9, Packets: pkts / 2},
+	}
+	sc.Expect = Expect{
+		MinSplits:           1,
+		AllMatchesDelivered: true,
+		CoverageComplete:    true,
+		RingConverged:       true,
+	}
+	return sc
+}
+
+func partitionHeal(nodes int, seed int64) Scenario {
+	sc := base("partition-heal", nodes, 120, seed)
+	sc.Workload = workload.WorkloadB
+	pkts := int(sc.Capacity * sc.CheckEverySeconds() / 2)
+	sc.Phases = []Phase{
+		{Name: "steady", Ticks: 3, Packets: pkts},
+		{Name: "partitioned", Ticks: 4, Packets: pkts},
+		{Name: "healed", Ticks: 9, Packets: pkts},
+	}
+	sc.Partition = &PartitionSpec{FromTick: 3, ToTick: 7, Fraction: 0.4}
+	sc.Expect = Expect{CoverageComplete: true, RingConverged: true}
+	return sc
+}
+
+// CheckEverySeconds returns the load-check interval in seconds.
+func (sc Scenario) CheckEverySeconds() float64 { return sc.CheckEvery.Seconds() }
+
+// hotPacketsFor sizes a per-tick traffic burst so the hottest bootstrap root
+// group receives factor times its holder's overload threshold: it aggregates
+// the workload's base-value distribution into the root groups the bootstrap
+// depth creates, finds the peak group's probability mass, and scales the
+// burst so peak mass x packets = factor x overload rate x window.
+func hotPacketsFor(sc Scenario, factor float64) int {
+	spec := workload.SpecFor(sc.Workload)
+	spec.KeyBits = sc.KeyBits
+	gen, err := workload.NewKeyGenerator(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		// Fall back to a flat assumption; Validate in Run surfaces real
+		// spec problems.
+		return int(factor * sc.Capacity * sc.CheckEverySeconds())
+	}
+	dist := gen.BaseDistribution()
+	groupBits := min(sc.BootstrapDepth, spec.BaseBits)
+	width := len(dist) >> uint(groupBits)
+	if width < 1 {
+		width = 1
+	}
+	maxMass := 0.0
+	for start := 0; start+width <= len(dist); start += width {
+		m := 0.0
+		for _, p := range dist[start : start+width] {
+			m += p
+		}
+		maxMass = max(maxMass, m)
+	}
+	if sc.BootstrapDepth > spec.BaseBits {
+		// Roots subdivide single base values; the uniform remainder bits
+		// split the mass evenly.
+		maxMass /= float64(int(1) << uint(sc.BootstrapDepth-spec.BaseBits))
+	}
+	if maxMass <= 0 {
+		maxMass = 1.0 / float64(len(dist))
+	}
+	overloadRate := load.DefaultOverloadFraction * sc.Capacity
+	return int(factor * overloadRate * sc.CheckEverySeconds() / maxMass)
+}

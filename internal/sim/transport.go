@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"clash/internal/metrics"
+	"clash/internal/overlay"
+	"clash/internal/sim/link"
+)
+
+// Net is the simulated transport fabric: endpoints reach each other by
+// address, every message's one-way delay, jitter and loss are drawn from a
+// link model, and endpoints can be marked down (a crash) or assigned to
+// partitions (only same-partition endpoints communicate). The fabric records
+// per-type call counts plus the sampled one-way delivery latency of every
+// message type — which is how a scenario reads CQ match delivery latency in
+// virtual milliseconds.
+//
+// Timing model: an exchange executes at the virtual instant it is issued (the
+// handler runs inline, like MemNetwork); the sampled latency feeds the
+// delivery-latency statistics and the loss/partition verdicts fail calls for
+// real, but a call does not suspend its caller in virtual time. The simulator
+// works at the paper's measurement-interval granularity — load rates,
+// report aging and merge pacing all run on the virtual clock through the
+// scheduled maintenance grid — rather than packet-serialised time, which is
+// what lets a single-threaded, bit-deterministic engine drive thousands of
+// nodes whose exchanges logically overlap. Nothing here reads the wall clock.
+type Net struct {
+	eng   *Engine
+	model link.Model
+
+	eps   map[string]*Endpoint
+	down  map[string]bool
+	part  map[string]int // partition id; absent = 0
+	calls map[string]int
+
+	latency map[string]*metrics.LatencyHist // msgType → one-way virtual µs
+}
+
+// NewNet creates a fabric on the engine with the given link model.
+func NewNet(eng *Engine, model link.Model) (*Net, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Net{
+		eng:     eng,
+		model:   model,
+		eps:     make(map[string]*Endpoint),
+		down:    make(map[string]bool),
+		part:    make(map[string]int),
+		calls:   make(map[string]int),
+		latency: make(map[string]*metrics.LatencyHist),
+	}, nil
+}
+
+// Endpoint creates (or returns the existing) endpoint with the given address.
+func (n *Net) Endpoint(addr string) *Endpoint {
+	if ep, ok := n.eps[addr]; ok {
+		return ep
+	}
+	ep := &Endpoint{net: n, addr: addr}
+	n.eps[addr] = ep
+	return ep
+}
+
+// SetModel swaps the fabric's link model. The scenario harness boots the
+// overlay on a lossless copy of the scenario link and engages the real model
+// when the measurement run starts, so runs begin from a converged overlay.
+func (n *Net) SetModel(m link.Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	n.model = m
+	return nil
+}
+
+// SetDown marks an address crashed (true) or back up (false). Calls from and
+// to a down endpoint fail with overlay.ErrUnreachable.
+func (n *Net) SetDown(addr string, down bool) { n.down[addr] = down }
+
+// SetPartition assigns an address to a network partition; only endpoints in
+// the same partition can exchange messages. All endpoints start in partition
+// 0.
+func (n *Net) SetPartition(addr string, partition int) { n.part[addr] = partition }
+
+// Heal returns every endpoint to partition 0.
+func (n *Net) Heal() { n.part = make(map[string]int) }
+
+// Calls returns how many requests of the given type were attempted.
+func (n *Net) Calls(msgType string) int { return n.calls[msgType] }
+
+// Latency returns the one-way delivery latency histogram (in microseconds of
+// virtual time) recorded for a message type, or nil if none was delivered.
+func (n *Net) Latency(msgType string) *metrics.LatencyHist { return n.latency[msgType] }
+
+// recordLatency notes one delivered message's sampled one-way latency.
+func (n *Net) recordLatency(msgType string, d time.Duration) {
+	h, ok := n.latency[msgType]
+	if !ok {
+		h = metrics.NewLatencyHist()
+		n.latency[msgType] = h
+	}
+	h.Record(d.Microseconds())
+}
+
+// blocked reports whether a message from a to b cannot cross the fabric right
+// now (either side down or the pair split by a partition).
+func (n *Net) blocked(a, b string) bool {
+	return n.down[a] || n.down[b] || n.part[a] != n.part[b]
+}
+
+// Endpoint is one addressable endpoint of a Net, implementing
+// overlay.Transport for unmodified overlay nodes and clients.
+type Endpoint struct {
+	net     *Net
+	addr    string
+	handler overlay.Handler
+	closed  bool
+	stats   overlay.TransportStats
+}
+
+var _ overlay.Transport = (*Endpoint)(nil)
+
+// Addr implements overlay.Transport.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// SetHandler implements overlay.Transport.
+func (e *Endpoint) SetHandler(h overlay.Handler) { e.handler = h }
+
+// Stats implements overlay.Transport.
+func (e *Endpoint) Stats() overlay.TransportStats { return e.stats }
+
+// Close implements overlay.Transport.
+func (e *Endpoint) Close() error {
+	e.closed = true
+	return nil
+}
+
+// Call implements overlay.Transport. Both directions draw their fate from
+// the link model (in a fixed order, so same-seed runs are bit-identical): a
+// lost request or reply fails the call with overlay.ErrUnreachable, a
+// delivered request's sampled latency is recorded in the fabric's per-type
+// histogram, and the handler runs inline. Handler errors come back as
+// *overlay.RemoteError exactly as on the framed transports.
+func (e *Endpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	n := e.net
+	if e.closed {
+		return nil, fmt.Errorf("%w: %s", overlay.ErrClosed, e.addr)
+	}
+	n.calls[msgType]++
+	target, ok := n.eps[addr]
+	if !ok || target.closed || n.blocked(e.addr, addr) {
+		return nil, fmt.Errorf("%w: %s", overlay.ErrUnreachable, addr)
+	}
+
+	size := overlay.FrameOverhead + len(payload)
+	e.stats.FramesOut++
+	e.stats.BytesOut += uint64(size)
+	reqLat, reqDrop := n.model.Sample(n.eng.Rand())
+	if reqDrop {
+		return nil, fmt.Errorf("%w: %s: request lost", overlay.ErrUnreachable, addr)
+	}
+	n.recordLatency(msgType, reqLat)
+	target.stats.FramesIn++
+	target.stats.BytesIn += uint64(size)
+
+	// The handler may retain the payload (query state, batch bodies) while
+	// the caller recycles its buffer on return — copy, exactly as a socket
+	// read would have.
+	req := append([]byte(nil), payload...)
+	var (
+		reply []byte
+		herr  error
+	)
+	if target.handler == nil {
+		herr = &overlay.RemoteError{Msg: "no handler installed"}
+	} else if reply, herr = target.handler(msgType, req); herr != nil {
+		herr = &overlay.RemoteError{Msg: herr.Error()}
+	}
+
+	repSize := overlay.FrameOverhead + len(reply)
+	target.stats.FramesOut++
+	target.stats.BytesOut += uint64(repSize)
+	if _, repDrop := n.model.Sample(n.eng.Rand()); repDrop {
+		return nil, fmt.Errorf("%w: %s: reply lost", overlay.ErrUnreachable, addr)
+	}
+	e.stats.FramesIn++
+	e.stats.BytesIn += uint64(repSize)
+	if herr != nil {
+		return nil, herr
+	}
+	return append([]byte(nil), reply...), nil
+}
