@@ -46,15 +46,16 @@ func main() {
 		stabilize      = flag.Duration("stabilize", 250*time.Millisecond, "chord stabilization interval")
 		loadCheck      = flag.Duration("load-check", 2*time.Second, "load measurement window and check interval")
 		seed           = flag.Int64("seed", 0, "root seed for the maintenance-loop jitter (reproducible runs)")
+		replicas       = flag.Int("replicas", 0, "key-group replication factor: replicas pushed to that many successors (0 = default 2, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck, *seed); err != nil {
+	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck, *seed, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "clashd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration, seed int64) error {
+func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration, seed int64, replicas int) error {
 	space, err := chord.NewSpace(spaceBits)
 	if err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64
 		StabilizeInterval: stabilize,
 		LoadCheckInterval: loadCheck,
 		Seed:              seed,
+		ReplicationFactor: replicas,
 	})
 	if err != nil {
 		tr.Close()

@@ -105,13 +105,14 @@ func main() {
 		streamLen = flag.Float64("stream-len", 0, "mean virtual-stream length Ld in packets (0 = the paper's 1000)")
 		latency   = flag.Duration("latency", 0, "mean one-way link latency injected under -inproc (0 disables)")
 		loss      = flag.Float64("loss", 0, "per-message loss probability injected under -inproc")
+		replicas  = flag.Int("replicas", 0, "key-group replication factor under -inproc (0 = default 2, negative disables)")
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
 	)
 	var randSeed int64
 	flag.Int64Var(&randSeed, "seed", 1, "root PRNG seed: workload generator clones + inproc maintenance jitter")
 	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, randSeed, *out); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -130,7 +131,7 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, randSeed int64, out string) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out string) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -178,7 +179,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		cfg.Mode = "inproc"
 		cfg.Nodes = inproc
 		netw := overlay.NewMemNetwork()
-		nodes, err = bootInproc(ctx, netw, inproc, keyBits, space, capacity, randSeed)
+		nodes, err = bootInproc(ctx, netw, inproc, keyBits, space, capacity, randSeed, replicas)
 		if err != nil {
 			return err
 		}
@@ -425,7 +426,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 // bootInproc builds an N-node overlay on the in-memory fabric: node 0
 // bootstraps the initial partition, the rest join, the ring is converged with
 // explicit maintenance rounds, and every node's Run loop is started.
-func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, space chord.Space, capacity float64, seed int64) ([]*overlay.Node, error) {
+func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, space chord.Space, capacity float64, seed int64, replicas int) ([]*overlay.Node, error) {
 	cfg := overlay.Config{
 		KeyBits:           keyBits,
 		Space:             space,
@@ -434,6 +435,7 @@ func bootInproc(ctx context.Context, netw *overlay.MemNetwork, n, keyBits int, s
 		StabilizeInterval: 50 * time.Millisecond,
 		LoadCheckInterval: 500 * time.Millisecond,
 		Seed:              seed,
+		ReplicationFactor: replicas,
 	}
 	nodes := make([]*overlay.Node, n)
 	for i := range nodes {

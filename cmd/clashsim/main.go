@@ -94,6 +94,11 @@ func run(scenario string, all bool, nodes int, seed int64, out string) error {
 		fmt.Printf("  final: groups=%d holders=%d depth=[%d..%d] ring=%v coverage=%v\n",
 			last.Groups, last.Holders, last.DepthMin, last.DepthMax,
 			res.RingConverged, res.CoverageComplete)
+		if res.HoldersCrashed > 0 || res.GroupsRecovered > 0 {
+			fmt.Printf("  durability: crashed %d/%d holders, recovered %d groups, CQs %d/%d surviving, probe misses %d\n",
+				res.HoldersCrashed, res.HoldersAtFirstCrash, res.GroupsRecovered,
+				res.CQSurviving, res.CQRegistered, res.CQProbeMisses)
+		}
 		for _, v := range res.Violations {
 			violations++
 			fmt.Printf("  VIOLATION: %s\n", v)

@@ -60,6 +60,11 @@ type Node struct {
 	successors  []NodeRef // successors[0] is the immediate successor
 	fingers     []NodeRef // fingers[i] = successor(self.ID + 2^i)
 	nextFinger  int
+
+	// succListener is invoked (outside the lock) whenever the successor
+	// list's content changes; lastNotified is the list it last saw.
+	succListener func([]NodeRef)
+	lastNotified []NodeRef
 }
 
 // NewNode creates a node for the given address. The node starts as a
@@ -106,6 +111,47 @@ func (n *Node) Successors() []NodeRef {
 	return out
 }
 
+// SetSuccessorsListener installs fn to be called with a copy of the successor
+// list every time its content changes (after joins, stabilization rounds and
+// successor failures). The callback runs on whatever goroutine mutated the
+// list, with no node lock held, so it may call back into the node. The
+// overlay uses it to re-push key-group replicas when the replica targets —
+// the first k successors — change under ring churn.
+func (n *Node) SetSuccessorsListener(fn func([]NodeRef)) {
+	n.mu.Lock()
+	n.succListener = fn
+	n.mu.Unlock()
+}
+
+// notifySuccessorsChanged compares the successor list against the last
+// notified snapshot and invokes the listener outside the lock if it changed.
+func (n *Node) notifySuccessorsChanged() {
+	n.mu.Lock()
+	fn := n.succListener
+	if fn == nil {
+		n.mu.Unlock()
+		return
+	}
+	changed := len(n.successors) != len(n.lastNotified)
+	if !changed {
+		for i := range n.successors {
+			if n.successors[i] != n.lastNotified[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		n.mu.Unlock()
+		return
+	}
+	snap := make([]NodeRef, len(n.successors))
+	copy(snap, n.successors)
+	n.lastNotified = snap
+	n.mu.Unlock()
+	fn(snap)
+}
+
 // Join makes the node join the ring that bootstrap belongs to. Joining a zero
 // bootstrap is a no-op (the node stays a singleton ring). The finger table is
 // reset to the new successor: entries surviving from a previous membership
@@ -120,7 +166,50 @@ func (n *Node) Join(bootstrap NodeRef) error {
 	if err != nil {
 		return fmt.Errorf("join via %s: %w", bootstrap.Addr, err)
 	}
+	if succ.Addr == n.self.Addr {
+		// The ring still lists this address (a restart before the old
+		// membership was detected dead); resolve our slot's true successor
+		// without routing through our own reset state.
+		return n.rejoinOwnSlot(bootstrap)
+	}
 	n.adopt(succ)
+	return nil
+}
+
+// rejoinOwnSlot resolves this node's successor when the ring still lists the
+// node's own address (a crash-restart that beat failure detection). Routing a
+// lookup is useless — it lands back on our reset state — but the member just
+// after our slot still names us as its predecessor, so a backward walk over
+// predecessor pointers finds it without touching a finger table. If the walk
+// is cut short (a cleared predecessor mid-ring), the last member reached is
+// adopted instead: any in-ring successor pointer converges to the true one
+// through Stabilize's predecessor-chain absorption.
+func (n *Node) rejoinOwnSlot(contact NodeRef) error {
+	p := contact
+	visited := map[string]bool{contact.Addr: true}
+	for i := 0; i < maxChainHops; i++ {
+		q, err := n.rpc.Predecessor(p)
+		if err != nil || q.IsZero() || q.Addr == p.Addr {
+			break
+		}
+		if q.Addr == n.self.Addr {
+			// p's predecessor is us: p is our slot's successor.
+			n.adopt(p)
+			return nil
+		}
+		if visited[q.Addr] {
+			// Lapped the ring without finding a member naming us as
+			// predecessor (our death was already absorbed): stop — the
+			// fallback adoption below still lands inside the ring.
+			break
+		}
+		visited[q.Addr] = true
+		p = q
+	}
+	if p.Addr == n.self.Addr || p.Addr == "" {
+		return fmt.Errorf("rejoin own slot via %s: no successor found", contact.Addr)
+	}
+	n.adopt(p)
 	return nil
 }
 
@@ -155,8 +244,14 @@ func (n *Node) JoinChain(bootstrap NodeRef) error {
 		if err != nil {
 			return fmt.Errorf("join chain via %s: %w", cur.Addr, err)
 		}
-		if next.IsZero() || next.Addr == n.self.Addr {
-			return fmt.Errorf("join chain via %s: ring already lists %s", bootstrap.Addr, n.self.Addr)
+		if next.IsZero() {
+			return fmt.Errorf("join chain via %s: chain broke at %s", bootstrap.Addr, cur.Addr)
+		}
+		if next.Addr == n.self.Addr {
+			// The ring still lists this address (restart before the old
+			// membership aged out): resolve our slot's successor by the
+			// predecessor walk, which stays inside cur's ring.
+			return n.rejoinOwnSlot(cur)
 		}
 		if Between(cur.ID, next.ID, n.self.ID) || next.Addr == bootstrap.Addr {
 			// Our identifier falls on the (cur, next] arc — next is our
@@ -176,13 +271,14 @@ func (n *Node) JoinChain(bootstrap NodeRef) error {
 // resets the finger table for a fresh membership.
 func (n *Node) adopt(succ NodeRef) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.predecessor = NodeRef{}
 	n.successors = n.successors[:1]
 	n.successors[0] = succ
 	for i := range n.fingers {
 		n.fingers[i] = succ
 	}
+	n.mu.Unlock()
+	n.notifySuccessorsChanged()
 }
 
 // FindSuccessor resolves the successor of id, forwarding through the finger
@@ -244,6 +340,7 @@ const stabilizeWalkLimit = 32
 // absorbed in a single round. Mass-churn recovery time drops from O(gap)
 // rounds to O(gap / limit).
 func (n *Node) Stabilize() error {
+	defer n.notifySuccessorsChanged()
 	n.mu.RLock()
 	succ := n.successors[0]
 	self := n.self

@@ -202,3 +202,48 @@ func TestLocalNetworkCallCounting(t *testing.T) {
 		t.Error("call counter went backwards")
 	}
 }
+
+// TestSuccessorsListener checks that the successor-list change notification
+// fires on membership changes, reports the current list, runs without the
+// node lock held (the callback can call back into the node), and stays quiet
+// when stabilization rounds leave the list unchanged.
+func TestSuccessorsListener(t *testing.T) {
+	_, nodes := buildRing(t, 4, 8)
+	n := nodes[1]
+
+	var calls int
+	var last []NodeRef
+	n.SetSuccessorsListener(func(succs []NodeRef) {
+		calls++
+		last = succs
+		_ = n.Successors() // must not deadlock
+	})
+
+	// A converged ring: one more stabilize round must not re-notify.
+	if err := n.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		// The first round after installing the listener always notifies once
+		// (the last-notified snapshot starts empty).
+		t.Fatalf("calls after steady-state stabilize = %d, want 1", calls)
+	}
+	if err := n.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("unchanged list re-notified: calls = %d", calls)
+	}
+	if len(last) == 0 || last[0] != n.Successor() {
+		t.Fatalf("listener saw %v, node reports successor %v", last, n.Successor())
+	}
+
+	// A join resets the successor list and must notify.
+	before := calls
+	if err := n.Join(nodes[0].Self()); err != nil {
+		t.Fatal(err)
+	}
+	if calls <= before {
+		t.Error("join did not notify the successor listener")
+	}
+}

@@ -50,6 +50,12 @@ var (
 	// ErrBadKey is returned when a key does not match the configured key
 	// length.
 	ErrBadKey = errors.New("clash: key length mismatch")
+	// ErrCovered is returned when accepting or restoring a key group would
+	// overlap key ranges already served by this server's active entries (an
+	// active ancestor or active descendants exist): the incoming copy is
+	// stale and must be discarded, but any query state it carries still
+	// belongs here and should be installed by the caller.
+	ErrCovered = errors.New("clash: key range already covered by active groups")
 	// ErrDepthRange is returned when a depth lies outside [0, N].
 	ErrDepthRange = errors.New("clash: depth out of range")
 )

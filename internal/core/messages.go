@@ -108,6 +108,11 @@ type AcceptKeyGroupMsg struct {
 	// Queries carries the serialised continuous queries whose keys fall in
 	// the transferred group (the application state migrated at split time).
 	Queries [][]byte `json:"queries,omitempty"`
+	// Epoch is the group's ownership epoch after this transfer (0 when the
+	// sender has no epoch information). The receiving server drops delayed
+	// duplicates carrying an older epoch instead of regressing the entry.
+	// Appended after the original fields per the wire-evolution rule.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // LoadReportMsg is the payload of MsgLoadReport.

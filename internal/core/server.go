@@ -49,9 +49,12 @@ type Counters struct {
 	Merges         int
 	GroupsAccepted int
 	GroupsReleased int
-	ObjectsOK      int
-	ObjectsCorrect int
-	ObjectsWrong   int
+	// GroupsRecovered counts groups promoted from a crashed peer's replica
+	// (RestoreGroup), as opposed to groups accepted in a normal transfer.
+	GroupsRecovered int
+	ObjectsOK       int
+	ObjectsCorrect  int
+	ObjectsWrong    int
 }
 
 // Server is the per-node CLASH protocol state machine. It owns the Server
@@ -370,11 +373,23 @@ func (s *Server) ExecuteSplit(g bitkey.Group, mapFn MapFunc) (*SplitResult, erro
 	}
 }
 
-// HandleAcceptKeyGroup processes an ACCEPT_KEYGROUP message: the server takes
-// over responsibility for a key group shed by parent. Per the paper a node
-// must always accept (it can always shed its own load afterwards). Accepting
-// a group the server already manages actively is idempotent.
+// HandleAcceptKeyGroup processes an ACCEPT_KEYGROUP message carrying no epoch
+// information (epoch 0: apply unconditionally). See HandleAcceptKeyGroupEpoch.
 func (s *Server) HandleAcceptKeyGroup(g bitkey.Group, parent ServerID) error {
+	return s.HandleAcceptKeyGroupEpoch(g, parent, 0)
+}
+
+// HandleAcceptKeyGroupEpoch processes an ACCEPT_KEYGROUP message: the server
+// takes over responsibility for a key group shed by parent. Per the paper a
+// node must always accept (it can always shed its own load afterwards).
+// Accepting a group the server already manages actively is idempotent on
+// (group, epoch): a re-delivery with the same or a newer epoch refreshes the
+// parent linkage, while a delayed duplicate with an older epoch is dropped
+// without touching the entry. Accepting a group whose range is already
+// covered by other active entries (an active ancestor, or active descendants)
+// returns ErrCovered instead of installing an overlap — the caller should
+// keep the message's query state locally and discard the group.
+func (s *Server) HandleAcceptKeyGroupEpoch(g bitkey.Group, parent ServerID, epoch uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if g.Depth() > s.table.KeyBits() {
@@ -382,21 +397,115 @@ func (s *Server) HandleAcceptKeyGroup(g bitkey.Group, parent ServerID) error {
 	}
 	if e, ok := s.table.get(g); ok {
 		if e.Active {
+			if epoch != 0 && e.Epoch != 0 && epoch < e.Epoch {
+				// A delayed duplicate of an older transfer: the entry has
+				// moved on, don't regress its linkage.
+				return nil
+			}
 			// Idempotent re-delivery.
 			e.Parent = parent
 			e.ParentIsSelf = parent == s.id
+			if epoch > e.Epoch {
+				e.Epoch = epoch
+			}
 			return nil
 		}
+		if s.table.coveredBy(g) {
+			return fmt.Errorf("%w: %v", ErrCovered, g)
+		}
 		return fmt.Errorf("%w: %v (already split here)", ErrAlreadyManaged, g)
+	}
+	if s.table.coveredBy(g) {
+		return fmt.Errorf("%w: %v", ErrCovered, g)
 	}
 	s.table.put(&Entry{
 		Group:        g,
 		Parent:       parent,
 		ParentIsSelf: parent == s.id,
 		Active:       true,
+		Epoch:        epoch,
 	})
 	s.counters.GroupsAccepted++
 	return nil
+}
+
+// GroupSnapshot is the replicable protocol state of one active key-group
+// entry: everything a peer needs to resurrect the group if this server
+// crashes. The accompanying continuous-query state is extracted separately by
+// the driver (the overlay bundles cq.Engine queries with each snapshot).
+type GroupSnapshot struct {
+	Group  bitkey.Group
+	Parent ServerID
+	IsRoot bool
+	Epoch  uint64
+}
+
+// SnapshotGroup captures the replicable state of one active entry.
+func (s *Server) SnapshotGroup(g bitkey.Group) (GroupSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.get(g)
+	if !ok || !e.Active {
+		return GroupSnapshot{}, false
+	}
+	return snapshotLocked(e), true
+}
+
+// SnapshotActive captures the replicable state of every active entry, in
+// prefix order (the trie's deterministic visit order).
+func (s *Server) SnapshotActive() []GroupSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []GroupSnapshot
+	s.table.forEach(func(e *Entry) bool {
+		if e.Active {
+			out = append(out, snapshotLocked(e))
+		}
+		return true
+	})
+	return out
+}
+
+func snapshotLocked(e *Entry) GroupSnapshot {
+	return GroupSnapshot{Group: e.Group, Parent: e.Parent, IsRoot: e.IsRoot, Epoch: e.Epoch}
+}
+
+// RestoreGroup resurrects a key group from a replica snapshot after its
+// holder crashed: the group becomes active on this server under a fresh
+// ownership epoch. The bool reports whether a new entry was installed.
+// Restoring a group this server already manages actively is a no-op (someone
+// got there first: false, nil); a snapshot whose range is already covered by
+// other active entries returns ErrCovered (install only the query state); a
+// snapshot conflicting with an inactive entry returns ErrAlreadyManaged.
+func (s *Server) RestoreGroup(snap GroupSnapshot) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := snap.Group
+	if g.Depth() > s.table.KeyBits() {
+		return false, fmt.Errorf("%w: depth %d", ErrDepthRange, g.Depth())
+	}
+	if e, ok := s.table.get(g); ok {
+		if e.Active {
+			return false, nil
+		}
+		if s.table.coveredBy(g) {
+			return false, fmt.Errorf("%w: %v", ErrCovered, g)
+		}
+		return false, fmt.Errorf("%w: %v (already split here)", ErrAlreadyManaged, g)
+	}
+	if s.table.coveredBy(g) {
+		return false, fmt.Errorf("%w: %v", ErrCovered, g)
+	}
+	s.table.put(&Entry{
+		Group:        g,
+		Parent:       snap.Parent,
+		ParentIsSelf: snap.Parent == s.id,
+		IsRoot:       snap.IsRoot,
+		Active:       true,
+		Epoch:        snap.Epoch + 1,
+	})
+	s.counters.GroupsRecovered++
+	return true, nil
 }
 
 // HandleChildMoved records that the right child of one of this server's

@@ -359,12 +359,26 @@ func TestHandleAcceptKeyGroup(t *testing.T) {
 	if err := s.HandleAcceptKeyGroup(g, "s1"); err != nil {
 		t.Errorf("re-delivery rejected: %v", err)
 	}
-	// After splitting it locally, accepting it again must fail.
+	// After splitting it locally, accepting it again must not install an
+	// overlapping entry: the active left child covers part of the range, so
+	// the accept reports ErrCovered (the caller keeps only the query state).
 	if _, err := s.ExecuteSplit(g, scriptedMap("s3")); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.HandleAcceptKeyGroup(g, "s1"); !errors.Is(err, ErrCovered) {
+		t.Errorf("accept of split group err = %v, want ErrCovered", err)
+	}
+	// With the left child released too (no active coverage left here), the
+	// stale inactive linkage entry is what blocks the accept.
+	left, _, err := g.Split()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleRelease(left); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.HandleAcceptKeyGroup(g, "s1"); !errors.Is(err, ErrAlreadyManaged) {
-		t.Errorf("accept of split group err = %v, want ErrAlreadyManaged", err)
+		t.Errorf("accept over split linkage err = %v, want ErrAlreadyManaged", err)
 	}
 	if err := s.HandleAcceptKeyGroup(bitkey.MustParseGroup("00000000*"), "s1"); !errors.Is(err, ErrDepthRange) {
 		t.Errorf("over-deep group err = %v, want ErrDepthRange", err)
@@ -663,5 +677,87 @@ func TestHandleChildMoved(t *testing.T) {
 	}
 	if err := s.HandleChildMoved(bitkey.Group{}, "s4"); !errors.Is(err, ErrUnknownGroup) {
 		t.Errorf("root group = %v, want ErrUnknownGroup", err)
+	}
+}
+
+func TestAcceptKeyGroupEpochIdempotent(t *testing.T) {
+	s := mustServer(t, "s2", 7)
+	g := bitkey.MustParseGroup("0111*")
+	if err := s.HandleAcceptKeyGroupEpoch(g, "s1", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Same-epoch re-delivery (a retried transfer whose reply was lost) is a
+	// no-op success.
+	if err := s.HandleAcceptKeyGroupEpoch(g, "s1", 3); err != nil {
+		t.Errorf("same-epoch re-delivery rejected: %v", err)
+	}
+	// A newer epoch updates the linkage.
+	if err := s.HandleAcceptKeyGroupEpoch(g, "s9", 5); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := s.SnapshotGroup(g)
+	if !ok || snap.Parent != "s9" || snap.Epoch != 5 {
+		t.Fatalf("snapshot after newer epoch = %+v, %v", snap, ok)
+	}
+	// A delayed duplicate of an older transfer must not regress the entry.
+	if err := s.HandleAcceptKeyGroupEpoch(g, "s1", 4); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = s.SnapshotGroup(g)
+	if snap.Parent != "s9" || snap.Epoch != 5 {
+		t.Errorf("older epoch regressed the entry: %+v", snap)
+	}
+}
+
+func TestSnapshotRestoreGroup(t *testing.T) {
+	s := mustServer(t, "s1", 7)
+	g := bitkey.MustParseGroup("01*")
+	if err := s.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	snaps := s.SnapshotActive()
+	if len(snaps) != 1 || !snaps[0].Group.Equal(g) || !snaps[0].IsRoot {
+		t.Fatalf("SnapshotActive = %+v", snaps)
+	}
+
+	// A peer restores the snapshot after s1 "crashes": fresh epoch, root
+	// flag preserved, recovery counted.
+	peer := mustServer(t, "s2", 7)
+	installed, err := peer.RestoreGroup(snaps[0])
+	if err != nil || !installed {
+		t.Fatalf("RestoreGroup = %v, %v", installed, err)
+	}
+	got, ok := peer.SnapshotGroup(g)
+	if !ok || !got.IsRoot || got.Epoch != snaps[0].Epoch+1 {
+		t.Fatalf("restored snapshot = %+v, %v", got, ok)
+	}
+	if peer.Counters().GroupsRecovered != 1 {
+		t.Errorf("GroupsRecovered = %d, want 1", peer.Counters().GroupsRecovered)
+	}
+	// Restoring again is a silent no-op (someone got there first).
+	if installed, err := peer.RestoreGroup(snaps[0]); err != nil || installed {
+		t.Errorf("second restore = %v, %v, want false, nil", installed, err)
+	}
+}
+
+func TestRestoreGroupCovered(t *testing.T) {
+	s := mustServer(t, "s1", 7)
+	g := bitkey.MustParseGroup("01*")
+	if err := s.Bootstrap(g); err != nil {
+		t.Fatal(err)
+	}
+	// A stale replica of the parent of an active group must not resurrect
+	// an overlapping range.
+	parent := bitkey.MustParseGroup("0*")
+	if installed, err := s.RestoreGroup(GroupSnapshot{Group: parent}); installed || !errors.Is(err, ErrCovered) {
+		t.Errorf("restore over active child = %v, %v, want ErrCovered", installed, err)
+	}
+	// And a stale replica of a child of an active group is covered too.
+	child := bitkey.MustParseGroup("011*")
+	if installed, err := s.RestoreGroup(GroupSnapshot{Group: child}); installed || !errors.Is(err, ErrCovered) {
+		t.Errorf("restore under active parent = %v, %v, want ErrCovered", installed, err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
 	}
 }

@@ -35,6 +35,11 @@ type Entry struct {
 	// Active reports whether this entry is currently a leaf of the logical
 	// tree (the paper's boolean Active column).
 	Active bool
+	// Epoch is the ownership epoch of an active entry: it increases every
+	// time responsibility for the group moves between servers, so a delayed
+	// duplicate of an old ACCEPT_KEYGROUP can be recognised and dropped
+	// instead of regressing the entry (0 = unknown, epoch checks skipped).
+	Epoch uint64
 
 	// localLoad is the most recent measured load fraction attributable to
 	// this group when it is active on this server.
@@ -144,6 +149,26 @@ func (t *Table) activeEntryFor(k bitkey.Key) (*Entry, bool) {
 // reply). One trie walk, zero allocations.
 func (t *Table) longestPrefixMatch(k bitkey.Key) int {
 	return t.entries.MaxCommonPrefix(k)
+}
+
+// coveredBy reports whether installing g as a new active entry would violate
+// prefix-freeness: an active ancestor already covers g's range, or active
+// descendants of g exist on this server. Either way the range is (at least
+// partly) served here already, so a stale transfer or replica promotion must
+// not resurrect g.
+func (t *Table) coveredBy(g bitkey.Group) bool {
+	if _, e, ok := t.entries.LongestMatchWhere(g.Prefix, entryIsActive); ok && e.Depth() < g.Depth() {
+		return true
+	}
+	covered := false
+	t.entries.VisitSubtree(g.Prefix, func(_ bitkey.Key, e *Entry) bool {
+		if e.Active && e.Depth() > g.Depth() {
+			covered = true
+			return false
+		}
+		return true
+	})
+	return covered
 }
 
 // validateActivePrefixFree checks the core table invariant: no active group's

@@ -178,7 +178,8 @@ func (m *AcceptBatchReplyMsg) UnmarshalWire(data []byte) error {
 	return r.Err()
 }
 
-// MarshalWire appends the binary encoding of m to b.
+// MarshalWire appends the binary encoding of m to b. Epoch is appended after
+// the original fields (append-only evolution: an old reader ignores it).
 func (m *AcceptKeyGroupMsg) MarshalWire(b []byte) []byte {
 	b = appendKey(b, m.GroupValue, m.GroupBits)
 	b = wirecodec.AppendString(b, m.Parent)
@@ -186,11 +187,12 @@ func (m *AcceptKeyGroupMsg) MarshalWire(b []byte) []byte {
 	for _, q := range m.Queries {
 		b = wirecodec.AppendBytes(b, q)
 	}
-	return b
+	return wirecodec.AppendUvarint(b, m.Epoch)
 }
 
 // UnmarshalWire decodes the binary encoding produced by MarshalWire.
-// Query entries alias data.
+// Query entries alias data. A frame from an old writer carries no epoch;
+// it decodes as 0 (no epoch information).
 func (m *AcceptKeyGroupMsg) UnmarshalWire(data []byte) error {
 	r := wirecodec.NewReader(data)
 	m.GroupValue, m.GroupBits = readKey(r)
@@ -202,6 +204,10 @@ func (m *AcceptKeyGroupMsg) UnmarshalWire(data []byte) error {
 	m.Queries = nil
 	for i := 0; i < n && r.Err() == nil; i++ {
 		m.Queries = append(m.Queries, r.Bytes())
+	}
+	m.Epoch = 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.Epoch = r.Uvarint()
 	}
 	if err := r.Err(); err != nil {
 		return err

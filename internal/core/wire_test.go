@@ -153,3 +153,30 @@ func TestWireAppendStyle(t *testing.T) {
 		t.Errorf("round trip = %+v, want %+v", got, m)
 	}
 }
+
+func TestAcceptKeyGroupMsgEpochWire(t *testing.T) {
+	// Round trip with the appended epoch field.
+	m := AcceptKeyGroupMsg{GroupValue: 0b101, GroupBits: 3, Parent: "node-9",
+		Queries: [][]byte{[]byte("q")}, Epoch: 42}
+	var got AcceptKeyGroupMsg
+	if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+
+	// A frame from an old writer (no epoch bytes) decodes with Epoch 0:
+	// hand-build the pre-epoch layout (key, parent, query count).
+	old := appendKey(nil, m.GroupValue, m.GroupBits)
+	old = append(old, byte(len(m.Parent)))
+	old = append(old, m.Parent...)
+	old = append(old, 0) // zero queries
+	var legacy AcceptKeyGroupMsg
+	if err := legacy.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if legacy.Epoch != 0 || legacy.Parent != m.Parent {
+		t.Errorf("legacy decode = %+v, want epoch 0, parent %q", legacy, m.Parent)
+	}
+}

@@ -275,6 +275,23 @@ func (e *Engine) Match(ev Event) []Query {
 	return out
 }
 
+// All returns every registered query, ordered by ID. The simulator's
+// durability invariant walks it to check that no registration was lost to a
+// crash.
+func (e *Engine) All() []Query {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Query, 0, len(e.regions))
+	e.byRegion.Visit(func(_ bitkey.Key, qs map[string]Query) bool {
+		for _, q := range qs {
+			out = append(out, q)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // QueriesInGroup returns (without removing) the queries whose identifier key
 // falls inside the given key group, ordered by ID.
 func (e *Engine) QueriesInGroup(g bitkey.Group) []Query {

@@ -42,6 +42,10 @@ func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 		return n.handleReleaseKeyGroup(payload)
 	case TypeChildMoved:
 		return n.handleChildMoved(payload)
+	case TypeReplicateKeyGroup:
+		return n.handleReplicate(payload)
+	case TypeRecoverKeyGroups:
+		return n.handleRecoverKeyGroups(payload)
 	case TypeStatus:
 		return json.Marshal(n.Status())
 	default:
@@ -81,9 +85,18 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	reply, err := n.acceptOne(&req)
+	reply, registered, err := n.acceptOne(&req)
 	if err != nil {
 		return nil, err
+	}
+	if registered {
+		// A new continuous query is state worth surviving a crash: push the
+		// updated replica snapshot to the successors right away, so even a
+		// query registered moments before its holder dies is recoverable.
+		// This is a full-snapshot push per registration — O(stored queries)
+		// marshaling on a control-plane path; batch registrations coalesce
+		// to one push per frame (handleAcceptBatch).
+		n.replicate()
 	}
 	return reply.MarshalWire(nil), nil
 }
@@ -111,39 +124,46 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 	}
 	results, errs := n.server.HandleAcceptObjectBatch(keys, depths)
 	out := core.AcceptBatchReplyMsg{Replies: make([]core.AcceptObjectReplyMsg, len(req.Objects))}
+	registeredAny := false
 	for i := range req.Objects {
 		if errs[i] != nil {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: errs[i].Error()}
 			continue
 		}
-		rep, err := n.applyObject(&req.Objects[i], keys[i], results[i])
+		rep, registered, err := n.applyObject(&req.Objects[i], keys[i], results[i])
 		if err != nil {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: err.Error()}
 			continue
 		}
+		registeredAny = registeredAny || registered
 		out.Replies[i] = rep
+	}
+	if registeredAny {
+		n.replicate()
 	}
 	return out.MarshalWire(nil), nil
 }
 
 // acceptOne runs one object through the server state machine and its side
-// effects.
-func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, error) {
+// effects. The bool reports whether a new continuous query was registered.
+func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, bool, error) {
 	key, err := bitkey.New(req.KeyValue, req.KeyBits)
 	if err != nil {
-		return core.AcceptObjectReplyMsg{}, err
+		return core.AcceptObjectReplyMsg{}, false, err
 	}
 	res, err := n.server.HandleAcceptObject(key, req.Depth)
 	if err != nil {
-		return core.AcceptObjectReplyMsg{}, err
+		return core.AcceptObjectReplyMsg{}, false, err
 	}
 	return n.applyObject(req, key, res)
 }
 
 // applyObject converts a state-machine result into the wire reply and, when
 // the object landed on the right server, applies its application effect
-// (meter + query match for data, engine registration for queries).
-func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult) (core.AcceptObjectReplyMsg, error) {
+// (meter + query match for data, engine registration for queries). The bool
+// reports whether a new continuous query was registered (the caller pushes a
+// replica update when so).
+func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult) (core.AcceptObjectReplyMsg, bool, error) {
 	reply := core.AcceptObjectReplyMsg{Status: res.Status}
 	switch res.Status {
 	case core.StatusOK, core.StatusOKCorrected:
@@ -152,16 +172,17 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 		reply.CorrectDepth = res.CorrectDepth
 	case core.StatusIncorrectDepth:
 		reply.DMin = res.DMin
-		return reply, nil
+		return reply, false, nil
 	}
 
+	registered := false
 	switch req.Kind {
 	case core.ObjectData:
 		n.meter.RecordPackets(res.Group.String(), 1)
 		var data dataMsg
 		if len(req.Payload) > 0 {
 			if err := data.UnmarshalWire(req.Payload); err != nil {
-				return core.AcceptObjectReplyMsg{}, fmt.Errorf("bad data payload: %v", err)
+				return core.AcceptObjectReplyMsg{}, false, fmt.Errorf("bad data payload: %v", err)
 			}
 		}
 		ev := cq.Event{Key: key, Attrs: data.Attrs, Payload: data.Payload}
@@ -173,18 +194,19 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 	case core.ObjectQuery:
 		var st queryState
 		if err := st.UnmarshalWire(req.Payload); err != nil {
-			return core.AcceptObjectReplyMsg{}, fmt.Errorf("bad query payload: %v", err)
+			return core.AcceptObjectReplyMsg{}, false, fmt.Errorf("bad query payload: %v", err)
 		}
 		q, err := cq.UnmarshalQuery(st.Query)
 		if err != nil {
-			return core.AcceptObjectReplyMsg{}, err
+			return core.AcceptObjectReplyMsg{}, false, err
 		}
 		if err := n.engine.Register(q); err != nil {
 			if !errors.Is(err, cq.ErrDuplicateQuery) {
-				return core.AcceptObjectReplyMsg{}, err
+				return core.AcceptObjectReplyMsg{}, false, err
 			}
 		} else {
 			n.meter.AddQueries(res.Group.String(), 1)
+			registered = true
 		}
 		if st.Subscriber != "" {
 			n.mu.Lock()
@@ -192,7 +214,7 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 			n.mu.Unlock()
 		}
 	}
-	return reply, nil
+	return reply, registered, nil
 }
 
 // pushMatches delivers match notifications to the subscribers of the matched
@@ -251,9 +273,6 @@ func (n *Node) handleAcceptKeyGroup(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	g := bitkey.NewGroup(prefix)
-	if err := n.server.HandleAcceptKeyGroup(g, core.ServerID(req.Parent)); err != nil {
-		return nil, err
-	}
 	states := make([]queryState, 0, len(req.Queries))
 	for _, raw := range req.Queries {
 		var st queryState
@@ -261,8 +280,23 @@ func (n *Node) handleAcceptKeyGroup(payload []byte) ([]byte, error) {
 			states = append(states, st)
 		}
 	}
+	if err := n.server.HandleAcceptKeyGroupEpoch(g, core.ServerID(req.Parent), req.Epoch); err != nil {
+		if errors.Is(err, core.ErrCovered) {
+			// The range is already served here by finer or coarser active
+			// groups — the sender's copy is stale. Keep its query state
+			// (the packets it matches land on this server) and reply OK so
+			// the sender drops the duplicate instead of resurrecting it.
+			n.installQueries(states)
+			n.replicate()
+			return nil, nil
+		}
+		return nil, err
+	}
 	n.installQueries(states)
 	n.resetQueryCount(g)
+	// Accepting a group (split transfer or ownership re-homing) changes the
+	// replicable state: push the new snapshot to the successors.
+	n.replicate()
 	return nil, nil
 }
 
@@ -332,6 +366,9 @@ func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
 		return reply.MarshalWire(nil), nil
 	}
 	n.meter.Drop(g.String())
+	// Releasing a group shrinks the replicable state; push the new snapshot
+	// so the successors stop holding the released range under this origin.
+	n.replicate()
 	reply := core.ReleaseKeyGroupReplyMsg{GroupValue: req.GroupValue, GroupBits: req.GroupBits, OK: true}
 	for i := range states {
 		reply.Queries = append(reply.Queries, states[i].MarshalWire(nil))

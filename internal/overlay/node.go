@@ -56,6 +56,11 @@ type Config struct {
 	// blocks packet processing); the simulator sets it to keep event
 	// execution single-threaded and deterministic.
 	InlineMatchPush bool
+	// ReplicationFactor is how many successors receive this node's key-group
+	// replicas (default 2; negative disables replication entirely). A crash
+	// is survivable as long as at least one of the first ReplicationFactor
+	// successors outlives the holder.
+	ReplicationFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,16 +88,28 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = clock.Real()
 	}
+	if c.ReplicationFactor == 0 {
+		c.ReplicationFactor = 2
+	}
 	return c
 }
 
 // pendingTransfer is an ACCEPT_KEYGROUP delivery that failed and is retried
 // on subsequent load checks (the table already recorded the split, so until
-// delivery succeeds the keys of the group are unowned).
+// delivery succeeds the keys of the group are unowned). Parked transfers are
+// deduplicated by group key — repeated load checks refresh the single entry
+// instead of stacking duplicates — and abandoned (with the queries handed to
+// the orphan requeue and a counted drop) once attempts exhausts the budget.
 type pendingTransfer struct {
 	transfer core.Transfer
 	queries  []queryState
+	epoch    uint64
+	attempts int
 }
+
+// transferRetryBudget bounds how many delivery attempts a parked
+// ACCEPT_KEYGROUP transfer gets before it is dropped.
+const transferRetryBudget = 8
 
 // pendingReclaim is a consolidation attempt whose RELEASE_KEYGROUP exchange
 // failed at the transport level; the outcome on the holder is unknown, so the
@@ -116,12 +133,24 @@ type Node struct {
 	series *metrics.Set
 	start  time.Time
 
-	mu          sync.Mutex
-	subscribers map[string]string // query id → subscriber transport addr
-	pending     []pendingTransfer
-	reclaims    []pendingReclaim
-	matchDrops  int64
-	joinTarget  string // last Join contact, for islanding self-repair
+	// repMu serialises replica snapshot+version assignment (replicate), so
+	// concurrent pushes can't stamp an older snapshot with a newer version.
+	// Lock order: repMu before mu; never the reverse.
+	repMu sync.Mutex
+
+	mu            sync.Mutex
+	subscribers   map[string]string          // query id → subscriber transport addr
+	pending       map[string]pendingTransfer // group key → parked transfer
+	reclaims      []pendingReclaim
+	orphans       []orphanQuery
+	replicas      map[string]*replicaSet // origin addr → its replicated state
+	repVersion    uint64
+	incarnation   uint64
+	mayPushEmpty  bool // guards empty replica pushes until past the recovery window
+	matchDrops    int64
+	transferDrops int64
+	orphanDrops   int64
+	joinTarget    string // last Join contact, for islanding self-repair
 
 	wg sync.WaitGroup
 }
@@ -153,7 +182,13 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 		series:      metrics.NewSet(),
 		start:       cfg.Clock.Now(),
 		subscribers: make(map[string]string),
+		pending:     make(map[string]pendingTransfer),
+		replicas:    make(map[string]*replicaSet),
+		incarnation: uint64(cfg.Clock.Now().UnixNano()),
 	}
+	// Replicas follow ring churn: whenever the successor list changes, the
+	// current snapshot is re-pushed so the new first-k successors hold it.
+	n.chord.SetSuccessorsListener(func([]chord.NodeRef) { n.replicate() })
 	tr.SetHandler(n.handle)
 	return n, nil
 }
@@ -183,6 +218,18 @@ func (n *Node) Predecessor() chord.NodeRef { return n.chord.PredecessorRef() }
 // MatchDrops returns how many match notifications this node failed to
 // deliver to their subscribers.
 func (n *Node) MatchDrops() int64 { return atomic.LoadInt64(&n.matchDrops) }
+
+// replicaCounts returns how many peer replica sets this node holds and the
+// total key groups across them.
+func (n *Node) replicaCounts() (origins, groups int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, set := range n.replicas {
+		origins++
+		groups += len(set.groups)
+	}
+	return origins, groups
+}
 
 // Close stops background deliveries and closes the transport.
 func (n *Node) Close() error {
@@ -223,7 +270,13 @@ func (n *Node) Join(bootstrap string) error {
 	if err := n.chord.Stabilize(); err != nil {
 		return err
 	}
-	return n.chord.FixAllFingers()
+	if err := n.chord.FixAllFingers(); err != nil {
+		return err
+	}
+	// A restarted node recovers its pre-crash key groups from the replicas
+	// its successors hold (a fresh node finds none; the probe is two calls).
+	n.recoverOwnState()
+	return nil
 }
 
 // Rejoin re-enters the overlay through the node at bootstrap after this node
@@ -244,7 +297,11 @@ func (n *Node) Rejoin(bootstrap string) error {
 	if err := n.chord.Stabilize(); err != nil {
 		return err
 	}
-	return n.chord.FixAllFingers()
+	if err := n.chord.FixAllFingers(); err != nil {
+		return err
+	}
+	n.recoverOwnState()
+	return nil
 }
 
 // FixAllFingers refreshes the node's whole chord finger table (one lookup
@@ -280,6 +337,10 @@ func (n *Node) Tick() {
 	_ = n.chord.Stabilize()
 	n.chord.CheckPredecessor()
 	_ = n.chord.FixFingers()
+	// Ring maintenance doubles as the failure detector for replication:
+	// once a dead peer's ring position has collapsed onto this node, the
+	// locally held replicas of its key groups are promoted to active.
+	n.recoverFromReplicas()
 }
 
 // Run drives the maintenance loop until ctx is cancelled: chord stabilization
@@ -337,13 +398,17 @@ func (n *Node) mapGroup(vk bitkey.Key) (core.ServerID, error) {
 	return core.ServerID(ref.Addr), nil
 }
 
-// LoadCheck runs one CLASH load-check period (paper §5): it retries pending
-// transfers, reconciles group ownership with the current ring, converts the
-// meter's samples into per-group loads, splits the hottest group when
-// overloaded (with a real ACCEPT_KEYGROUP transfer), sends load reports to
-// parents, consolidates cold sibling pairs, and records the metrics series.
+// LoadCheck runs one CLASH load-check period (paper §5): it promotes replicas
+// of dead peers, retries pending transfers and orphaned query placements,
+// reconciles group ownership with the current ring, converts the meter's
+// samples into per-group loads, splits the hottest group when overloaded
+// (with a real ACCEPT_KEYGROUP transfer), sends load reports to parents,
+// consolidates cold sibling pairs, re-pushes the node's key-group replicas to
+// its successors, and records the metrics series.
 func (n *Node) LoadCheck(now time.Time) {
+	n.recoverFromReplicas()
 	n.retryPending()
+	n.requeueOrphans()
 	n.reconcileOwnership()
 
 	samples := n.meter.Snapshot()
@@ -358,6 +423,8 @@ func (n *Node) LoadCheck(now time.Time) {
 	}
 	n.sendLoadReports()
 	n.tryMerge(now)
+	n.gcReplicas()
+	n.replicate()
 	n.record(now, total, ranked)
 }
 
@@ -422,7 +489,9 @@ func (n *Node) trySplit() {
 		if tr.To == core.ServerID(n.Addr()) {
 			continue
 		}
-		n.deliverTransfer(tr, n.extractQueries(tr.Group))
+		// A split creates the right child fresh: its ownership chain starts
+		// at epoch 1.
+		n.deliverTransfer(pendingTransfer{transfer: tr, queries: n.extractQueries(tr.Group), epoch: 1})
 	}
 }
 
@@ -447,11 +516,29 @@ func (n *Node) extractQueries(g bitkey.Group) []queryState {
 	return out
 }
 
-// installQueries registers transferred query state locally.
+// installQueries registers transferred query state locally and refreshes the
+// meter's stored-query count for every active group the queries land in —
+// including the covered-accept paths, where the containing group differs from
+// the group the state arrived under. A query whose identifier key falls under
+// no locally active group is NOT installed here: its packets route elsewhere
+// (it would never match again) and the engine-by-active-group replica
+// snapshot would never carry it, so it goes to the orphan requeue and is
+// re-placed on whichever server owns its key.
 func (n *Node) installQueries(states []queryState) {
+	touched := make(map[string]bitkey.Group)
+	var strays []queryState
 	for _, st := range states {
 		q, err := cq.UnmarshalQuery(st.Query)
 		if err != nil {
+			continue
+		}
+		ik, err := q.IdentifierKey(n.cfg.KeyBits)
+		if err != nil {
+			continue
+		}
+		g, ok := n.server.ManagesKey(ik)
+		if !ok {
+			strays = append(strays, st)
 			continue
 		}
 		if err := n.engine.Register(q); err != nil && !errors.Is(err, cq.ErrDuplicateQuery) {
@@ -462,7 +549,12 @@ func (n *Node) installQueries(states []queryState) {
 			n.subscribers[q.ID] = st.Subscriber
 			n.mu.Unlock()
 		}
+		touched[g.String()] = g
 	}
+	for _, g := range touched {
+		n.resetQueryCount(g)
+	}
+	n.orphanQueries(strays)
 }
 
 // resetQueryCount re-derives the meter's stored-query count for a group from
@@ -472,12 +564,13 @@ func (n *Node) resetQueryCount(g bitkey.Group) {
 }
 
 // acceptKeyGroupPayload builds the ACCEPT_KEYGROUP wire payload for a group
-// transfer carrying the extracted query state.
-func acceptKeyGroupPayload(g bitkey.Group, parent core.ServerID, states []queryState) ([]byte, error) {
+// transfer carrying the extracted query state and the ownership epoch.
+func acceptKeyGroupPayload(g bitkey.Group, parent core.ServerID, states []queryState, epoch uint64) ([]byte, error) {
 	msg := core.AcceptKeyGroupMsg{
 		GroupValue: g.Prefix.Value,
 		GroupBits:  g.Prefix.Bits,
 		Parent:     string(parent),
+		Epoch:      epoch,
 	}
 	for i := range states {
 		msg.Queries = append(msg.Queries, states[i].MarshalWire(nil))
@@ -485,37 +578,106 @@ func acceptKeyGroupPayload(g bitkey.Group, parent core.ServerID, states []queryS
 	return msg.MarshalWire(nil), nil
 }
 
-// deliverTransfer sends one ACCEPT_KEYGROUP message; on failure the transfer
-// is parked and retried next load check (the receiving handler is idempotent).
-func (n *Node) deliverTransfer(tr core.Transfer, states []queryState) {
-	payload, err := acceptKeyGroupPayload(tr.Group, tr.Parent, states)
+// deliverTransfer sends one ACCEPT_KEYGROUP message. On transport failure the
+// transfer is parked (one entry per group — repeated failures refresh it, not
+// duplicate it) and retried next load check; each retry re-resolves the
+// group's current DHT owner (the original target may be dead and the ring
+// healed around it). After transferRetryBudget attempts the transfer is
+// abandoned — counted, and the group taken back locally so its key range
+// stays served (and replicated) until a later reconciliation pass re-homes
+// it. On a remote refusal the group is not retried — an earlier delivery
+// landed or the peer's tree moved on — but the queries are orphan-requeued so
+// they land on whichever servers cover their keys now.
+func (n *Node) deliverTransfer(p pendingTransfer) {
+	tr := p.transfer
+	self := core.ServerID(n.Addr())
+	if p.attempts > 0 {
+		// A parked retry: the split-time target may no longer own the range.
+		if vk, err := tr.Group.VirtualKey(n.cfg.KeyBits); err == nil {
+			if owner, err := n.mapGroup(vk); err == nil && owner != core.NoServer {
+				tr.To = owner
+			}
+		}
+		if tr.To == self {
+			// The ring now maps the range to us: keep the group.
+			n.takeBackTransfer(p)
+			return
+		}
+	}
+	payload, err := acceptKeyGroupPayload(tr.Group, tr.Parent, p.queries, p.epoch)
 	if err != nil {
 		return
 	}
 	if _, err := n.tr.Call(string(tr.To), TypeAcceptKeyGroup, payload); err != nil {
-		if !IsRemote(err) {
-			// Transport failure: park and retry. A remote refusal (the peer
-			// already split the group further) means an earlier delivery
-			// landed, so retrying would be wrong.
-			n.mu.Lock()
-			n.pending = append(n.pending, pendingTransfer{transfer: tr, queries: states})
-			n.mu.Unlock()
+		if IsRemote(err) {
+			n.meter.Drop(tr.Group.String())
+			n.orphanQueries(p.queries)
+			return
 		}
+		p.attempts++
+		if p.attempts >= transferRetryBudget {
+			atomic.AddInt64(&n.transferDrops, 1)
+			n.takeBackTransfer(p)
+			return
+		}
+		p.transfer = tr
+		n.mu.Lock()
+		n.pending[tr.Group.String()] = p
+		n.mu.Unlock()
 		return
 	}
 	n.meter.Drop(tr.Group.String())
-}
-
-// retryPending re-attempts parked ACCEPT_KEYGROUP deliveries.
-func (n *Node) retryPending() {
-	n.mu.Lock()
-	pending := n.pending
-	n.pending = nil
-	n.mu.Unlock()
-	for _, p := range pending {
-		n.deliverTransfer(p.transfer, p.queries)
+	if p.attempts > 0 {
+		// A parked retry may have been re-routed away from the split-time
+		// target the parent recorded; tell the parent who actually holds the
+		// child, or its load-report and merge bookkeeping stay aimed at the
+		// dead original target. (No-op when the holder is unchanged.)
+		n.notifyChildMoved(tr.Group, tr.Parent, tr.To)
 	}
 }
+
+// takeBackTransfer re-activates an undeliverable transfer's group locally so
+// its key range never goes unowned: the group becomes active (and replicated)
+// here, and the next reconciliation pass hands it to the proper DHT owner
+// once one is reachable.
+func (n *Node) takeBackTransfer(p pendingTransfer) {
+	g := p.transfer.Group
+	if err := n.server.HandleAcceptKeyGroupEpoch(g, p.transfer.Parent, p.epoch); err != nil {
+		n.orphanQueries(p.queries)
+		return
+	}
+	n.installQueries(p.queries)
+	n.resetQueryCount(g)
+	n.notifyChildMoved(g, p.transfer.Parent, core.ServerID(n.Addr()))
+}
+
+// retryPending re-attempts parked ACCEPT_KEYGROUP deliveries in deterministic
+// group order.
+func (n *Node) retryPending() {
+	n.mu.Lock()
+	if len(n.pending) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	keys := sortedKeys(n.pending)
+	pending := make([]pendingTransfer, 0, len(keys))
+	for _, k := range keys {
+		pending = append(pending, n.pending[k])
+	}
+	n.pending = make(map[string]pendingTransfer)
+	n.mu.Unlock()
+	for _, p := range pending {
+		n.deliverTransfer(p)
+	}
+}
+
+// TransferDrops returns how many parked transfers were abandoned after
+// exhausting their retry budget.
+func (n *Node) TransferDrops() int64 { return atomic.LoadInt64(&n.transferDrops) }
+
+// OrphanDrops returns how many orphaned queries were dropped after exhausting
+// their placement budget.
+func (n *Node) OrphanDrops() int64 { return atomic.LoadInt64(&n.orphanDrops) }
 
 // reconcileOwnership hands active groups whose virtual key no longer maps to
 // this node over to the current owner. This is what keeps the CLASH layer
@@ -543,32 +705,46 @@ func (n *Node) reconcileOwnership() {
 		// Release before sending: a failed release means the snapshot is
 		// stale (a concurrent RELEASE_KEYGROUP or merge already removed the
 		// entry), and sending anyway would make the range active on two
-		// nodes at once.
+		// nodes at once. The transfer carries the next ownership epoch, so
+		// the receiving side can drop delayed duplicates of older transfers.
+		epoch := e.Epoch + 1
 		states := n.extractQueries(e.Group)
 		if err := n.server.HandleRelease(e.Group); err != nil {
 			n.installQueries(states)
 			continue
 		}
-		payload, perr := acceptKeyGroupPayload(e.Group, e.Parent, states)
+		payload, perr := acceptKeyGroupPayload(e.Group, e.Parent, states, epoch)
 		if perr == nil {
 			_, err = n.tr.Call(string(owner), TypeAcceptKeyGroup, payload)
 		} else {
 			err = perr
 		}
 		if err != nil {
-			// The call failed: take the group back so its range stays
-			// served. If the request did reach the owner (only the reply
-			// was lost), the group is briefly active on both nodes; that is
+			if IsRemote(err) {
+				// The owner refused: its table already covers the range with
+				// finer groups (a stale copy on our side). Do not resurrect
+				// the group here — that is how a range ends up active on two
+				// nodes — just re-home the extracted queries and drop the
+				// meter entry with the group.
+				n.meter.Drop(e.Group.String())
+				n.orphanQueries(states)
+				continue
+			}
+			// Transport failure: take the group back so its range stays
+			// served. If the request did reach the owner (only the reply was
+			// lost), the group is briefly active on both nodes; that is
 			// transient — ownership is deterministic, so the next
-			// reconciliation pass re-runs this transfer and the owner's
-			// idempotent accept collapses the duplicate.
-			if aerr := n.server.HandleAcceptKeyGroup(e.Group, e.Parent); aerr == nil {
+			// reconciliation pass re-runs this transfer with a newer epoch
+			// and the owner's idempotent accept collapses the duplicate.
+			if aerr := n.server.HandleAcceptKeyGroupEpoch(e.Group, e.Parent, epoch); aerr == nil {
 				n.installQueries(states)
+			} else {
+				n.orphanQueries(states)
 			}
 			continue
 		}
 		n.meter.Drop(e.Group.String())
-		n.notifyChildMoved(e, owner)
+		n.notifyChildMoved(e.Group, e.Parent, owner)
 	}
 }
 
@@ -576,20 +752,20 @@ func (n *Node) reconcileOwnership() {
 // now, so the parent accepts the new holder's load reports and reclaims the
 // group from the right place at merge time. Best effort: a missed update
 // only stalls consolidation of that pair.
-func (n *Node) notifyChildMoved(e core.Entry, newHolder core.ServerID) {
-	if e.Parent == core.NoServer || e.Group.Depth() == 0 || e.Group.IsLeftChild() {
+func (n *Node) notifyChildMoved(g bitkey.Group, parent, newHolder core.ServerID) {
+	if parent == core.NoServer || g.Depth() == 0 || g.IsLeftChild() {
 		return
 	}
-	if e.Parent == core.ServerID(n.Addr()) {
-		_ = n.server.HandleChildMoved(e.Group, newHolder)
+	if parent == core.ServerID(n.Addr()) {
+		_ = n.server.HandleChildMoved(g, newHolder)
 		return
 	}
 	msg := childMovedMsg{
-		GroupValue: e.Group.Prefix.Value,
-		GroupBits:  e.Group.Prefix.Bits,
+		GroupValue: g.Prefix.Value,
+		GroupBits:  g.Prefix.Bits,
 		Holder:     string(newHolder),
 	}
-	_, _ = n.tr.Call(string(e.Parent), TypeChildMoved, msg.MarshalWire(nil))
+	_, _ = n.tr.Call(string(parent), TypeChildMoved, msg.MarshalWire(nil))
 }
 
 // sendLoadReports delivers this period's leaf→parent load reports.
@@ -715,6 +891,11 @@ func (n *Node) record(now time.Time, total float64, ranked []load.GroupLoad) {
 	n.series.Observe("counter.merges", t, float64(ctr.Merges))
 	n.series.Observe("counter.groups_accepted", t, float64(ctr.GroupsAccepted))
 	n.series.Observe("counter.groups_released", t, float64(ctr.GroupsReleased))
+	n.series.Observe("counter.groups_recovered", t, float64(ctr.GroupsRecovered))
+	n.series.Observe("counter.transfer_drops", t, float64(atomic.LoadInt64(&n.transferDrops)))
+	origins, repGroups := n.replicaCounts()
+	n.series.Observe("replicas.origins", t, float64(origins))
+	n.series.Observe("replicas.groups", t, float64(repGroups))
 	n.series.Observe("counter.objects_ok", t, float64(ctr.ObjectsOK))
 	n.series.Observe("counter.objects_corrected", t, float64(ctr.ObjectsCorrect))
 	n.series.Observe("counter.objects_wrong", t, float64(ctr.ObjectsWrong))

@@ -26,6 +26,19 @@ type Status struct {
 	Queries int `json:"queries"`
 	// PendingTransfers counts parked ACCEPT_KEYGROUP deliveries.
 	PendingTransfers int `json:"pendingTransfers"`
+	// TransferDrops counts parked transfers abandoned after exhausting their
+	// retry budget.
+	TransferDrops int64 `json:"transferDrops"`
+	// OrphanQueries counts query states awaiting re-placement after their
+	// group was dropped or turned out stale.
+	OrphanQueries int `json:"orphanQueries"`
+	// OrphanDrops counts orphaned queries dropped after exhausting their
+	// placement budget.
+	OrphanDrops int64 `json:"orphanDrops"`
+	// ReplicaOrigins / ReplicaGroups describe the peer key-group replicas
+	// this node holds for crash recovery.
+	ReplicaOrigins int `json:"replicaOrigins"`
+	ReplicaGroups  int `json:"replicaGroups"`
 	// MatchDrops counts match notifications that could not be delivered.
 	MatchDrops int64 `json:"matchDrops"`
 	// Counters are the cumulative protocol counters.
@@ -51,7 +64,9 @@ func (n *Node) Status() Status {
 	}
 	n.mu.Lock()
 	pending := len(n.pending)
+	orphans := len(n.orphans)
 	n.mu.Unlock()
+	repOrigins, repGroups := n.replicaCounts()
 	return Status{
 		Addr:             n.Addr(),
 		ChordID:          uint64(n.chord.Self().ID),
@@ -61,6 +76,11 @@ func (n *Node) Status() Status {
 		TotalLoad:        n.server.TotalLoad(),
 		Queries:          n.engine.Len(),
 		PendingTransfers: pending,
+		TransferDrops:    atomic.LoadInt64(&n.transferDrops),
+		OrphanQueries:    orphans,
+		OrphanDrops:      atomic.LoadInt64(&n.orphanDrops),
+		ReplicaOrigins:   repOrigins,
+		ReplicaGroups:    repGroups,
 		MatchDrops:       atomic.LoadInt64(&n.matchDrops),
 		Counters:         n.server.Counters(),
 		Transport:        n.tr.Stats(),

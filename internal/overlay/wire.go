@@ -79,25 +79,38 @@ const (
 	TypeChildMoved = "clash.child_moved"
 	// TypeStatus returns a node's JSON status snapshot.
 	TypeStatus = "clash.status"
+	// TypeReplicateKeyGroup pushes a node's full replicable key-group state
+	// (group snapshots + their continuous-query state) to a successor, which
+	// stores it keyed by origin. Pushed to the first k live successors on
+	// every split, merge, transfer and CQ registration, and re-pushed every
+	// load-check period and on successor-list changes, so replicas follow
+	// ring churn.
+	TypeReplicateKeyGroup = "clash.replicate_keygroup"
+	// TypeRecoverKeyGroups asks a peer for the replica set it stores for a
+	// given origin. A node rejoining after a crash queries its successors and
+	// restores the freshest copy of its own pre-crash state.
+	TypeRecoverKeyGroups = "clash.recover_keygroups"
 )
 
 // Wire type bytes. Request types live below 0xF0; the two reply types sit at
 // the top of the space. New types are appended, never renumbered (renumbering
 // is an incompatible change and would bump wireVersion).
 const (
-	typeFindSuccessor   byte = 0x01
-	typePredecessor     byte = 0x02
-	typeNotify          byte = 0x03
-	typePing            byte = 0x04
-	typeAcceptObject    byte = 0x10
-	typeAcceptBatch     byte = 0x11
-	typeAcceptKeyGroup  byte = 0x12
-	typeLoadReport      byte = 0x13
-	typeReleaseKeyGroup byte = 0x14
-	typeMatch           byte = 0x15
-	typeChildMoved      byte = 0x16
-	typeStatus          byte = 0x17
-	typeSuccessor       byte = 0x18
+	typeFindSuccessor     byte = 0x01
+	typePredecessor       byte = 0x02
+	typeNotify            byte = 0x03
+	typePing              byte = 0x04
+	typeAcceptObject      byte = 0x10
+	typeAcceptBatch       byte = 0x11
+	typeAcceptKeyGroup    byte = 0x12
+	typeLoadReport        byte = 0x13
+	typeReleaseKeyGroup   byte = 0x14
+	typeMatch             byte = 0x15
+	typeChildMoved        byte = 0x16
+	typeStatus            byte = 0x17
+	typeSuccessor         byte = 0x18
+	typeReplicateKeyGroup byte = 0x19
+	typeRecoverKeyGroups  byte = 0x1A
 
 	typeReplyOK  byte = 0xF0
 	typeReplyErr byte = 0xF1
@@ -107,19 +120,21 @@ const (
 // inverse, indexed by type byte for allocation-free lookup on the read path.
 var (
 	typeRegistry = map[string]byte{
-		TypeFindSuccessor:   typeFindSuccessor,
-		TypePredecessor:     typePredecessor,
-		TypeNotify:          typeNotify,
-		TypePing:            typePing,
-		TypeAcceptObject:    typeAcceptObject,
-		TypeAcceptBatch:     typeAcceptBatch,
-		TypeAcceptKeyGroup:  typeAcceptKeyGroup,
-		TypeLoadReport:      typeLoadReport,
-		TypeReleaseKeyGroup: typeReleaseKeyGroup,
-		TypeMatch:           typeMatch,
-		TypeChildMoved:      typeChildMoved,
-		TypeStatus:          typeStatus,
-		TypeSuccessor:       typeSuccessor,
+		TypeFindSuccessor:     typeFindSuccessor,
+		TypePredecessor:       typePredecessor,
+		TypeNotify:            typeNotify,
+		TypePing:              typePing,
+		TypeAcceptObject:      typeAcceptObject,
+		TypeAcceptBatch:       typeAcceptBatch,
+		TypeAcceptKeyGroup:    typeAcceptKeyGroup,
+		TypeLoadReport:        typeLoadReport,
+		TypeReleaseKeyGroup:   typeReleaseKeyGroup,
+		TypeMatch:             typeMatch,
+		TypeChildMoved:        typeChildMoved,
+		TypeStatus:            typeStatus,
+		TypeSuccessor:         typeSuccessor,
+		TypeReplicateKeyGroup: typeReplicateKeyGroup,
+		TypeRecoverKeyGroups:  typeRecoverKeyGroups,
 	}
 	nameRegistry [256]string
 )
@@ -448,6 +463,143 @@ func (m *matchMsg) UnmarshalWire(data []byte) error {
 		return err
 	}
 	m.Payload = r.Bytes()
+	return r.Err()
+}
+
+// replicaGroupRec is one key group's replicable state inside a replica set:
+// the core.GroupSnapshot fields plus the group's serialised continuous
+// queries (queryState records). It travels as a length-prefixed record inside
+// replicateMsg, which keeps the append-only field-evolution rule valid for
+// the nested layout.
+type replicaGroupRec struct {
+	GroupValue uint64   `json:"groupValue"`
+	GroupBits  int      `json:"groupBits"`
+	Parent     string   `json:"parent,omitempty"`
+	IsRoot     bool     `json:"isRoot,omitempty"`
+	Epoch      uint64   `json:"epoch,omitempty"`
+	Queries    [][]byte `json:"queries,omitempty"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *replicaGroupRec) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendInt(b, m.GroupBits)
+	b = wirecodec.AppendUvarint(b, m.GroupValue)
+	b = wirecodec.AppendString(b, m.Parent)
+	b = wirecodec.AppendBool(b, m.IsRoot)
+	b = wirecodec.AppendUvarint(b, m.Epoch)
+	b = wirecodec.AppendInt(b, len(m.Queries))
+	for _, q := range m.Queries {
+		b = wirecodec.AppendBytes(b, q)
+	}
+	return b
+}
+
+// UnmarshalWire implements wireMsg. Query entries alias data.
+func (m *replicaGroupRec) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.GroupBits = r.Int()
+	m.GroupValue = r.Uvarint()
+	m.Parent = r.String()
+	m.IsRoot = r.Bool()
+	m.Epoch = r.Uvarint()
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		return fmt.Errorf("%w: %d queries in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Queries = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Queries = append(m.Queries, r.Bytes())
+	}
+	return r.Err()
+}
+
+// replicateMsg is the payload of TypeReplicateKeyGroup and the reply of
+// TypeRecoverKeyGroups: one node's complete replicable key-group state. The
+// receiver replaces its stored set for Origin whenever (Incarnation, Version)
+// is not older than the stored pair — full-state replacement, so a group the
+// origin shed disappears from the replica without tombstones. Loose carries
+// query state the origin holds outside its engine (parked transfers, orphaned
+// placements awaiting re-homing); on recovery it is re-placed through depth
+// resolution rather than installed under a group.
+type replicateMsg struct {
+	Origin      string            `json:"origin"`
+	Incarnation uint64            `json:"incarnation"`
+	Version     uint64            `json:"version"`
+	Groups      []replicaGroupRec `json:"groups,omitempty"`
+	Loose       [][]byte          `json:"loose,omitempty"`
+}
+
+// MarshalWire implements wireMsg. Each group is a length-prefixed record
+// sharing the replicaGroupRec encoder; Loose is appended after the original
+// fields (append-only evolution).
+func (m *replicateMsg) MarshalWire(b []byte) []byte {
+	b = wirecodec.AppendString(b, m.Origin)
+	b = wirecodec.AppendUvarint(b, m.Incarnation)
+	b = wirecodec.AppendUvarint(b, m.Version)
+	b = wirecodec.AppendInt(b, len(m.Groups))
+	scratch := wirecodec.GetBuf()
+	for i := range m.Groups {
+		scratch = m.Groups[i].MarshalWire(scratch[:0])
+		b = wirecodec.AppendBytes(b, scratch)
+	}
+	wirecodec.PutBuf(scratch)
+	b = wirecodec.AppendInt(b, len(m.Loose))
+	for _, q := range m.Loose {
+		b = wirecodec.AppendBytes(b, q)
+	}
+	return b
+}
+
+// UnmarshalWire implements wireMsg. Nested byte fields alias data. A frame
+// from an old writer carries no Loose section; it decodes empty.
+func (m *replicateMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.Origin = r.String()
+	m.Incarnation = r.Uvarint()
+	m.Version = r.Uvarint()
+	n := r.Int()
+	if r.Err() == nil && n > r.Len() {
+		return fmt.Errorf("%w: %d replica groups in %d bytes", wirecodec.ErrInvalid, n, r.Len())
+	}
+	m.Groups = nil
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		var g replicaGroupRec
+		if err := g.UnmarshalWire(rec); err != nil {
+			return err
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	m.Loose = nil
+	if r.Err() == nil && r.Len() > 0 {
+		k := r.Int()
+		if r.Err() == nil && k > r.Len() {
+			return fmt.Errorf("%w: %d loose queries in %d bytes", wirecodec.ErrInvalid, k, r.Len())
+		}
+		for i := 0; i < k && r.Err() == nil; i++ {
+			m.Loose = append(m.Loose, r.Bytes())
+		}
+	}
+	return r.Err()
+}
+
+// recoverMsg is the request payload of TypeRecoverKeyGroups.
+type recoverMsg struct {
+	Origin string `json:"origin"`
+}
+
+// MarshalWire implements wireMsg.
+func (m *recoverMsg) MarshalWire(b []byte) []byte {
+	return wirecodec.AppendString(b, m.Origin)
+}
+
+// UnmarshalWire implements wireMsg.
+func (m *recoverMsg) UnmarshalWire(data []byte) error {
+	r := wirecodec.NewReader(data)
+	m.Origin = r.String()
 	return r.Err()
 }
 

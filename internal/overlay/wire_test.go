@@ -253,3 +253,40 @@ func TestFrameEncodeDeterministic(t *testing.T) {
 		t.Error("same frame encoded differently twice")
 	}
 }
+
+func TestReplicateMsgWireRoundTrip(t *testing.T) {
+	m := replicateMsg{
+		Origin:      "node-7",
+		Incarnation: 123456789,
+		Version:     42,
+		Groups: []replicaGroupRec{
+			{GroupValue: 0b01, GroupBits: 2, Parent: "node-1", IsRoot: true, Epoch: 3,
+				Queries: [][]byte{[]byte(`{"id":"q1"}`), []byte(`{"id":"q2"}`)}},
+			{GroupValue: 0b110, GroupBits: 3, Parent: "", Epoch: 0},
+		},
+		Loose: [][]byte{[]byte(`{"id":"q-loose"}`)},
+	}
+	var got replicateMsg
+	if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+
+	r := recoverMsg{Origin: "node-7"}
+	var gotR recoverMsg
+	if err := gotR.UnmarshalWire(r.MarshalWire(nil)); err != nil {
+		t.Fatalf("recoverMsg: %v", err)
+	}
+	if gotR != r {
+		t.Errorf("recover round trip = %+v, want %+v", gotR, r)
+	}
+
+	// A hostile group count must be rejected before allocation.
+	bad := append([]byte(nil), m.MarshalWire(nil)...)
+	var trunc replicateMsg
+	if err := trunc.UnmarshalWire(bad[:len(bad)-3]); err == nil {
+		t.Error("truncated replicateMsg decoded without error")
+	}
+}

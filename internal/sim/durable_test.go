@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnDurableZeroLostCQ is the durability gate: the churn-durable
+// scenario crashes over 20% of the group-holding nodes (who never rejoin),
+// and successor-list replication must recover every key group and every
+// registered continuous query — structurally (still stored on a live node)
+// and functionally (an end-of-run matching probe reports the query).
+func TestChurnDurableZeroLostCQ(t *testing.T) {
+	sc, err := Named("churn-durable", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.HoldersAtFirstCrash == 0 ||
+		float64(res.HoldersCrashed) < 0.2*float64(res.HoldersAtFirstCrash) {
+		t.Fatalf("churn crashed %d of %d holders, need >= 20%%",
+			res.HoldersCrashed, res.HoldersAtFirstCrash)
+	}
+	if res.CQSurviving != res.CQRegistered {
+		t.Fatalf("lost %d of %d continuous queries: %v",
+			res.CQRegistered-res.CQSurviving, res.CQRegistered, res.LostCQs)
+	}
+	if res.CQProbeMisses != 0 {
+		t.Fatalf("%d end-of-run probes missed their query", res.CQProbeMisses)
+	}
+	if res.GroupsRecovered == 0 {
+		t.Fatal("no group was recovered from a replica — the crashes destroyed nothing or recovery never ran")
+	}
+	if !res.CoverageComplete {
+		t.Fatalf("key-space coverage incomplete after recovery (%d overlaps)", res.CoverageOverlaps)
+	}
+}
+
+// TestChurnDurableLosesStateWithoutReplication is the negative control: the
+// same scenario with replication disabled must lose continuous queries and
+// key-space coverage to the crashes, and the zero-lost-CQ invariant must flag
+// it. This is the original bug the replication subsystem fixes — if this test
+// starts passing with replication off, the invariant went blind.
+func TestChurnDurableLosesStateWithoutReplication(t *testing.T) {
+	sc, err := Named("churn-durable", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Replicas = -1 // disable replication
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CQSurviving == res.CQRegistered {
+		t.Fatal("every CQ survived with replication disabled — the crashes are not destroying state")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "continuous queries") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("zero-lost-CQ invariant did not fire: violations = %v", res.Violations)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -40,6 +41,11 @@ type ChurnEvent struct {
 	Tick   int `json:"tick"`
 	Crash  int `json:"crash,omitempty"`
 	Rejoin int `json:"rejoin,omitempty"`
+	// CrashHolderFrac crashes that fraction (rounded up) of the live
+	// non-bootstrap nodes currently holding at least one active key group —
+	// the durability scenario's way of guaranteeing the crashes actually
+	// destroy key-group state rather than hitting idle members.
+	CrashHolderFrac float64 `json:"crash_holder_frac,omitempty"`
 }
 
 // PartitionSpec splits the fabric in two for a window of ticks: the last
@@ -73,27 +79,42 @@ type Expect struct {
 	// of a ring under continuous message loss, where spurious drops and
 	// re-adoptions keep a node or two permanently mid-repair.
 	MaxRingDrift int `json:"max_ring_drift,omitempty"`
+	// ZeroLostCQ requires every continuous query registered at boot to
+	// survive the run: each must still be stored on some live node AND a
+	// matching probe packet published at the end must report it matched.
+	// This is the durability invariant — it fails if crashing a key-group
+	// holder lost its query state.
+	ZeroLostCQ bool `json:"zero_lost_cq,omitempty"`
+	// MinHolderCrashFrac requires the churn schedule to actually have
+	// crashed at least this fraction of the group-holding nodes (measured
+	// cumulatively against the holder count at the first crash event), so a
+	// passing durability run cannot be explained by the crashes missing the
+	// state they were meant to destroy.
+	MinHolderCrashFrac float64 `json:"min_holder_crash_frac,omitempty"`
 }
 
 // Scenario fully describes one simulated experiment.
 type Scenario struct {
-	Name           string         `json:"name"`
-	Nodes          int            `json:"nodes"`
-	Seed           int64          `json:"seed"`
-	KeyBits        int            `json:"key_bits"`
-	BootstrapDepth int            `json:"bootstrap_depth"`
-	Capacity       float64        `json:"capacity_pps"`
-	Workload       workload.Kind  `json:"-"`
-	WorkloadName   string         `json:"workload"`
-	CheckEvery     time.Duration  `json:"-"`
-	CheckEverySec  float64        `json:"check_every_s"`
-	StabilizeEvery time.Duration  `json:"-"`
-	Queries        int            `json:"queries"`
-	Link           link.Model     `json:"link"`
-	Phases         []Phase        `json:"phases"`
-	Churn          []ChurnEvent   `json:"churn,omitempty"`
-	Partition      *PartitionSpec `json:"partition,omitempty"`
-	Expect         Expect         `json:"expect"`
+	Name           string        `json:"name"`
+	Nodes          int           `json:"nodes"`
+	Seed           int64         `json:"seed"`
+	KeyBits        int           `json:"key_bits"`
+	BootstrapDepth int           `json:"bootstrap_depth"`
+	Capacity       float64       `json:"capacity_pps"`
+	Workload       workload.Kind `json:"-"`
+	WorkloadName   string        `json:"workload"`
+	CheckEvery     time.Duration `json:"-"`
+	CheckEverySec  float64       `json:"check_every_s"`
+	StabilizeEvery time.Duration `json:"-"`
+	Queries        int           `json:"queries"`
+	// Replicas overrides the overlay's key-group replication factor
+	// (0 = the overlay default; negative disables replication).
+	Replicas  int            `json:"replicas,omitempty"`
+	Link      link.Model     `json:"link"`
+	Phases    []Phase        `json:"phases"`
+	Churn     []ChurnEvent   `json:"churn,omitempty"`
+	Partition *PartitionSpec `json:"partition,omitempty"`
+	Expect    Expect         `json:"expect"`
 }
 
 // TotalTicks returns the scenario length in load-check periods.
@@ -170,7 +191,19 @@ type Result struct {
 	RingDrift        int             `json:"ring_drift"`
 	CoverageComplete bool            `json:"coverage_complete"`
 	CoverageOverlaps int             `json:"coverage_overlaps"`
-	Violations       []string        `json:"violations"`
+	// Durability accounting: how many group-holding nodes the churn
+	// schedule crashed (HoldersAtFirstCrash is the holder population when
+	// the first crash hit), how many of the boot-registered continuous
+	// queries are still stored on live nodes at the end, and how many
+	// end-of-run matching probes failed to report their query.
+	HoldersCrashed      int      `json:"holders_crashed"`
+	HoldersAtFirstCrash int      `json:"holders_at_first_crash"`
+	GroupsRecovered     int      `json:"groups_recovered"`
+	CQRegistered        int      `json:"cq_registered"`
+	CQSurviving         int      `json:"cq_surviving"`
+	CQProbeMisses       int      `json:"cq_probe_misses"`
+	LostCQs             []string `json:"lost_cqs,omitempty"`
+	Violations          []string `json:"violations"`
 }
 
 // simNode is one simulated overlay member.
@@ -195,6 +228,10 @@ type runner struct {
 	pubErrors int
 	inline    int
 	delivered int
+
+	queries             []cq.Query // the boot-registered continuous queries
+	holdersCrashed      int
+	holdersAtFirstCrash int
 }
 
 // Run executes a scenario to completion and returns its result.
@@ -258,6 +295,7 @@ func (r *runner) boot() error {
 		Clock:             r.eng,
 		Seed:              sc.Seed,
 		InlineMatchPush:   true,
+		ReplicationFactor: sc.Replicas,
 	}
 	r.nodes = make([]*simNode, sc.Nodes)
 	for i := range r.nodes {
@@ -334,6 +372,7 @@ func (r *runner) boot() error {
 		if _, err := client.Register(q); err != nil {
 			return fmt.Errorf("register %s: %w", q.ID, err)
 		}
+		r.queries = append(r.queries, q)
 	}
 	r.drainMatches()
 	return nil
@@ -488,9 +527,26 @@ func (r *runner) drainMatches() {
 }
 
 // applyChurn crashes or rejoins nodes. Victims are drawn deterministically
-// from the engine PRNG among the live non-bootstrap members; rejoins revive
-// crashed nodes in node-index order (deterministic, unrelated to crash time).
+// from the engine PRNG among the live non-bootstrap members (holder-targeted
+// crashes draw from the members holding at least one active group); rejoins
+// revive crashed nodes in node-index order (deterministic, unrelated to crash
+// time).
 func (r *runner) applyChurn(ev ChurnEvent) {
+	if ev.CrashHolderFrac > 0 {
+		holders := r.holders()
+		if r.holdersAtFirstCrash == 0 {
+			r.holdersAtFirstCrash = len(holders)
+		}
+		crash := int(math.Ceil(ev.CrashHolderFrac * float64(len(holders))))
+		for c := 0; c < crash && len(holders) > 0; c++ {
+			i := r.eng.Rand().Intn(len(holders))
+			victim := holders[i]
+			holders = append(holders[:i], holders[i+1:]...)
+			victim.down = true
+			r.net.SetDown(victim.addr, true)
+			r.holdersCrashed++
+		}
+	}
 	for c := 0; c < ev.Crash; c++ {
 		var live []*simNode
 		for _, sn := range r.nodes[1:] {
@@ -502,6 +558,12 @@ func (r *runner) applyChurn(ev ChurnEvent) {
 			break
 		}
 		victim := live[r.eng.Rand().Intn(len(live))]
+		if r.holdersAtFirstCrash == 0 && len(victim.node.Server().ActiveGroups()) > 0 {
+			r.holdersAtFirstCrash = r.countHolders()
+		}
+		if len(victim.node.Server().ActiveGroups()) > 0 {
+			r.holdersCrashed++
+		}
 		victim.down = true
 		r.net.SetDown(victim.addr, true)
 	}
@@ -523,6 +585,22 @@ func (r *runner) applyChurn(ev ChurnEvent) {
 	}
 	r.rejoinBatch(revived)
 }
+
+// holders returns the live non-bootstrap nodes holding at least one active
+// key group.
+func (r *runner) holders() []*simNode {
+	var out []*simNode
+	for _, sn := range r.nodes[1:] {
+		if !sn.down && len(sn.node.Server().ActiveGroups()) > 0 {
+			out = append(out, sn)
+		}
+	}
+	return out
+}
+
+// countHolders counts the live non-bootstrap nodes holding at least one
+// active key group.
+func (r *runner) countHolders() int { return len(r.holders()) }
 
 // rejoinBatch re-joins a set of nodes in ascending ring-position order,
 // stabilizing each right after its join — the same insertion discipline boot
@@ -620,12 +698,15 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 		totals.Merges += c.Merges
 		totals.GroupsAccepted += c.GroupsAccepted
 		totals.GroupsReleased += c.GroupsReleased
+		res.GroupsRecovered += c.GroupsRecovered
 		totals.MatchDrops += sn.node.MatchDrops()
 		for _, g := range sn.node.Server().ActiveGroups() {
 			depthHist[g.Depth()]++
 			groups = append(groups, g)
 		}
 	}
+	res.HoldersCrashed = r.holdersCrashed
+	res.HoldersAtFirstCrash = r.holdersAtFirstCrash
 	for _, t := range overlay.MessageTypes() {
 		totals.Calls += r.net.Calls(t)
 	}
@@ -647,6 +728,9 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 	res.CoverageComplete, res.CoverageOverlaps = coverage(sc.KeyBits, groups)
 	res.RingDrift = r.ringDrift()
 	res.RingConverged = res.RingDrift == 0
+	// The durability check runs after the totals snapshot, so its probe
+	// traffic never perturbs the headline counters.
+	r.checkDurability(res, sc.Expect.ZeroLostCQ)
 
 	ex := sc.Expect
 	if totals.Splits < ex.MinSplits {
@@ -675,6 +759,82 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 	if ex.MaxRingDrift > 0 && res.RingDrift > ex.MaxRingDrift {
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("ring drift %d exceeds the allowed %d", res.RingDrift, ex.MaxRingDrift))
+	}
+	if ex.ZeroLostCQ {
+		if res.CQSurviving != res.CQRegistered {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("lost %d of %d continuous queries to crashes (e.g. %v)",
+					res.CQRegistered-res.CQSurviving, res.CQRegistered, res.LostCQs))
+		}
+		if res.CQProbeMisses > 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%d of %d end-of-run probes did not match their query",
+					res.CQProbeMisses, res.CQRegistered))
+		}
+	}
+	if ex.MinHolderCrashFrac > 0 {
+		base := res.HoldersAtFirstCrash
+		if base == 0 || float64(res.HoldersCrashed) < ex.MinHolderCrashFrac*float64(base) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("churn crashed %d of %d holders, below the required fraction %.2f",
+					res.HoldersCrashed, base, ex.MinHolderCrashFrac))
+		}
+	}
+}
+
+// checkDurability fills the continuous-query survival fields: the structural
+// check walks every live node's engine and requires each boot-registered
+// query to still be stored somewhere; with probe set, it additionally
+// publishes one matching packet into each query's region and requires the
+// accepting server to report the query matched — proof the recovered state
+// actually serves traffic, not just that the bytes survived.
+func (r *runner) checkDurability(res *Result, probe bool) {
+	res.CQRegistered = len(r.queries)
+	if len(r.queries) == 0 {
+		return
+	}
+	stored := make(map[string]bool)
+	for _, sn := range r.nodes {
+		if sn.down {
+			continue
+		}
+		for _, q := range sn.node.Engine().All() {
+			stored[q.ID] = true
+		}
+	}
+	for _, q := range r.queries {
+		if stored[q.ID] {
+			res.CQSurviving++
+		} else if len(res.LostCQs) < 16 {
+			res.LostCQs = append(res.LostCQs, q.ID)
+		}
+	}
+	if !probe {
+		return
+	}
+	for _, q := range r.queries {
+		key, err := q.Region.VirtualKey(r.sc.KeyBits)
+		if err != nil {
+			res.CQProbeMisses++
+			continue
+		}
+		hit := false
+		for attempt := 0; attempt < 3 && !hit; attempt++ {
+			pr, err := r.client.Publish(key, map[string]float64{"speed": 99}, nil)
+			if err != nil {
+				continue
+			}
+			for _, id := range pr.Matches {
+				if id == q.ID {
+					hit = true
+					break
+				}
+			}
+		}
+		if !hit {
+			res.CQProbeMisses++
+		}
+		r.drainMatches()
 	}
 }
 

@@ -33,6 +33,8 @@ func Named(name string, nodes int, seed int64) (Scenario, error) {
 		return splitMerge(nodes, seed), nil
 	case "churn":
 		return churn(nodes, seed), nil
+	case "churn-durable":
+		return churnDurable(nodes, seed), nil
 	case "flash-crowd":
 		return flashCrowd(nodes, seed), nil
 	case "partition-heal":
@@ -44,7 +46,7 @@ func Named(name string, nodes int, seed int64) (Scenario, error) {
 
 // Names lists the predefined scenario names.
 func Names() []string {
-	out := []string{"split-merge", "churn", "flash-crowd", "partition-heal"}
+	out := []string{"split-merge", "churn", "churn-durable", "flash-crowd", "partition-heal"}
 	sort.Strings(out)
 	return out
 }
@@ -115,6 +117,37 @@ func churn(nodes int, seed int64) Scenario {
 		{Tick: 9, Rejoin: 2 * churn},
 	}
 	sc.Expect = Expect{CoverageComplete: true, MaxRingDrift: max(sc.Nodes/50, 2)}
+	return sc
+}
+
+// churnDurable is the durability scenario: waves of crashes target the nodes
+// actually holding key groups (cumulatively well past 20% of the holders),
+// nobody rejoins, and at the end every continuous query registered at boot
+// must both still be stored on a live node and match a probe packet — i.e.
+// successor-list replication must have recovered every crashed holder's
+// state. The links are lossless so a lost query is attributable to the
+// crashes alone, and the crashed capacity stays gone (no rejoin masks a hole
+// in the recovery path).
+func churnDurable(nodes int, seed int64) Scenario {
+	sc := base("churn-durable", nodes, 200, seed)
+	sc.Workload = workload.WorkloadB
+	sc.Replicas = 3
+	pkts := int(sc.Capacity * sc.CheckEverySeconds())
+	sc.Phases = []Phase{
+		{Name: "steady", Ticks: 18, Packets: pkts},
+	}
+	sc.Churn = []ChurnEvent{
+		{Tick: 3, CrashHolderFrac: 0.10},
+		{Tick: 6, CrashHolderFrac: 0.08},
+		{Tick: 9, CrashHolderFrac: 0.07},
+		{Tick: 12, CrashHolderFrac: 0.05},
+	}
+	sc.Expect = Expect{
+		CoverageComplete:   true,
+		RingConverged:      true,
+		ZeroLostCQ:         true,
+		MinHolderCrashFrac: 0.20,
+	}
 	return sc
 }
 
