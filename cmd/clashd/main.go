@@ -47,20 +47,24 @@ func main() {
 		loadCheck      = flag.Duration("load-check", 2*time.Second, "load measurement window and check interval")
 		seed           = flag.Int64("seed", 0, "root seed for the maintenance-loop jitter (reproducible runs)")
 		replicas       = flag.Int("replicas", 0, "key-group replication factor: replicas pushed to that many successors (0 = default 2, negative disables)")
+		dialTimeout    = flag.Duration("dial-timeout", 0, "TCP connect timeout for outbound peer connections (0 = default 3s)")
+		callTimeout    = flag.Duration("call-timeout", 0, "default per-call reply deadline when the caller sets none (0 = default 10s)")
+		idleTimeout    = flag.Duration("idle-timeout", 0, "idle time after which pooled peer connections are closed (0 = default 5m)")
 	)
 	flag.Parse()
-	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck, *seed, *replicas); err != nil {
+	tcpCfg := overlay.TCPConfig{DialTimeout: *dialTimeout, CallTimeout: *callTimeout, IdleTimeout: *idleTimeout}
+	if err := run(*addr, *join, *statusAddr, *keyBits, *spaceBits, *capacity, *bootstrapDepth, *stabilize, *loadCheck, *seed, *replicas, tcpCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clashd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration, seed int64, replicas int) error {
+func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64, bootstrapDepth int, stabilize, loadCheck time.Duration, seed int64, replicas int, tcpCfg overlay.TCPConfig) error {
 	space, err := chord.NewSpace(spaceBits)
 	if err != nil {
 		return err
 	}
-	tr, err := overlay.ListenTCP(addr)
+	tr, err := overlay.ListenTCPConfig(addr, tcpCfg)
 	if err != nil {
 		return err
 	}

@@ -107,12 +107,16 @@ func main() {
 		loss      = flag.Float64("loss", 0, "per-message loss probability injected under -inproc")
 		replicas  = flag.Int("replicas", 0, "key-group replication factor under -inproc (0 = default 2, negative disables)")
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
+		dialTO    = flag.Duration("dial-timeout", 0, "TCP connect timeout for outbound connections (0 = default 3s; TCP mode only)")
+		callTO    = flag.Duration("call-timeout", 0, "per-call reply deadline (0 = default 10s; TCP mode only)")
+		idleTO    = flag.Duration("idle-timeout", 0, "idle time before pooled connections close (0 = default 5m; TCP mode only)")
 	)
 	var randSeed int64
 	flag.Int64Var(&randSeed, "seed", 1, "root PRNG seed: workload generator clones + inproc maintenance jitter")
 	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out); err != nil {
+	tcpCfg := overlay.TCPConfig{DialTimeout: *dialTO, CallTimeout: *callTO, IdleTimeout: *idleTO}
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, tcpCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -131,7 +135,7 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out string) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out string, tcpCfg overlay.TCPConfig) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -204,7 +208,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		if len(seeds) == 0 || seeds[0] == "" {
 			return fmt.Errorf("need -connect addresses or -inproc N")
 		}
-		clientTr, err = overlay.ListenTCP("127.0.0.1:0")
+		clientTr, err = overlay.ListenTCPConfig("127.0.0.1:0", tcpCfg)
 		if err != nil {
 			return err
 		}
@@ -382,6 +386,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 	ts := res.Transport
 	fmt.Printf("  transport: frames in=%d out=%d bytes in=%d out=%d in-flight=%d reconnects=%d oversized=%d\n",
 		ts.FramesIn, ts.FramesOut, ts.BytesIn, ts.BytesOut, ts.InFlight, ts.Reconnects, ts.OversizedDrops)
+	fmt.Printf("  resilience: timeouts=%d retries=%d shed=%d\n", ts.Timeouts, ts.Retries, ts.Shed)
 	for _, n := range res.Nodes {
 		fmt.Printf("  node %s: groups=%d splits=%d merges=%d accepted=%d released=%d\n",
 			n.Addr, len(n.ActiveGroups), n.Splits, n.Merges, n.Accepted, n.Released)

@@ -44,6 +44,25 @@ type RPC interface {
 // tolerance.
 const SuccessorListLen = 4
 
+// PeerState is a health oracle's verdict about a peer, distinguishing the
+// gray zone (slow but probably alive) from definite death. See
+// SetHealthOracle.
+type PeerState int
+
+const (
+	// PeerUnknown means the oracle has no decisive evidence; maintenance
+	// treats a failed call as a definite failure (the pre-oracle behavior).
+	PeerUnknown PeerState = iota
+	// PeerSuspect means the peer looks slow — recent deadline expiries but
+	// no hard evidence of death. Maintenance keeps suspect ring neighbors
+	// for the round instead of dropping them on one failed call, so a slow
+	// node is not churned out of the ring by a single timeout.
+	PeerSuspect
+	// PeerDead means the peer is considered gone (hard unreachability, or a
+	// long streak of timeouts); maintenance repairs around it immediately.
+	PeerDead
+)
+
 // Node is a Chord protocol node. It keeps a finger table, a successor list
 // and a predecessor pointer, and exposes the classic join/stabilize/notify/
 // fix-fingers operations. Node has no internal goroutines: the owner calls
@@ -65,6 +84,10 @@ type Node struct {
 	// list's content changes; lastNotified is the list it last saw.
 	succListener func([]NodeRef)
 	lastNotified []NodeRef
+
+	// healthOracle, when installed, classifies a peer after a failed
+	// maintenance call; see SetHealthOracle.
+	healthOracle func(addr string) PeerState
 }
 
 // NewNode creates a node for the given address. The node starts as a
@@ -121,6 +144,31 @@ func (n *Node) SetSuccessorsListener(fn func([]NodeRef)) {
 	n.mu.Lock()
 	n.succListener = fn
 	n.mu.Unlock()
+}
+
+// SetHealthOracle installs a failure-detector callback maintenance consults
+// when a call to a ring neighbor fails: a PeerSuspect verdict keeps the
+// neighbor for the round (the caller's next attempt runs with an escalated
+// deadline), while PeerDead or PeerUnknown repairs around it immediately —
+// with no oracle installed every failure is treated as definite, preserving
+// the classic drop-on-first-failure behavior. The overlay wires its
+// suspicion tracker here so chord's ring repair and the RPC layer's latency
+// evidence agree on who is dead.
+func (n *Node) SetHealthOracle(fn func(addr string) PeerState) {
+	n.mu.Lock()
+	n.healthOracle = fn
+	n.mu.Unlock()
+}
+
+// peerHealth consults the oracle; without one every peer is PeerUnknown.
+func (n *Node) peerHealth(addr string) PeerState {
+	n.mu.RLock()
+	fn := n.healthOracle
+	n.mu.RUnlock()
+	if fn == nil {
+		return PeerUnknown
+	}
+	return fn(addr)
 }
 
 // notifySuccessorsChanged compares the successor list against the last
@@ -378,12 +426,24 @@ func (n *Node) Stabilize() error {
 		}
 	} else {
 		if err := n.rpc.Ping(succ); err != nil {
+			if n.peerHealth(succ.Addr) == PeerSuspect {
+				// Slow, not dead: keep the successor and let this round end;
+				// the next ping runs with an escalated deadline.
+				return nil
+			}
 			n.dropSuccessor(succ)
 			return nil
 		}
 		for i := 0; i < stabilizeWalkLimit; i++ {
 			pred, err := n.rpc.Predecessor(succ)
 			if err != nil || pred.IsZero() || !BetweenOpen(self.ID, succ.ID, pred.ID) {
+				break
+			}
+			if n.peerHealth(pred.Addr) == PeerDead {
+				// The candidate can apparently reach our successor (it
+				// notified it) but our own calls to it keep failing — the
+				// asymmetric gray case. Adopting it would wedge the ring on
+				// a successor we cannot talk to; keep the current one.
 				break
 			}
 			n.mu.Lock()
@@ -395,6 +455,9 @@ func (n *Node) Stabilize() error {
 
 	if succ.Addr != self.Addr {
 		if err := n.rpc.Notify(succ, self); err != nil {
+			if n.peerHealth(succ.Addr) == PeerSuspect {
+				return nil
+			}
 			n.dropSuccessor(succ)
 			return nil
 		}
@@ -441,6 +504,14 @@ func (n *Node) refreshSuccessorList() {
 
 // Notify handles a remote node's claim to be our predecessor.
 func (n *Node) Notify(candidate NodeRef) {
+	if n.peerHealth(candidate.Addr) == PeerDead {
+		// The candidate reached us, but our calls to it keep failing
+		// (asymmetric partition). Installing it as predecessor would
+		// advertise it to our other neighbors through their stabilize
+		// walks and poison the ring with an address only one direction
+		// can use. Ignore the claim until our own calls recover.
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.predecessor.IsZero() || BetweenOpen(n.predecessor.ID, n.self.ID, candidate.ID) {
@@ -455,6 +526,11 @@ func (n *Node) CheckPredecessor() {
 		return
 	}
 	if err := n.rpc.Ping(pred); err != nil {
+		if n.peerHealth(pred.Addr) == PeerSuspect {
+			// Slow, not dead: keep the predecessor (clearing it would make
+			// OwnerOf claim ownership of the suspect's arc).
+			return
+		}
 		n.mu.Lock()
 		if n.predecessor.Addr == pred.Addr {
 			n.predecessor = NodeRef{}

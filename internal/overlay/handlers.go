@@ -247,7 +247,10 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
 		deliver := func(sub string, msg *matchMsg) {
 			payload := marshalMsg(msg)
 			defer wirecodec.PutBuf(payload)
-			if _, err := n.tr.Call(sub, TypeMatch, payload); err != nil {
+			// Match delivery is at-most-once (not idempotent), but the caller
+			// still supplies the data-class deadline and retries a shed — the
+			// handler never ran, so a resend cannot duplicate a notification.
+			if _, err := n.caller.call(sub, TypeMatch, payload); err != nil {
 				atomic.AddInt64(&n.matchDrops, 1)
 			}
 		}

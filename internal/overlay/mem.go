@@ -91,16 +91,27 @@ func (n *MemNetwork) sampleLink() (latency time.Duration, dropped bool) {
 
 // crossLink applies one direction of the link model in real time, reporting
 // whether the message survived. The atomic fast path keeps the default
-// zero-RTT fabric off the mutex entirely.
-func (n *MemNetwork) crossLink() (ok bool) {
+// zero-RTT fabric off the mutex entirely. A non-nil budget is the caller's
+// remaining deadline: the sampled latency is charged against it, and a
+// latency that exceeds what remains sleeps out the budget and reports a
+// deadline expiry instead of a delivery.
+func (n *MemNetwork) crossLink(budget *time.Duration) (ok, timedOut bool) {
 	if !n.modeled.Load() {
-		return true
+		return true, false
 	}
 	latency, dropped := n.sampleLink()
+	if budget != nil {
+		if latency > *budget {
+			time.Sleep(*budget)
+			*budget = 0
+			return false, true
+		}
+		*budget -= latency
+	}
 	if latency > 0 {
 		time.Sleep(latency)
 	}
-	return !dropped
+	return !dropped, false
 }
 
 // Calls returns how many requests of the given type crossed the fabric.
@@ -153,6 +164,9 @@ func (e *MemEndpoint) SetHandler(h Handler) {
 // Stats implements Transport.
 func (e *MemEndpoint) Stats() TransportStats { return e.stats.snapshot() }
 
+// RecordRetry implements RetryRecorder.
+func (e *MemEndpoint) RecordRetry() { e.stats.retries.Add(1) }
+
 func (e *MemEndpoint) isClosed() bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -172,12 +186,29 @@ func (e *MemEndpoint) Close() error {
 // the handler runs synchronously on the caller's goroutine without any fabric
 // lock held, so re-entrant call chains (A→B→A) cannot deadlock.
 func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	return e.CallOpts(addr, msgType, payload, CallOpts{})
+}
+
+// CallOpts implements Transport. The deadline is charged against the link
+// model's sampled latencies (handler execution is not metered — the fabric
+// has no way to preempt an inline handler); with no link model installed
+// calls are instantaneous and never expire.
+func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOpts) ([]byte, error) {
 	if e.isClosed() {
 		return nil, fmt.Errorf("%w: %s", ErrClosed, e.addr)
 	}
 	typ, err := typeByte(msgType)
 	if err != nil {
 		return nil, err
+	}
+	var budget *time.Duration
+	if opts.Timeout > 0 {
+		b := opts.Timeout
+		budget = &b
+	}
+	timedOutErr := func() error {
+		e.stats.timeouts.Add(1)
+		return fmt.Errorf("%w: %s after %s", ErrDeadline, addr, opts.Timeout)
 	}
 	seq := e.seq.Add(1)
 	e.stats.inFlight.Add(1)
@@ -191,7 +222,11 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
-	if !e.net.crossLink() {
+	start := time.Now()
+	if ok, timedOut := e.net.crossLink(budget); !ok {
+		if timedOut {
+			return nil, timedOutErr()
+		}
 		return nil, fmt.Errorf("%w: %s: request lost", ErrUnreachable, addr)
 	}
 	target.mu.RLock()
@@ -205,7 +240,10 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 		if err != nil {
 			return nil, err
 		}
-		if !e.net.crossLink() {
+		if ok, timedOut := e.net.crossLink(budget); !ok {
+			if timedOut {
+				return nil, timedOutErr()
+			}
 			return nil, fmt.Errorf("%w: %s: reply lost", ErrUnreachable, addr)
 		}
 		return nil, &RemoteError{Msg: string(rf.payload)}
@@ -217,8 +255,14 @@ func (e *MemEndpoint) Call(addr, msgType string, payload []byte) ([]byte, error)
 	if rf.seq != seq {
 		return nil, fmt.Errorf("%w: reply seq %d for call %d", ErrBadFrame, rf.seq, seq)
 	}
-	if !e.net.crossLink() {
+	if ok, timedOut := e.net.crossLink(budget); !ok {
+		if timedOut {
+			return nil, timedOutErr()
+		}
 		return nil, fmt.Errorf("%w: %s: reply lost", ErrUnreachable, addr)
+	}
+	if opts.RTT != nil {
+		*opts.RTT = time.Since(start)
 	}
 	return rf.payload, nil
 }

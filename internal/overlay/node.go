@@ -61,6 +61,9 @@ type Config struct {
 	// is survivable as long as at least one of the first ReplicationFactor
 	// successors outlives the holder.
 	ReplicationFactor int
+	// Call tunes the resilient RPC path: per-class deadlines, retry/backoff
+	// policy. Zero fields take the package defaults.
+	Call CallPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +94,7 @@ func (c Config) withDefaults() Config {
 	if c.ReplicationFactor == 0 {
 		c.ReplicationFactor = 2
 	}
+	c.Call = c.Call.withDefaults()
 	return c
 }
 
@@ -126,6 +130,8 @@ type pendingReclaim struct {
 type Node struct {
 	cfg    Config
 	tr     Transport
+	caller *caller
+	susp   *suspicion
 	chord  *chord.Node
 	server *core.Server
 	engine *cq.Engine
@@ -172,10 +178,23 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	susp := newSuspicion(cfg.Clock.Now)
+	// Backoff sleeps are real-clock only: under the simulator's virtual clock
+	// an in-event sleep would wedge the single-threaded engine, so retries go
+	// back-to-back in virtual time (sleep == nil disables the jitter draw too,
+	// preserving determinism).
+	var sleep func(time.Duration)
+	if cfg.Clock == clock.Real() {
+		sleep = time.Sleep
+	}
+	callerSeed := cfg.Seed ^ int64(cfg.Space.HashString(tr.Addr()))
+	rc := newCaller(tr, cfg.Call, susp, cfg.Clock.Now, sleep, callerSeed)
 	n := &Node{
 		cfg:         cfg,
 		tr:          tr,
-		chord:       chord.NewNode(tr.Addr(), cfg.Space, &transportRPC{tr: tr}),
+		caller:      rc,
+		susp:        susp,
+		chord:       chord.NewNode(tr.Addr(), cfg.Space, &transportRPC{c: rc}),
 		server:      server,
 		engine:      engine,
 		meter:       load.NewMeterClock(cfg.LoadCheckInterval.Seconds(), cfg.Clock.Now),
@@ -189,6 +208,11 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 	// Replicas follow ring churn: whenever the successor list changes, the
 	// current snapshot is re-pushed so the new first-k successors hold it.
 	n.chord.SetSuccessorsListener(func([]chord.NodeRef) { n.replicate() })
+	// The suspicion tracker doubles as chord's health oracle: a suspected
+	// (gray, possibly just slow) successor is kept for the round instead of
+	// dropped on its first failed ping, so one slow peer cannot churn the
+	// successor list.
+	n.chord.SetHealthOracle(susp.state)
 	tr.SetHandler(n.handle)
 	return n, nil
 }
@@ -608,7 +632,7 @@ func (n *Node) deliverTransfer(p pendingTransfer) {
 	if err != nil {
 		return
 	}
-	if _, err := n.tr.Call(string(tr.To), TypeAcceptKeyGroup, payload); err != nil {
+	if _, err := n.caller.call(string(tr.To), TypeAcceptKeyGroup, payload); err != nil {
 		if IsRemote(err) {
 			n.meter.Drop(tr.Group.String())
 			n.orphanQueries(p.queries)
@@ -715,7 +739,7 @@ func (n *Node) reconcileOwnership() {
 		}
 		payload, perr := acceptKeyGroupPayload(e.Group, e.Parent, states, epoch)
 		if perr == nil {
-			_, err = n.tr.Call(string(owner), TypeAcceptKeyGroup, payload)
+			_, err = n.caller.call(string(owner), TypeAcceptKeyGroup, payload)
 		} else {
 			err = perr
 		}
@@ -765,12 +789,19 @@ func (n *Node) notifyChildMoved(g bitkey.Group, parent, newHolder core.ServerID)
 		GroupBits:  g.Prefix.Bits,
 		Holder:     string(newHolder),
 	}
-	_, _ = n.tr.Call(string(parent), TypeChildMoved, msg.MarshalWire(nil))
+	_, _ = n.caller.call(string(parent), TypeChildMoved, msg.MarshalWire(nil))
 }
 
 // sendLoadReports delivers this period's leaf→parent load reports.
 func (n *Node) sendLoadReports() {
 	for _, rep := range n.server.LoadReports() {
+		// A parent the failure detector currently calls dead is skipped
+		// outright: the report is best effort and re-sent next period anyway,
+		// and paying a deadline per report per period for a dead parent adds
+		// up across groups.
+		if n.susp.state(string(rep.To)) == chord.PeerDead {
+			continue
+		}
 		msg := core.LoadReportMsg{
 			GroupValue: rep.Group.Prefix.Value,
 			GroupBits:  rep.Group.Prefix.Bits,
@@ -778,7 +809,7 @@ func (n *Node) sendLoadReports() {
 			From:       string(rep.From),
 		}
 		// Best effort: a missed report only delays consolidation.
-		_, _ = n.tr.Call(string(rep.To), TypeLoadReport, msg.MarshalWire(nil))
+		_, _ = n.caller.call(string(rep.To), TypeLoadReport, msg.MarshalWire(nil))
 	}
 }
 
@@ -822,7 +853,7 @@ func (n *Node) reclaim(r pendingReclaim, now time.Time) {
 			GroupBits:  prop.RightChild.Prefix.Bits,
 			Parent:     n.Addr(),
 		}
-		reply, err := n.tr.Call(string(prop.RightHolder), TypeReleaseKeyGroup, msg.MarshalWire(nil))
+		reply, err := n.caller.call(string(prop.RightHolder), TypeReleaseKeyGroup, msg.MarshalWire(nil))
 		if err != nil {
 			if !IsRemote(err) && r.attempts < reclaimRetryBudget {
 				r.attempts++
@@ -907,4 +938,8 @@ func (n *Node) record(now time.Time, total float64, ranked []load.GroupLoad) {
 	n.series.Observe("net.in_flight", t, float64(ts.InFlight))
 	n.series.Observe("net.reconnects", t, float64(ts.Reconnects))
 	n.series.Observe("net.oversized_drops", t, float64(ts.OversizedDrops))
+	n.series.Observe("net.timeouts", t, float64(ts.Timeouts))
+	n.series.Observe("net.retries", t, float64(ts.Retries))
+	n.series.Observe("net.shed", t, float64(ts.Shed))
+	n.series.Observe("suspicion.peers", t, float64(len(n.susp.snapshot())))
 }

@@ -208,13 +208,17 @@ func (f *lossyTransport) DropReply(msgType string, n int) {
 }
 
 func (f *lossyTransport) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	return f.CallOpts(addr, msgType, payload, CallOpts{})
+}
+
+func (f *lossyTransport) CallOpts(addr, msgType string, payload []byte, opts CallOpts) ([]byte, error) {
 	f.mu.Lock()
 	drop := f.dropReplies[msgType] > 0
 	if drop {
 		f.dropReplies[msgType]--
 	}
 	f.mu.Unlock()
-	reply, err := f.Transport.Call(addr, msgType, payload)
+	reply, err := f.Transport.CallOpts(addr, msgType, payload, opts)
 	if drop && err == nil {
 		return nil, fmt.Errorf("%w: reply lost (test)", ErrUnreachable)
 	}

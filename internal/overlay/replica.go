@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"clash/internal/bitkey"
+	"clash/internal/chord"
 	"clash/internal/core"
 	"clash/internal/cq"
 )
@@ -179,7 +180,21 @@ func (n *Node) replicate() {
 	n.repMu.Unlock()
 	payload := msg.MarshalWire(nil)
 	for _, t := range targets {
-		_, _ = n.tr.Call(t, TypeReplicateKeyGroup, payload)
+		// A suspected (gray — slow or shedding) target gets its push on a
+		// background goroutine so one wedged successor cannot stall the
+		// remaining targets' pushes — or the maintenance pass driving this
+		// call. Under the simulator (InlineMatchPush) everything stays inline:
+		// event execution is single-threaded and timeouts cost virtual, not
+		// wall, time.
+		if !n.cfg.InlineMatchPush && n.susp.state(t) == chord.PeerSuspect {
+			n.wg.Add(1)
+			go func(addr string) {
+				defer n.wg.Done()
+				_, _ = n.caller.call(addr, TypeReplicateKeyGroup, payload)
+			}(t)
+			continue
+		}
+		_, _ = n.caller.call(t, TypeReplicateKeyGroup, payload)
 	}
 }
 
@@ -348,15 +363,17 @@ func (n *Node) recoverFromReplicas() {
 	}
 }
 
-// originAlive pings a replica origin (with one retry to ride out a lost
-// frame on lossy links).
+// originAlive pings a replica origin. The resilient caller supplies the retry
+// (ping is idempotent) that used to live here, and the suspicion tracker
+// short-circuits origins already judged dead — promotion then proceeds without
+// paying another timeout per origin per maintenance round.
 func (n *Node) originAlive(addr string) bool {
-	for i := 0; i < 2; i++ {
-		if _, err := n.tr.Call(addr, TypePing, nil); err == nil {
-			return true
-		}
+	if n.susp.state(addr) == chord.PeerDead {
+		return false
 	}
-	return false
+	_, err := n.caller.call(addr, TypePing, nil)
+	// A remote application error still proves the origin processed the call.
+	return err == nil || IsRemote(err)
 }
 
 // recoverOwnState asks the node's successors for the replica set stored under
@@ -373,20 +390,14 @@ func (n *Node) recoverOwnState() {
 	var best *replicateMsg
 	allAnswered := true
 	for _, t := range n.replicationTargets() {
+		// The resilient caller retries lost frames on lossy links
+		// (recover_keygroups is an idempotent read). A target that still
+		// fails may be the sole holder of our pre-crash state, so its
+		// silence keeps the empty-push guard on.
 		var msg replicateMsg
 		ok := false
-		// One retry rides out a lost frame on lossy links (like originAlive):
-		// a target that fails both attempts may be the sole holder of our
-		// pre-crash state, so its silence keeps the empty-push guard on.
-		for attempt := 0; attempt < 2 && !ok; attempt++ {
-			raw, err := n.tr.Call(t, TypeRecoverKeyGroups, payload)
-			if err != nil {
-				continue
-			}
-			if err := msg.UnmarshalWire(raw); err != nil {
-				break
-			}
-			ok = true
+		if raw, err := n.caller.call(t, TypeRecoverKeyGroups, payload); err == nil {
+			ok = msg.UnmarshalWire(raw) == nil
 		}
 		if !ok {
 			allAnswered = false
@@ -545,7 +556,7 @@ func (n *Node) placeQuery(st queryState) error {
 				return core.AcceptObjectResult{}, err
 			}
 		} else {
-			raw, err := n.tr.Call(string(owner), TypeAcceptObject, req.MarshalWire(nil))
+			raw, err := n.caller.call(string(owner), TypeAcceptObject, req.MarshalWire(nil))
 			if err != nil {
 				return core.AcceptObjectResult{}, err
 			}

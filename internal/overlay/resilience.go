@@ -1,0 +1,189 @@
+package overlay
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default CallPolicy values. The short class covers liveness and ring
+// maintenance (a wedged stabilize round must cost far less than the old
+// blanket 10s timeout), the data class covers object/query traffic, and the
+// bulk class covers snapshot-sized transfers — which is also the hard
+// ceiling any adaptive deadline may escalate to.
+const (
+	defaultShortTimeout = 2500 * time.Millisecond
+	defaultDataTimeout  = 5 * time.Second
+	defaultBulkTimeout  = 10 * time.Second
+	defaultMaxAttempts  = 3
+	defaultRetryBackoff = 25 * time.Millisecond
+	defaultMaxBackoff   = time.Second
+)
+
+// CallPolicy tunes the per-class RPC deadlines and the retry/backoff policy
+// of a node's resilient call path. Zero fields take the package defaults.
+type CallPolicy struct {
+	// ShortTimeout is the deadline class for liveness and ring-maintenance
+	// messages (ping, chord lookups, load reports).
+	ShortTimeout time.Duration
+	// DataTimeout is the deadline class for data-plane traffic (objects,
+	// batches, match pushes).
+	DataTimeout time.Duration
+	// BulkTimeout is the deadline class for snapshot-sized transfers
+	// (accept_keygroup, replicate, recover) and the ceiling for adaptive
+	// deadline escalation.
+	BulkTimeout time.Duration
+	// MaxAttempts bounds the attempts of one logical call (first try plus
+	// retries) for idempotent and shed-retryable messages.
+	MaxAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// attempts; MaxBackoff caps it.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (p CallPolicy) withDefaults() CallPolicy {
+	if p.ShortTimeout <= 0 {
+		p.ShortTimeout = defaultShortTimeout
+	}
+	if p.DataTimeout <= 0 {
+		p.DataTimeout = defaultDataTimeout
+	}
+	if p.BulkTimeout <= 0 {
+		p.BulkTimeout = defaultBulkTimeout
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = defaultMaxAttempts
+	}
+	if p.RetryBackoff <= 0 {
+		p.RetryBackoff = defaultRetryBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = defaultMaxBackoff
+	}
+	return p
+}
+
+// classTimeout maps a message type to its deadline class.
+func (p CallPolicy) classTimeout(msgType string) time.Duration {
+	switch msgType {
+	case TypePing, TypeFindSuccessor, TypeSuccessor, TypePredecessor,
+		TypeNotify, TypeLoadReport, TypeChildMoved:
+		return p.ShortTimeout
+	case TypeAcceptKeyGroup, TypeReplicateKeyGroup, TypeRecoverKeyGroups:
+		return p.BulkTimeout
+	default:
+		return p.DataTimeout
+	}
+}
+
+// idempotentTypes lists the messages a caller may safely resend after an
+// ambiguous failure: reads (lookups, ping, status, recover), last-write-wins
+// notifications (notify, load_report, child_moved), and replicate — which is
+// full-state replacement ordered by (incarnation, version), so a duplicate
+// collapses into the same state. Excluded: accept_object/accept_batch (a
+// resend double-meters the packet's load), accept_keygroup and
+// release_keygroup (ownership handoffs guarded by their own parked-transfer
+// retry machinery), and match (at-most-once delivery to subscribers).
+var idempotentTypes = map[string]bool{
+	TypePing:              true,
+	TypeFindSuccessor:     true,
+	TypeSuccessor:         true,
+	TypePredecessor:       true,
+	TypeNotify:            true,
+	TypeLoadReport:        true,
+	TypeChildMoved:        true,
+	TypeReplicateKeyGroup: true,
+	TypeRecoverKeyGroups:  true,
+	TypeStatus:            true,
+}
+
+// caller is a node's resilient RPC path: every outbound call picks an
+// adaptive per-peer deadline (suspicion.timeoutFor), feeds the outcome back
+// into the suspicion tracker, and retries with jittered exponential backoff
+// where a resend is safe — idempotent messages after hard failures, and any
+// message after a shed (the handler never ran). Deadline expiries are never
+// retried within one logical call: the escalated deadline applies to the
+// next call, so a wedged peer costs each caller at most one timeout per
+// exchange.
+type caller struct {
+	tr     Transport
+	rr     RetryRecorder // non-nil when tr counts policy-level retries
+	policy CallPolicy
+	susp   *suspicion
+	now    func() time.Time
+	// sleep implements the backoff delay; nil disables backoff entirely
+	// (the single-threaded simulator, where sleeping inside an event would
+	// wedge the engine — retries go back-to-back in virtual time and no
+	// jitter PRNG draw happens, preserving determinism).
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newCaller(tr Transport, policy CallPolicy, susp *suspicion, now func() time.Time, sleep func(time.Duration), seed int64) *caller {
+	c := &caller{
+		tr:     tr,
+		policy: policy.withDefaults(),
+		susp:   susp,
+		now:    now,
+		sleep:  sleep,
+	}
+	c.rr, _ = tr.(RetryRecorder)
+	if sleep != nil {
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	return c
+}
+
+// call performs one logical RPC under the policy and returns the reply
+// payload. Errors keep their transport identity (ErrDeadline, ErrShed,
+// ErrUnreachable wraps, *RemoteError).
+func (c *caller) call(addr, msgType string, payload []byte) ([]byte, error) {
+	class := c.policy.classTimeout(msgType)
+	idempotent := idempotentTypes[msgType]
+	for attempt := 0; ; attempt++ {
+		timeout := c.susp.timeoutFor(addr, class, c.policy.BulkTimeout)
+		var rtt time.Duration
+		start := c.now()
+		reply, err := c.tr.CallOpts(addr, msgType, payload, CallOpts{Timeout: timeout, RTT: &rtt})
+		if err == nil || IsRemote(err) {
+			// A remote application error still proves the peer alive.
+			if rtt == 0 {
+				rtt = c.now().Sub(start)
+			}
+			c.susp.observeSuccess(addr, rtt)
+			return reply, err
+		}
+		shed := errors.Is(err, ErrShed)
+		gray := errors.Is(err, ErrDeadline)
+		c.susp.observeFailure(addr, gray || shed)
+		retryable := shed || (idempotent && !gray)
+		if !retryable || attempt+1 >= c.policy.MaxAttempts {
+			return nil, err
+		}
+		if c.rr != nil {
+			c.rr.RecordRetry()
+		}
+		c.backoff(attempt)
+	}
+}
+
+// backoff sleeps a jittered exponential delay: half the doubled base plus a
+// uniform random half, capped at MaxBackoff.
+func (c *caller) backoff(attempt int) {
+	if c.sleep == nil {
+		return
+	}
+	d := c.policy.RetryBackoff << uint(attempt)
+	if d > c.policy.MaxBackoff || d <= 0 {
+		d = c.policy.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)))
+	c.mu.Unlock()
+	c.sleep(d/2 + jitter/2)
+}

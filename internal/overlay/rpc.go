@@ -8,10 +8,11 @@ import (
 )
 
 // transportRPC implements chord.RPC by sending binary-framed requests through
-// a Transport. Any transport failure surfaces as chord.ErrNodeDown so the
+// a node's resilient caller (per-class deadlines, suspicion feedback, retries
+// where safe). Any transport failure surfaces as chord.ErrNodeDown so the
 // chord maintenance logic treats it as a peer failure and repairs around it.
 type transportRPC struct {
-	tr Transport
+	c *caller
 }
 
 var _ chord.RPC = (*transportRPC)(nil)
@@ -19,17 +20,21 @@ var _ chord.RPC = (*transportRPC)(nil)
 func refToMsg(r chord.NodeRef) nodeRefMsg { return nodeRefMsg{Addr: r.Addr, ID: uint64(r.ID)} }
 func msgToRef(m nodeRefMsg) chord.NodeRef { return chord.NodeRef{Addr: m.Addr, ID: chord.ID(m.ID)} }
 
-// call encodes req with the binary codec, performs the exchange and decodes
-// the reply into resp (which may be nil for fire-and-forget replies). The
-// request buffer comes from the codec pool, so the encode path does not
-// allocate in steady state.
-func call(tr Transport, addr, msgType string, req, resp wireMsg) error {
+// callFunc performs one logical exchange: a bare Transport.Call, or a
+// caller.call that wraps it with deadlines and retries.
+type callFunc func(addr, msgType string, payload []byte) ([]byte, error)
+
+// callWith encodes req with the binary codec, performs the exchange through do
+// and decodes the reply into resp (which may be nil for fire-and-forget
+// replies). The request buffer comes from the codec pool, so the encode path
+// does not allocate in steady state.
+func callWith(do callFunc, addr, msgType string, req, resp wireMsg) error {
 	var payload []byte
 	if req != nil {
 		payload = marshalMsg(req)
 		defer wirecodec.PutBuf(payload)
 	}
-	reply, err := tr.Call(addr, msgType, payload)
+	reply, err := do(addr, msgType, payload)
 	if err != nil {
 		return err
 	}
@@ -42,10 +47,16 @@ func call(tr Transport, addr, msgType string, req, resp wireMsg) error {
 	return nil
 }
 
-// call is the chord.RPC flavor of the package-level call: transport failures
-// become chord.ErrNodeDown.
+// call is callWith over a bare transport (the client-side path, which has no
+// suspicion tracker).
+func call(tr Transport, addr, msgType string, req, resp wireMsg) error {
+	return callWith(tr.Call, addr, msgType, req, resp)
+}
+
+// call is the chord.RPC flavor of callWith: transport failures become
+// chord.ErrNodeDown.
 func (c *transportRPC) call(addr, msgType string, req, resp wireMsg) error {
-	if err := call(c.tr, addr, msgType, req, resp); err != nil {
+	if err := callWith(c.c.call, addr, msgType, req, resp); err != nil {
 		if IsRemote(err) {
 			return err
 		}

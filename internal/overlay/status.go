@@ -43,8 +43,12 @@ type Status struct {
 	MatchDrops int64 `json:"matchDrops"`
 	// Counters are the cumulative protocol counters.
 	Counters core.Counters `json:"counters"`
-	// Transport are the node transport's frame/byte/connection counters.
+	// Transport are the node transport's frame/byte/connection counters
+	// (including call timeouts, policy retries and shed requests).
 	Transport TransportStats `json:"transport"`
+	// Suspicion lists every peer currently carrying a failure streak in the
+	// node's failure detector, with its suspicion score and latency EWMA.
+	Suspicion map[string]SuspicionStat `json:"suspicion,omitempty"`
 	// Series are the node's metrics time series (load, group counts,
 	// counters per load-check period).
 	Series []metrics.TimeSeries `json:"series"`
@@ -84,6 +88,7 @@ func (n *Node) Status() Status {
 		MatchDrops:       atomic.LoadInt64(&n.matchDrops),
 		Counters:         n.server.Counters(),
 		Transport:        n.tr.Stats(),
+		Suspicion:        n.susp.snapshot(),
 		Series:           n.series.Snapshot(),
 	}
 }

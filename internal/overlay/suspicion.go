@@ -1,0 +1,203 @@
+package overlay
+
+import (
+	"sync"
+	"time"
+
+	"clash/internal/chord"
+)
+
+// Suspicion-tracker tuning. The tracker is a phi-accrual-flavored failure
+// detector: every RPC feeds it an observation (success with its round-trip
+// latency, or a failure classified hard vs gray), and it answers two
+// questions — how alive is this peer (state/score), and how long should the
+// next call to it be allowed to run (timeoutFor).
+const (
+	// suspicionDeadAfter is how many consecutive gray failures (deadline
+	// expiries, sheds) turn a suspect into a dead verdict. Hard failures
+	// (connection refused, endpoint down) are dead immediately — crash-stop
+	// is not gray.
+	suspicionDeadAfter = 3
+	// suspicionEwmaShift is the EWMA smoothing divisor: each observed RTT
+	// moves the average by 1/8 of the difference.
+	suspicionEwmaShift = 3
+	// adaptiveRTTFactor scales the latency EWMA into a deadline floor: a
+	// peer answering in t keeps a deadline of at least adaptiveRTTFactor*t,
+	// which is what lets a consistently slow-but-alive node stay a ring
+	// member instead of flapping through timeouts.
+	adaptiveRTTFactor = 4
+	// deadlineEscalationCap bounds how many consecutive gray failures may
+	// double the next call's deadline (2^cap times the class deadline, still
+	// clamped to the bulk ceiling).
+	deadlineEscalationCap = 4
+	// suspicionTTL is how long failure evidence stays decisive. A peer
+	// nobody has called for this long reverts to unknown, so a stale dead
+	// verdict cannot permanently exile a recovered peer.
+	suspicionTTL = 60 * time.Second
+	// suspicionScoreFloor is the minimum expected-round-trip interval used
+	// when scoring silence, so a near-zero latency EWMA cannot blow the
+	// score up.
+	suspicionScoreFloor = 50 * time.Millisecond
+	// suspicionScoreCap bounds the silence term of the score so one stale
+	// entry cannot dominate the exported snapshot.
+	suspicionScoreCap = 8
+)
+
+// SuspicionStat is one peer's exported suspicion snapshot, surfaced through
+// the node status endpoint (clashd /status).
+type SuspicionStat struct {
+	// Score is the suspicion level: zero for a peer whose last exchange
+	// succeeded, otherwise the consecutive-failure count plus how many
+	// expected round-trips (adaptiveRTTFactor x the latency EWMA) have
+	// elapsed since the peer last answered, capped.
+	Score float64 `json:"score"`
+	// EwmaRTTMs is the peer's observed round-trip latency EWMA in
+	// milliseconds.
+	EwmaRTTMs float64 `json:"ewmaRttMs"`
+	// Fails is the consecutive failed-call count.
+	Fails int `json:"fails"`
+}
+
+// peerStat is the tracked evidence for one peer.
+type peerStat struct {
+	ewmaRTT   time.Duration
+	fails     int  // consecutive failures of any kind
+	grayFails int  // consecutive gray failures (subset of fails)
+	hard      bool // the failure streak contains a hard failure
+	lastOK    time.Time
+	lastFail  time.Time
+}
+
+// suspicion is the per-peer failure detector an overlay node consults before
+// and after every RPC. It is safe for concurrent use.
+type suspicion struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	peers map[string]*peerStat
+}
+
+func newSuspicion(now func() time.Time) *suspicion {
+	return &suspicion{now: now, peers: make(map[string]*peerStat)}
+}
+
+func (s *suspicion) peer(addr string) *peerStat {
+	p, ok := s.peers[addr]
+	if !ok {
+		p = &peerStat{}
+		s.peers[addr] = p
+	}
+	return p
+}
+
+// observeSuccess records one successful exchange and its round-trip latency,
+// clearing any failure streak.
+func (s *suspicion) observeSuccess(addr string, rtt time.Duration) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peer(addr)
+	if p.ewmaRTT == 0 {
+		p.ewmaRTT = rtt
+	} else {
+		p.ewmaRTT += (rtt - p.ewmaRTT) >> suspicionEwmaShift
+	}
+	p.fails = 0
+	p.grayFails = 0
+	p.hard = false
+	p.lastOK = s.now()
+}
+
+// observeFailure records one failed exchange. gray marks ambiguous outcomes
+// (deadline expiry, shed) where the peer may be alive but slow; hard marks
+// definite unreachability.
+func (s *suspicion) observeFailure(addr string, gray bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peer(addr)
+	p.fails++
+	if gray {
+		p.grayFails++
+	} else {
+		p.hard = true
+	}
+	p.lastFail = s.now()
+}
+
+// state classifies a peer for the chord health oracle. Evidence older than
+// suspicionTTL is not decisive.
+func (s *suspicion) state(addr string) chord.PeerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peers[addr]
+	if p == nil || p.fails == 0 {
+		return chord.PeerUnknown
+	}
+	if s.now().Sub(p.lastFail) > suspicionTTL {
+		return chord.PeerUnknown
+	}
+	if p.hard || p.grayFails >= suspicionDeadAfter {
+		return chord.PeerDead
+	}
+	return chord.PeerSuspect
+}
+
+// timeoutFor picks the deadline for the next call to addr: the message
+// class's deadline, raised to adaptiveRTTFactor x the peer's latency EWMA
+// (a slow peer earns a longer leash) and doubled per consecutive gray
+// failure (a peer that just timed out gets more room before being declared
+// dead), clamped to ceiling.
+func (s *suspicion) timeoutFor(addr string, class, ceiling time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := class
+	if p := s.peers[addr]; p != nil {
+		if adaptive := p.ewmaRTT * adaptiveRTTFactor; adaptive > d {
+			d = adaptive
+		}
+		esc := p.grayFails
+		if esc > deadlineEscalationCap {
+			esc = deadlineEscalationCap
+		}
+		for i := 0; i < esc && d < ceiling; i++ {
+			d *= 2
+		}
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+// snapshot exports every peer currently carrying a failure streak, keyed by
+// address.
+func (s *suspicion) snapshot() map[string]SuspicionStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]SuspicionStat
+	now := s.now()
+	for addr, p := range s.peers {
+		if p.fails == 0 {
+			continue
+		}
+		interval := p.ewmaRTT * adaptiveRTTFactor
+		if interval < suspicionScoreFloor {
+			interval = suspicionScoreFloor
+		}
+		silence := float64(now.Sub(p.lastOK)) / float64(interval)
+		if p.lastOK.IsZero() || silence > suspicionScoreCap {
+			silence = suspicionScoreCap
+		}
+		if out == nil {
+			out = make(map[string]SuspicionStat)
+		}
+		out[addr] = SuspicionStat{
+			Score:     float64(p.fails) + silence,
+			EwmaRTTMs: float64(p.ewmaRTT) / float64(time.Millisecond),
+			Fails:     p.fails,
+		}
+	}
+	return out
+}

@@ -11,16 +11,21 @@ import (
 	"clash/internal/wirecodec"
 )
 
-// Timeouts for the TCP transport. Dial and per-call deadlines keep a dead
-// peer from wedging the maintenance loop; the idle deadline reaps connections
-// whose peer went away.
+// Default timeouts for the TCP transport (the zero TCPConfig). Dial and
+// per-call deadlines keep a dead peer from wedging the maintenance loop; the
+// idle deadline reaps connections whose peer went away.
 const (
 	tcpDialTimeout = 3 * time.Second
 	tcpCallTimeout = 10 * time.Second
 	tcpIdleTimeout = 5 * time.Minute
+	// tcpShedWait bounds how long an inbound request may wait for a dispatch
+	// slot before the server sheds it with a framed shed reply. Without the
+	// bound, a wedged handler holding every slot would queue pipelined
+	// requests forever.
+	tcpShedWait = 2 * time.Second
 	// tcpMuxIdle is how long an outbound multiplexed connection may sit with
 	// no call in flight before the client closes it itself. It is well below
-	// the server-side tcpIdleTimeout for the same reason the old pool's
+	// the server-side idle timeout for the same reason the old pool's
 	// tcpPoolIdle was: the side that reaps first must be the client, so a
 	// request is never written into a socket the peer's reaper may already
 	// have closed (such a write "succeeds" into the dead buffer and cannot
@@ -31,6 +36,45 @@ const (
 	// slot (backpressure) instead of spawning unbounded goroutines.
 	serverMaxConcurrent = 256
 )
+
+// TCPConfig tunes a TCPTransport's timeouts and dispatch bounds. Zero fields
+// take the package defaults above.
+type TCPConfig struct {
+	// DialTimeout bounds each outbound connection attempt.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline used when CallOpts carries none,
+	// and the ceiling for socket write deadlines.
+	CallTimeout time.Duration
+	// IdleTimeout is the server-side read deadline: an inbound connection
+	// with no traffic for this long is closed.
+	IdleTimeout time.Duration
+	// ShedWait bounds how long an inbound request waits for a dispatch slot
+	// before being shed with a framed shed reply.
+	ShedWait time.Duration
+	// MaxConcurrent bounds concurrently dispatched requests per inbound
+	// connection.
+	MaxConcurrent int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = tcpDialTimeout
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = tcpCallTimeout
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = tcpIdleTimeout
+	}
+	if c.ShedWait <= 0 {
+		c.ShedWait = tcpShedWait
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = serverMaxConcurrent
+	}
+	return c
+}
 
 // errMuxClosed marks a Call that failed because the shared connection closed
 // before the request frame was handed to the writer loop. The request never
@@ -47,6 +91,7 @@ var errMuxClosed = errors.New("overlay: connection closed before write")
 type TCPTransport struct {
 	ln    net.Listener
 	addr  string
+	cfg   TCPConfig
 	stats transportStats
 
 	mu      sync.Mutex
@@ -61,10 +106,16 @@ type TCPTransport struct {
 
 var _ Transport = (*TCPTransport)(nil)
 
-// ListenTCP binds a TCP transport and starts its accept loop. Pass an address
-// with port 0 to let the kernel choose (the chosen address is what Addr
-// returns and therefore the node's identity — use an address peers can reach).
+// ListenTCP binds a TCP transport with the default timeouts and starts its
+// accept loop. Pass an address with port 0 to let the kernel choose (the
+// chosen address is what Addr returns and therefore the node's identity — use
+// an address peers can reach).
 func ListenTCP(addr string) (*TCPTransport, error) {
+	return ListenTCPConfig(addr, TCPConfig{})
+}
+
+// ListenTCPConfig is ListenTCP with explicit timeouts and dispatch bounds.
+func ListenTCPConfig(addr string, cfg TCPConfig) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("overlay: listen %s: %w", addr, err)
@@ -72,6 +123,7 @@ func ListenTCP(addr string) (*TCPTransport, error) {
 	t := &TCPTransport{
 		ln:      ln,
 		addr:    ln.Addr().String(),
+		cfg:     cfg.withDefaults(),
 		serving: make(map[net.Conn]struct{}),
 		muxes:   make(map[string]*muxConn),
 		dialing: make(map[string]*sync.Mutex),
@@ -94,6 +146,9 @@ func (t *TCPTransport) SetHandler(h Handler) {
 
 // Stats implements Transport.
 func (t *TCPTransport) Stats() TransportStats { return t.stats.snapshot() }
+
+// RecordRetry implements RetryRecorder.
+func (t *TCPTransport) RecordRetry() { t.stats.retries.Add(1) }
 
 // Close implements Transport: it stops the accept loop, closes every inbound
 // connection and outbound mux, then waits for all connection goroutines.
@@ -175,7 +230,7 @@ func newWriteScratch() *writeScratch {
 // drainWrite writes one frame plus everything else already queued in a
 // single writev, returning the frames' pooled buffers afterwards. It reports
 // whether the write succeeded.
-func (ws *writeScratch) drainWrite(conn net.Conn, stats *transportStats, first []byte, ch <-chan []byte) bool {
+func (ws *writeScratch) drainWrite(conn net.Conn, stats *transportStats, first []byte, ch <-chan []byte, writeTimeout time.Duration) bool {
 	ws.owned = append(ws.owned[:0], first)
 	for len(ws.owned) < frameWriteBatch {
 		select {
@@ -187,7 +242,7 @@ func (ws *writeScratch) drainWrite(conn net.Conn, stats *transportStats, first [
 	}
 write:
 	ws.bufs = append(ws.bufs[:0], ws.owned...)
-	_ = conn.SetWriteDeadline(time.Now().Add(tcpCallTimeout))
+	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_, err := ws.bufs.WriteTo(conn) // writev: one syscall for the whole batch
 	for i, b := range ws.owned {
 		stats.countOut(len(b))
@@ -199,15 +254,17 @@ write:
 
 // serveConn answers framed requests on one inbound connection until the peer
 // hangs up, framing corrupts, or the idle deadline passes. Requests are
-// dispatched concurrently (bounded by serverMaxConcurrent) and each reply
+// dispatched concurrently (bounded by cfg.MaxConcurrent) and each reply
 // carries its request's sequence ID, so a slow handler never head-of-line
 // blocks the requests pipelined behind it; a per-connection writer loop
-// coalesces queued replies into single writev calls.
+// coalesces queued replies into single writev calls. A request that cannot
+// get a dispatch slot within cfg.ShedWait is shed with a framed shed reply —
+// wedged handlers cost the peer a bounded wait, not an unbounded queue.
 func (t *TCPTransport) serveConn(conn net.Conn) {
 	defer t.wg.Done()
 	var (
 		hwg     sync.WaitGroup
-		sem     = make(chan struct{}, serverMaxConcurrent)
+		sem     = make(chan struct{}, t.cfg.MaxConcurrent)
 		writeCh = make(chan []byte, frameQueueDepth)
 		done    = make(chan struct{})
 		wdone   = make(chan struct{})
@@ -220,7 +277,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		for {
 			select {
 			case buf := <-writeCh:
-				if !ws.drainWrite(conn, &t.stats, buf, writeCh) {
+				if !ws.drainWrite(conn, &t.stats, buf, writeCh, t.cfg.CallTimeout) {
 					// The peer stopped reading; tear the connection down so
 					// the read loop exits too.
 					conn.Close()
@@ -229,7 +286,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 			default:
 				select {
 				case buf := <-writeCh:
-					if !ws.drainWrite(conn, &t.stats, buf, writeCh) {
+					if !ws.drainWrite(conn, &t.stats, buf, writeCh, t.cfg.CallTimeout) {
 						conn.Close()
 						return
 					}
@@ -272,7 +329,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		}
 	}
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout))
+		_ = conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
 		f, err := readFrame(conn)
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) {
@@ -290,7 +347,22 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
-		sem <- struct{}{}
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Every dispatch slot is taken: wait a bounded time, then shed.
+			// The peer gets a distinct framed reply so it knows the handler
+			// never ran and a backed-off resend is safe.
+			shedTimer := time.NewTimer(t.cfg.ShedWait)
+			select {
+			case sem <- struct{}{}:
+				shedTimer.Stop()
+			case <-shedTimer.C:
+				t.stats.shed.Add(1)
+				writeReply(f.seq, typeReplyShed, []byte("server overloaded: request shed"))
+				continue
+			}
+		}
 		hwg.Add(1)
 		go func(f frame) {
 			defer hwg.Done()
@@ -389,7 +461,7 @@ func (m *muxConn) writeLoop() {
 	for {
 		select {
 		case buf := <-m.writeCh:
-			if !ws.drainWrite(m.conn, &m.t.stats, buf, m.writeCh) {
+			if !ws.drainWrite(m.conn, &m.t.stats, buf, m.writeCh, m.t.cfg.CallTimeout) {
 				m.fail(fmt.Errorf("%s: write failed", m.addr))
 				return
 			}
@@ -442,7 +514,7 @@ func (m *muxConn) readLoop() {
 			m.fail(fmt.Errorf("read %s: %w", m.addr, err))
 			return
 		}
-		if f.typ != typeReplyOK && f.typ != typeReplyErr {
+		if f.typ != typeReplyOK && f.typ != typeReplyErr && f.typ != typeReplyShed {
 			m.fail(fmt.Errorf("%w: reply type %#x", ErrBadFrame, f.typ))
 			return
 		}
@@ -464,8 +536,9 @@ func (m *muxConn) deliver(seq uint64, res callResult) {
 	}
 }
 
-// call performs one pipelined exchange on the shared connection.
-func (m *muxConn) call(typ byte, payload []byte) ([]byte, error) {
+// call performs one pipelined exchange on the shared connection, waiting at
+// most timeout for the reply.
+func (m *muxConn) call(typ byte, payload []byte, timeout time.Duration) ([]byte, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -498,20 +571,24 @@ func (m *muxConn) call(typ byte, payload []byte) ([]byte, error) {
 		return nil, errMuxClosed
 	}
 
-	timer := time.NewTimer(tcpCallTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
 		if res.err != nil {
 			return nil, res.err
 		}
-		if res.typ == typeReplyErr {
+		switch res.typ {
+		case typeReplyErr:
 			return nil, &RemoteError{Msg: string(res.payload)}
+		case typeReplyShed:
+			return nil, fmt.Errorf("%w: %s: %s", ErrShed, m.addr, res.payload)
 		}
 		return res.payload, nil
 	case <-timer.C:
 		m.abandon(seq)
-		return nil, fmt.Errorf("call %s: timeout after %s", m.addr, tcpCallTimeout)
+		m.t.stats.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: call %s after %s", ErrDeadline, m.addr, timeout)
 	}
 }
 
@@ -558,7 +635,7 @@ func (t *TCPTransport) getMux(addr string) (mc *muxConn, fresh bool, err error) 
 	}
 	t.mu.Unlock()
 
-	conn, derr := net.DialTimeout("tcp", addr, tcpDialTimeout)
+	conn, derr := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if derr != nil {
 		return nil, false, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, derr)
 	}
@@ -584,17 +661,28 @@ func (t *TCPTransport) getMux(addr string) (mc *muxConn, fresh bool, err error) 
 
 // Call implements Transport.
 func (t *TCPTransport) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	return t.CallOpts(addr, msgType, payload, CallOpts{})
+}
+
+// CallOpts implements Transport. A zero opts.Timeout means the transport's
+// configured CallTimeout.
+func (t *TCPTransport) CallOpts(addr, msgType string, payload []byte, opts CallOpts) ([]byte, error) {
 	typ, err := typeByte(msgType)
 	if err != nil {
 		return nil, err
 	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = t.cfg.CallTimeout
+	}
 	t.stats.inFlight.Add(1)
 	defer t.stats.inFlight.Add(-1)
+	start := time.Now()
 	mc, fresh, err := t.getMux(addr)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := mc.call(typ, payload)
+	reply, err := mc.call(typ, payload, timeout)
 	if errors.Is(err, errMuxClosed) && !fresh {
 		// The shared connection died before our frame was written (e.g. the
 		// peer's idle reaper closed it); the request never made it out, so
@@ -604,16 +692,20 @@ func (t *TCPTransport) Call(addr, msgType string, payload []byte) ([]byte, error
 		if derr != nil {
 			return nil, derr
 		}
-		reply, err = mc.call(typ, payload)
+		reply, err = mc.call(typ, payload, timeout)
 	}
 	if err != nil {
-		if IsRemote(err) {
-			return nil, err
-		}
-		if errors.Is(err, ErrFrameTooLarge) {
+		switch {
+		case IsRemote(err),
+			errors.Is(err, ErrFrameTooLarge),
+			errors.Is(err, ErrDeadline),
+			errors.Is(err, ErrShed):
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	if opts.RTT != nil {
+		*opts.RTT = time.Since(start)
 	}
 	return reply, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Transport errors.
@@ -13,6 +14,16 @@ var (
 	ErrUnreachable = errors.New("overlay: endpoint unreachable")
 	// ErrClosed is returned by operations on a closed transport.
 	ErrClosed = errors.New("overlay: transport closed")
+	// ErrDeadline is returned when a call's deadline expired before the reply
+	// arrived. The request may or may not have reached the peer — a gray
+	// outcome, distinct from the hard ErrUnreachable — so only idempotent
+	// messages may be resent, and the next call to the peer should allow more
+	// time (see suspicion.timeoutFor).
+	ErrDeadline = errors.New("overlay: call deadline exceeded")
+	// ErrShed is returned when the remote server shed the request under
+	// overload before dispatching it. The handler never ran, so retrying with
+	// backoff is safe for any message type.
+	ErrShed = errors.New("overlay: request shed by overloaded server")
 )
 
 // RemoteError is an application-level error returned by the remote handler
@@ -57,6 +68,15 @@ type TransportStats struct {
 	// OversizedDrops counts inbound frames discarded (and answered with a
 	// framed error) because their payload exceeded maxFrameSize.
 	OversizedDrops uint64 `json:"oversizedDrops"`
+	// Timeouts counts outbound calls that failed because their deadline
+	// expired before the reply arrived (ErrDeadline).
+	Timeouts uint64 `json:"timeouts"`
+	// Retries counts resends performed above the transport by the resilient
+	// call policy (idempotent retries and shed retries).
+	Retries uint64 `json:"retries"`
+	// Shed counts inbound requests this server refused under overload
+	// (answered with a framed shed reply instead of dispatching).
+	Shed uint64 `json:"shed"`
 }
 
 // transportStats is the shared atomic counter block embedded by both
@@ -67,6 +87,9 @@ type transportStats struct {
 	inFlight            atomic.Int64
 	reconnects          atomic.Uint64
 	oversizedDrops      atomic.Uint64
+	timeouts            atomic.Uint64
+	retries             atomic.Uint64
+	shed                atomic.Uint64
 }
 
 func (s *transportStats) countIn(bytes int) {
@@ -88,7 +111,23 @@ func (s *transportStats) snapshot() TransportStats {
 		InFlight:       s.inFlight.Load(),
 		Reconnects:     s.reconnects.Load(),
 		OversizedDrops: s.oversizedDrops.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Retries:        s.retries.Load(),
+		Shed:           s.shed.Load(),
 	}
+}
+
+// CallOpts tunes one Call. The zero value is the transport's legacy behavior
+// (its default deadline, no latency report).
+type CallOpts struct {
+	// Timeout bounds the whole exchange. Zero means the transport default
+	// (tcpCallTimeout on TCP, unbounded on the instantaneous fabrics).
+	Timeout time.Duration
+	// RTT, when non-nil, receives the observed round-trip latency of a
+	// successful exchange. Transports that model latency rather than incur it
+	// (the simulator's) report the modeled value here; wall-clock transports
+	// may leave it untouched and let the caller measure elapsed time.
+	RTT *time.Duration
 }
 
 // Transport is the messaging substrate an overlay node or client runs on:
@@ -114,10 +153,22 @@ type Transport interface {
 	// transport failure and a *RemoteError when the remote handler returned
 	// an error.
 	Call(addr, msgType string, payload []byte) ([]byte, error)
+	// CallOpts is Call with per-call options: a deadline (ErrDeadline when it
+	// expires before the reply) and an optional latency report. Call is
+	// CallOpts with the zero options.
+	CallOpts(addr, msgType string, payload []byte, opts CallOpts) ([]byte, error)
 	// Stats returns the transport's cumulative counters.
 	Stats() TransportStats
 	// Close releases the endpoint. Outstanding and future Calls fail.
 	Close() error
+}
+
+// RetryRecorder is implemented by transports whose stats block can attribute
+// retries performed above the transport (the resilient call policy's resends
+// count in the transport's Stats so one snapshot tells the whole story).
+type RetryRecorder interface {
+	// RecordRetry notes one policy-level resend.
+	RecordRetry()
 }
 
 // dispatch invokes h if non-nil, standardising the nil-handler error.

@@ -114,6 +114,11 @@ const (
 
 	typeReplyOK  byte = 0xF0
 	typeReplyErr byte = 0xF1
+	// typeReplyShed answers a request the server refused under overload
+	// without dispatching it; the payload is explanatory text. The caller
+	// surfaces it as ErrShed (retryable for any message type, since the
+	// handler never ran).
+	typeReplyShed byte = 0xF2
 )
 
 // typeRegistry maps protocol names to type bytes; nameRegistry is the

@@ -27,6 +27,15 @@ type Model struct {
 	// message will never be answered (the virtual analogue of a call
 	// timeout). Zero means the loss surfaces immediately.
 	DropTimeout time.Duration `json:"drop_timeout,omitempty"`
+	// Dup is the independent probability in [0, 1) that a delivered message
+	// is duplicated — the copy arrives too (gray-fault injection; only the
+	// simulator transport honors it).
+	Dup float64 `json:"dup,omitempty"`
+	// Reorder is the independent probability in [0, 1) that a delivered
+	// message spawns a late duplicate — a stale copy arriving DropTimeout
+	// after the original (gray-fault injection; only the simulator transport
+	// honors it).
+	Reorder float64 `json:"reorder,omitempty"`
 }
 
 // Validate checks the model parameters.
@@ -37,12 +46,19 @@ func (m Model) Validate() error {
 	if m.Loss < 0 || m.Loss >= 1 {
 		return fmt.Errorf("link: loss %g outside [0, 1)", m.Loss)
 	}
+	if m.Dup < 0 || m.Dup >= 1 {
+		return fmt.Errorf("link: dup %g outside [0, 1)", m.Dup)
+	}
+	if m.Reorder < 0 || m.Reorder >= 1 {
+		return fmt.Errorf("link: reorder %g outside [0, 1)", m.Reorder)
+	}
 	return nil
 }
 
 // Zero reports whether the model is the zero-RTT, lossless identity.
 func (m Model) Zero() bool {
-	return m.BaseLatency == 0 && m.Jitter == 0 && m.Loss == 0
+	return m.BaseLatency == 0 && m.Jitter == 0 && m.Loss == 0 &&
+		m.Dup == 0 && m.Reorder == 0
 }
 
 // Sample draws the fate of one message: its one-way delay, and whether it is

@@ -57,6 +57,26 @@ type PartitionSpec struct {
 	Fraction float64 `json:"fraction"`
 }
 
+// SlowSpec makes the last Fraction of the nodes (by index, never the
+// bootstrap node) gray-slow for the whole run: every message to or from them
+// takes Factor times the sampled link latency. Unlike a crash, the nodes
+// answer correctly — eventually.
+type SlowSpec struct {
+	Fraction float64 `json:"fraction"`
+	Factor   float64 `json:"factor"`
+}
+
+// AsymSpec blackholes one direction for a window of ticks: requests from the
+// majority to the last Fraction of the nodes vanish in transit, while the
+// minority's requests still reach the majority (only their replies are lost)
+// — the classic asymmetric gray partition. On ToTick the direction heals and
+// the minority re-joins through the bootstrap node.
+type AsymSpec struct {
+	FromTick int     `json:"from_tick"`
+	ToTick   int     `json:"to_tick"`
+	Fraction float64 `json:"fraction"`
+}
+
 // Expect declares the invariants a scenario run must satisfy; violations are
 // reported in the result (and fail cmd/clashsim).
 type Expect struct {
@@ -91,6 +111,11 @@ type Expect struct {
 	// passing durability run cannot be explained by the crashes missing the
 	// state they were meant to destroy.
 	MinHolderCrashFrac float64 `json:"min_holder_crash_frac,omitempty"`
+	// MaxHealthyTickMs, when positive, bounds the p99 virtual cost (in
+	// milliseconds) of a healthy node's maintenance tick — the gray-failure
+	// invariant that one slow peer must not wedge everyone else's
+	// maintenance for a full legacy call timeout.
+	MaxHealthyTickMs float64 `json:"max_healthy_tick_ms,omitempty"`
 }
 
 // Scenario fully describes one simulated experiment.
@@ -114,6 +139,8 @@ type Scenario struct {
 	Phases    []Phase        `json:"phases"`
 	Churn     []ChurnEvent   `json:"churn,omitempty"`
 	Partition *PartitionSpec `json:"partition,omitempty"`
+	Slow      *SlowSpec      `json:"slow,omitempty"`
+	Asym      *AsymSpec      `json:"asym,omitempty"`
 	Expect    Expect         `json:"expect"`
 }
 
@@ -175,6 +202,10 @@ type Totals struct {
 	MatchesDelivered int   `json:"matches_delivered"`
 	MatchDrops       int64 `json:"match_drops"`
 	Calls            int   `json:"transport_calls"`
+	// Timeouts and Retries are summed over the live nodes' transport stats:
+	// calls that expired at their deadline, and policy-level resends.
+	Timeouts uint64 `json:"timeouts,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
 }
 
 // Result is the JSON-stable record of one scenario run. It contains no
@@ -187,7 +218,12 @@ type Result struct {
 	FinalDepthHist   []int           `json:"final_depth_hist"`
 	Totals           Totals          `json:"totals"`
 	MatchLatencyMs   metrics.Summary `json:"match_latency_virtual_ms"`
-	RingConverged    bool            `json:"ring_converged"`
+	// TickCostMs summarises the virtual blocking cost of the healthy (not
+	// gray-slowed) nodes' maintenance ticks; SlowTickCostMs covers the
+	// gray-slowed nodes when a SlowSpec is set.
+	TickCostMs     metrics.Summary  `json:"tick_cost_virtual_ms"`
+	SlowTickCostMs *metrics.Summary `json:"slow_tick_cost_virtual_ms,omitempty"`
+	RingConverged  bool             `json:"ring_converged"`
 	RingDrift        int             `json:"ring_drift"`
 	CoverageComplete bool            `json:"coverage_complete"`
 	CoverageOverlaps int             `json:"coverage_overlaps"`
@@ -232,6 +268,12 @@ type runner struct {
 	queries             []cq.Query // the boot-registered continuous queries
 	holdersCrashed      int
 	holdersAtFirstCrash int
+
+	// Gray-failure accounting: which nodes are slowed, and the virtual cost
+	// of every measured maintenance tick (healthy vs slowed, microseconds).
+	slowSet      map[string]bool
+	tickCost     *metrics.LatencyHist
+	slowTickCost *metrics.LatencyHist
 }
 
 // Run executes a scenario to completion and returns its result.
@@ -258,12 +300,29 @@ func Run(sc Scenario) (*Result, error) {
 	if err := sc.Link.Validate(); err != nil {
 		return nil, err
 	}
-	r := &runner{sc: sc, eng: eng, net: net}
+	r := &runner{
+		sc: sc, eng: eng, net: net,
+		slowSet:      make(map[string]bool),
+		tickCost:     metrics.NewLatencyHist(),
+		slowTickCost: metrics.NewLatencyHist(),
+	}
 	if err := r.boot(); err != nil {
 		return nil, err
 	}
 	if err := net.SetModel(sc.Link); err != nil {
 		return nil, err
+	}
+	// Gray slowness engages with the real link model: the overlay converges
+	// at full speed, then the slowed minority starts dragging.
+	if s := sc.Slow; s != nil {
+		first := len(r.nodes) - int(math.Ceil(float64(len(r.nodes))*s.Fraction))
+		if first < 1 {
+			first = 1 // never slow the bootstrap node
+		}
+		for _, sn := range r.nodes[first:] {
+			net.SetSlow(sn.addr, s.Factor)
+			r.slowSet[sn.addr] = true
+		}
 	}
 	bootEnd := eng.VirtualNow()
 
@@ -412,7 +471,11 @@ func (r *runner) schedule(base time.Duration, res *Result) {
 	ticks := sc.TotalTicks()
 	n := len(r.nodes)
 
-	// Stabilization rounds, each node offset within the interval.
+	// Stabilization rounds, each node offset within the interval. Each tick
+	// runs under a cost trace: the simulator executes events instantaneously,
+	// so the virtual time a real node would have spent blocked on its tick's
+	// calls (RTTs, expired deadlines, drop timeouts) is accounted into the
+	// healthy/slowed histograms — the data behind MaxHealthyTickMs.
 	stabRounds := int(time.Duration(ticks)*sc.CheckEvery/sc.StabilizeEvery) + 1
 	for round := 0; round < stabRounds; round++ {
 		at := base + time.Duration(round)*sc.StabilizeEvery
@@ -420,8 +483,14 @@ func (r *runner) schedule(base time.Duration, res *Result) {
 			sn := sn
 			off := time.Duration(i) * sc.StabilizeEvery / time.Duration(n)
 			r.eng.At(at+off, func() {
-				if !sn.down {
-					sn.node.Tick()
+				if sn.down {
+					return
+				}
+				cost := r.net.TraceCall(sn.node.Tick)
+				if r.slowSet[sn.addr] {
+					r.slowTickCost.Record(cost.Microseconds())
+				} else {
+					r.tickCost.Record(cost.Microseconds())
 				}
 			})
 		}
@@ -475,6 +544,28 @@ func (r *runner) schedule(base time.Duration, res *Result) {
 			// Heal protocol: the isolated side re-joins through the
 			// bootstrap node (the deployment's anti-entropy for prolonged
 			// isolation — two stabilized rings never re-merge on their own).
+			r.rejoinBatch(r.nodes[first:])
+		})
+	}
+
+	// Asymmetric-partition window: the majority's requests to the minority
+	// are blackholed while the reverse direction keeps (half-)working — the
+	// minority's requests deliver but their replies are lost.
+	if p := sc.Asym; p != nil {
+		first := n - int(float64(n)*p.Fraction)
+		if first < 1 {
+			first = 1 // never isolate the bootstrap node from the client
+		}
+		r.eng.At(base+time.Duration(p.FromTick)*sc.CheckEvery, func() {
+			for _, sn := range r.nodes[first:] {
+				r.net.SetAsymGroup(sn.addr, 1)
+			}
+			r.net.SetAsymBlocked(0, 1, true)
+		})
+		r.eng.At(base+time.Duration(p.ToTick)*sc.CheckEvery, func() {
+			r.net.HealAsym()
+			// Same heal protocol as a symmetric partition: the cut-off side
+			// re-joins through the bootstrap node.
 			r.rejoinBatch(r.nodes[first:])
 		})
 	}
@@ -707,23 +798,24 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 	}
 	res.HoldersCrashed = r.holdersCrashed
 	res.HoldersAtFirstCrash = r.holdersAtFirstCrash
+	for _, sn := range r.nodes {
+		st := r.net.Endpoint(sn.addr).Stats()
+		totals.Timeouts += st.Timeouts
+		totals.Retries += st.Retries
+	}
 	for _, t := range overlay.MessageTypes() {
 		totals.Calls += r.net.Calls(t)
 	}
 	res.Totals = totals
 	res.FinalDepthHist = depthHist
 	if h := r.net.Latency(overlay.TypeMatch); h != nil {
-		s := h.Summary()
-		// The histogram records virtual microseconds; report milliseconds.
-		res.MatchLatencyMs = metrics.Summary{
-			Count: s.Count,
-			Min:   s.Min / 1e3,
-			Max:   s.Max / 1e3,
-			Mean:  s.Mean / 1e3,
-			P50:   s.P50 / 1e3,
-			P95:   s.P95 / 1e3,
-			P99:   s.P99 / 1e3,
-		}
+		// The histograms record virtual microseconds; report milliseconds.
+		res.MatchLatencyMs = msSummary(h.Summary())
+	}
+	res.TickCostMs = msSummary(r.tickCost.Summary())
+	if s := r.slowTickCost.Summary(); s.Count > 0 {
+		ms := msSummary(s)
+		res.SlowTickCostMs = &ms
 	}
 	res.CoverageComplete, res.CoverageOverlaps = coverage(sc.KeyBits, groups)
 	res.RingDrift = r.ringDrift()
@@ -779,6 +871,24 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 				fmt.Sprintf("churn crashed %d of %d holders, below the required fraction %.2f",
 					res.HoldersCrashed, base, ex.MinHolderCrashFrac))
 		}
+	}
+	if ex.MaxHealthyTickMs > 0 && res.TickCostMs.P99 > ex.MaxHealthyTickMs {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("healthy-node tick cost p99 %.1fms exceeds the allowed %.1fms",
+				res.TickCostMs.P99, ex.MaxHealthyTickMs))
+	}
+}
+
+// msSummary converts a microsecond latency summary into milliseconds.
+func msSummary(s metrics.Summary) metrics.Summary {
+	return metrics.Summary{
+		Count: s.Count,
+		Min:   s.Min / 1e3,
+		Max:   s.Max / 1e3,
+		Mean:  s.Mean / 1e3,
+		P50:   s.P50 / 1e3,
+		P95:   s.P95 / 1e3,
+		P99:   s.P99 / 1e3,
 	}
 }
 

@@ -27,6 +27,13 @@ import (
 //	partition-heal  the fabric splits in two for several periods, heals, and
 //	                the isolated side rejoins; the ring and coverage must
 //	                recover
+//	slow-node       a tenth of the nodes turn gray — alive but 50x slower —
+//	                for the whole run; the ring must converge, no CQ may be
+//	                lost, and the healthy nodes' maintenance tick cost must
+//	                stay bounded (one slow peer must not wedge everyone)
+//	asym-partition  one direction to a minority is blackholed for a window
+//	                (requests vanish, the reverse half-works), then heals;
+//	                coverage must recover with no overlapping group ownership
 func Named(name string, nodes int, seed int64) (Scenario, error) {
 	switch name {
 	case "split-merge":
@@ -39,6 +46,10 @@ func Named(name string, nodes int, seed int64) (Scenario, error) {
 		return flashCrowd(nodes, seed), nil
 	case "partition-heal":
 		return partitionHeal(nodes, seed), nil
+	case "slow-node":
+		return slowNode(nodes, seed), nil
+	case "asym-partition":
+		return asymPartition(nodes, seed), nil
 	default:
 		return Scenario{}, fmt.Errorf("sim: unknown scenario %q (have %v)", name, Names())
 	}
@@ -46,7 +57,8 @@ func Named(name string, nodes int, seed int64) (Scenario, error) {
 
 // Names lists the predefined scenario names.
 func Names() []string {
-	out := []string{"split-merge", "churn", "churn-durable", "flash-crowd", "partition-heal"}
+	out := []string{"split-merge", "churn", "churn-durable", "flash-crowd",
+		"partition-heal", "slow-node", "asym-partition"}
 	sort.Strings(out)
 	return out
 }
@@ -181,6 +193,71 @@ func partitionHeal(nodes int, seed int64) Scenario {
 	}
 	sc.Partition = &PartitionSpec{FromTick: 3, ToTick: 7, Fraction: 0.4}
 	sc.Expect = Expect{CoverageComplete: true, RingConverged: true}
+	return sc
+}
+
+// slowNode is the gray-failure scenario: a tenth of the nodes stay alive but
+// answer 50x slower than the rest for the whole run — slow enough that the
+// short deadline class expires on the first exchange, so the adaptive
+// deadline/suspicion machinery must learn each slow peer's latency instead of
+// flapping it through the ring. The invariants: the ring converges with the
+// slow members in it, no continuous query is lost, and a healthy node's
+// maintenance tick cost stays bounded well below what even one legacy blanket
+// call timeout (10s) per tick would produce.
+func slowNode(nodes int, seed int64) Scenario {
+	sc := base("slow-node", nodes, 120, seed)
+	sc.Workload = workload.WorkloadB
+	sc.Replicas = 3
+	// 30ms WAN x the 50x factor puts a slow peer's round trip at ~3s:
+	// past the 2.5s short deadline (the first call always times out gray)
+	// but comfortably inside the escalated and EWMA-learned deadlines.
+	sc.Link = link.WAN(30*time.Millisecond, 0)
+	pkts := int(sc.Capacity * sc.CheckEverySeconds() / 2)
+	sc.Phases = []Phase{
+		{Name: "steady", Ticks: 12, Packets: pkts},
+	}
+	sc.Slow = &SlowSpec{Fraction: 0.10, Factor: 50}
+	// The honest steady cost of a healthy tick that walks its successor list
+	// through slow peers is a few ~3s round trips (~15s p99 at this size);
+	// the bound sits above that and far below the wedge it guards against —
+	// a maintenance pass serialising full legacy 10s timeouts (a
+	// successor-list walk alone would cost 40s).
+	sc.Expect = Expect{
+		CoverageComplete: true,
+		RingConverged:    true,
+		ZeroLostCQ:       true,
+		MaxHealthyTickMs: 20000,
+	}
+	return sc
+}
+
+// asymPartition is the asymmetric gray partition: for a four-tick window the
+// majority's requests to a 30% minority vanish in transit while the
+// minority's requests still arrive (only their replies are lost), with a
+// sprinkle of duplicated and late-delivered requests throughout. Both sides
+// classify the other dead from opposite evidence (pure silence vs replies
+// never coming back); after the heal the minority re-joins and the
+// epoch-idempotent transfers must collapse any dual ownership the window
+// created — coverage complete, zero overlaps, no query lost.
+func asymPartition(nodes int, seed int64) Scenario {
+	sc := base("asym-partition", nodes, 120, seed)
+	sc.Workload = workload.WorkloadB
+	sc.Replicas = 3
+	sc.Link = link.WAN(20*time.Millisecond, 0)
+	sc.Link.Dup = 0.01
+	sc.Link.Reorder = 0.01
+	pkts := int(sc.Capacity * sc.CheckEverySeconds() / 2)
+	sc.Phases = []Phase{
+		{Name: "steady", Ticks: 3, Packets: pkts},
+		{Name: "asym", Ticks: 4, Packets: pkts},
+		{Name: "healed", Ticks: 11, Packets: pkts},
+	}
+	sc.Asym = &AsymSpec{FromTick: 3, ToTick: 7, Fraction: 0.3}
+	sc.Expect = Expect{
+		CoverageComplete: true,
+		RingConverged:    true,
+		ZeroLostCQ:       true,
+	}
 	return sc
 }
 

@@ -35,6 +35,16 @@ type Net struct {
 	part  map[string]int // partition id; absent = 0
 	calls map[string]int
 
+	// Gray-fault injection state.
+	slow      map[string]float64 // per-node slowdown factor; absent = 1
+	asym      map[string]int     // asymmetric-partition group; absent = 0
+	asymBlock map[[2]int]bool    // [from, to] group pair → that direction is blackholed
+
+	// traceCost, when armed by TraceCall, accumulates the virtual time the
+	// traced function's calls would have cost a real caller (RTT on success,
+	// the expired deadline on a timeout, the drop timeout on a loss).
+	traceCost *time.Duration
+
 	latency map[string]*metrics.LatencyHist // msgType → one-way virtual µs
 }
 
@@ -44,13 +54,16 @@ func NewNet(eng *Engine, model link.Model) (*Net, error) {
 		return nil, err
 	}
 	return &Net{
-		eng:     eng,
-		model:   model,
-		eps:     make(map[string]*Endpoint),
-		down:    make(map[string]bool),
-		part:    make(map[string]int),
-		calls:   make(map[string]int),
-		latency: make(map[string]*metrics.LatencyHist),
+		eng:       eng,
+		model:     model,
+		eps:       make(map[string]*Endpoint),
+		down:      make(map[string]bool),
+		part:      make(map[string]int),
+		calls:     make(map[string]int),
+		slow:      make(map[string]float64),
+		asym:      make(map[string]int),
+		asymBlock: make(map[[2]int]bool),
+		latency:   make(map[string]*metrics.LatencyHist),
 	}, nil
 }
 
@@ -86,6 +99,97 @@ func (n *Net) SetPartition(addr string, partition int) { n.part[addr] = partitio
 
 // Heal returns every endpoint to partition 0.
 func (n *Net) Heal() { n.part = make(map[string]int) }
+
+// SetSlow assigns a node a link slowdown factor: every message to or from it
+// takes factor times the sampled latency (a gray-failing node — alive, but
+// answering far too slowly). Factor 1 (or less) restores normal speed.
+func (n *Net) SetSlow(addr string, factor float64) {
+	if factor <= 1 {
+		delete(n.slow, addr)
+		return
+	}
+	n.slow[addr] = factor
+}
+
+// SetAsymGroup assigns an address to an asymmetric-partition group (default
+// 0). Unlike SetPartition, group membership alone blocks nothing — directions
+// are blocked pairwise with SetAsymBlocked.
+func (n *Net) SetAsymGroup(addr string, group int) { n.asym[addr] = group }
+
+// SetAsymBlocked blackholes (or restores) one direction between two
+// asymmetric-partition groups: messages from a node in group from to a node
+// in group to vanish in transit, while the reverse direction keeps working —
+// the classic gray failure where A can reach B but B cannot reach A. A
+// request crossing a blocked direction never arrives (the caller times out);
+// a reply crossing one is lost after the handler ran.
+func (n *Net) SetAsymBlocked(from, to int, blocked bool) {
+	if blocked {
+		n.asymBlock[[2]int{from, to}] = true
+		return
+	}
+	delete(n.asymBlock, [2]int{from, to})
+}
+
+// HealAsym clears all asymmetric-partition state.
+func (n *Net) HealAsym() {
+	n.asym = make(map[string]int)
+	n.asymBlock = make(map[[2]int]bool)
+}
+
+// asymBlocked reports whether the a→b direction is blackholed.
+func (n *Net) asymBlocked(a, b string) bool {
+	if len(n.asymBlock) == 0 {
+		return false
+	}
+	return n.asymBlock[[2]int{n.asym[a], n.asym[b]}]
+}
+
+// slowFactor is the latency multiplier for the a↔b pair (the slower side
+// wins).
+func (n *Net) slowFactor(a, b string) float64 {
+	f := 1.0
+	if s := n.slow[a]; s > f {
+		f = s
+	}
+	if s := n.slow[b]; s > f {
+		f = s
+	}
+	return f
+}
+
+// TraceCall runs fn and returns the virtual time its transport calls would
+// have cost a real caller: the round-trip latency of every successful call,
+// the expired deadline of every timeout, the drop timeout of every loss.
+// This is how a scenario bounds a maintenance tick's cost — the simulator
+// executes events instantaneously, so blocking time must be accounted, not
+// measured. Nested traces each see their own calls; an outer trace includes
+// the inner's cost.
+func (n *Net) TraceCall(fn func()) time.Duration {
+	var cost time.Duration
+	prev := n.traceCost
+	n.traceCost = &cost
+	fn()
+	n.traceCost = prev
+	if prev != nil {
+		*prev += cost
+	}
+	return cost
+}
+
+// addCost charges virtual blocking time to an armed trace.
+func (n *Net) addCost(d time.Duration) {
+	if n.traceCost != nil {
+		*n.traceCost += d
+	}
+}
+
+// scale multiplies a sampled latency by a slowdown factor.
+func scale(d time.Duration, f float64) time.Duration {
+	if f <= 1 {
+		return d
+	}
+	return time.Duration(float64(d) * f)
+}
 
 // Calls returns how many requests of the given type were attempted.
 func (n *Net) Calls(msgType string) int { return n.calls[msgType] }
@@ -131,19 +235,44 @@ func (e *Endpoint) SetHandler(h overlay.Handler) { e.handler = h }
 // Stats implements overlay.Transport.
 func (e *Endpoint) Stats() overlay.TransportStats { return e.stats }
 
+// RecordRetry implements overlay.RetryRecorder.
+func (e *Endpoint) RecordRetry() { e.stats.Retries++ }
+
 // Close implements overlay.Transport.
 func (e *Endpoint) Close() error {
 	e.closed = true
 	return nil
 }
 
-// Call implements overlay.Transport. Both directions draw their fate from
+// simDefaultCallTimeout is the deadline assumed for plain Calls (no CallOpts
+// timeout): the legacy blanket call timeout, matching the TCP transport's
+// default.
+const simDefaultCallTimeout = 10 * time.Second
+
+// Call implements overlay.Transport.
+func (e *Endpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
+	return e.CallOpts(addr, msgType, payload, overlay.CallOpts{})
+}
+
+// CallOpts implements overlay.Transport. Both directions draw their fate from
 // the link model (in a fixed order, so same-seed runs are bit-identical): a
 // lost request or reply fails the call with overlay.ErrUnreachable, a
 // delivered request's sampled latency is recorded in the fabric's per-type
 // histogram, and the handler runs inline. Handler errors come back as
 // *overlay.RemoteError exactly as on the framed transports.
-func (e *Endpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
+//
+// Gray faults layer on top: per-node slowdown factors multiply the sampled
+// latencies, and a sampled latency sum exceeding the call deadline fails the
+// call with overlay.ErrDeadline — before the handler runs when the request
+// leg alone overshoots, after it when the reply leg does, exactly the
+// ambiguity a real timeout has. An asymmetrically blocked direction behaves
+// as a deadline expiry too (a blackholed message is indistinguishable from a
+// slow one until the timer fires). Dup and Reorder re-invoke the handler with
+// a copied payload — immediately, or DropTimeout later through the event
+// queue — modeling duplicated and late-delivered requests; their replies go
+// nowhere. Every failure and success charges its virtual blocking cost to an
+// armed TraceCall.
+func (e *Endpoint) CallOpts(addr, msgType string, payload []byte, opts overlay.CallOpts) ([]byte, error) {
 	n := e.net
 	if e.closed {
 		return nil, fmt.Errorf("%w: %s", overlay.ErrClosed, e.addr)
@@ -153,13 +282,37 @@ func (e *Endpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
 	if !ok || target.closed || n.blocked(e.addr, addr) {
 		return nil, fmt.Errorf("%w: %s", overlay.ErrUnreachable, addr)
 	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = simDefaultCallTimeout
+	}
+	timedOut := func() error {
+		e.stats.Timeouts++
+		n.addCost(timeout)
+		return fmt.Errorf("%w: %s after %s", overlay.ErrDeadline, addr, timeout)
+	}
+	factor := n.slowFactor(e.addr, addr)
 
 	size := overlay.FrameOverhead + len(payload)
 	e.stats.FramesOut++
 	e.stats.BytesOut += uint64(size)
+	if n.asymBlocked(e.addr, addr) {
+		// The request vanishes in transit: the caller learns nothing until
+		// its deadline fires. No PRNG draw — a blackholed message has no
+		// fate to sample.
+		return nil, timedOut()
+	}
 	reqLat, reqDrop := n.model.Sample(n.eng.Rand())
+	reqLat = scale(reqLat, factor)
 	if reqDrop {
+		n.addCost(scale(n.model.DropTimeout, factor))
 		return nil, fmt.Errorf("%w: %s: request lost", overlay.ErrUnreachable, addr)
+	}
+	if reqLat > timeout {
+		// The request is still in flight when the deadline fires; the
+		// handler never runs (the late arrival is dropped — the mux would
+		// have discarded the stale sequence ID).
+		return nil, timedOut()
 	}
 	n.recordLatency(msgType, reqLat)
 	target.stats.FramesIn++
@@ -178,12 +331,49 @@ func (e *Endpoint) Call(addr, msgType string, payload []byte) ([]byte, error) {
 	} else if reply, herr = target.handler(msgType, req); herr != nil {
 		herr = &overlay.RemoteError{Msg: herr.Error()}
 	}
+	if n.model.Dup > 0 && n.eng.Rand().Float64() < n.model.Dup {
+		// A duplicated request: the handler runs again on its own copy; the
+		// duplicate's reply answers a sequence ID nobody waits for.
+		if target.handler != nil {
+			_, _ = target.handler(msgType, append([]byte(nil), payload...))
+		}
+	}
+	if n.model.Reorder > 0 && n.eng.Rand().Float64() < n.model.Reorder {
+		// A late duplicate: the copy arrives DropTimeout after the original,
+		// through the event queue — by then the target may be gone.
+		late := append([]byte(nil), payload...)
+		n.eng.After(scale(reqLat+n.model.DropTimeout, factor), func() {
+			t, ok := n.eps[addr]
+			if !ok || t.closed || n.down[addr] || t.handler == nil {
+				return
+			}
+			_, _ = t.handler(msgType, late)
+		})
+	}
 
 	repSize := overlay.FrameOverhead + len(reply)
 	target.stats.FramesOut++
 	target.stats.BytesOut += uint64(repSize)
-	if _, repDrop := n.model.Sample(n.eng.Rand()); repDrop {
+	if n.asymBlocked(addr, e.addr) {
+		// The reply direction is blackholed: the handler ran — state on the
+		// target may have changed — but the caller only sees its deadline
+		// expire. No PRNG draw, as on the request leg.
+		return nil, timedOut()
+	}
+	repLat, repDrop := n.model.Sample(n.eng.Rand())
+	repLat = scale(repLat, factor)
+	if repDrop {
+		n.addCost(scale(n.model.DropTimeout, factor))
 		return nil, fmt.Errorf("%w: %s: reply lost", overlay.ErrUnreachable, addr)
+	}
+	if reqLat+repLat > timeout {
+		return nil, timedOut()
+	}
+	n.addCost(reqLat + repLat)
+	if opts.RTT != nil {
+		// The simulator cannot be wall-timed: report the modeled round trip
+		// so the caller's latency EWMA learns virtual time.
+		*opts.RTT = reqLat + repLat
 	}
 	e.stats.FramesIn++
 	e.stats.BytesIn += uint64(repSize)
