@@ -12,14 +12,15 @@
 //
 //	clashd -addr 127.0.0.1:7002 -status 127.0.0.2:8002 -join 127.0.0.1:7001
 //
-// The -status address serves GET /status: the node's JSON snapshot (ring
-// position, active key groups, load, protocol counters and the per-period
-// metrics time series).
+// The -status address serves the node's control plane (internal/hub):
+// GET /status (JSON snapshot), GET /metrics (Prometheus), GET /topology
+// (ring walk), GET /traces/sample, GET /events (server-sent event stream),
+// and the POST /admin/{drain,undrain,rebalance} and
+// POST /admin/{split,merge}/{group} verbs.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"clash/internal/chord"
+	"clash/internal/hub"
 	"clash/internal/load"
 	"clash/internal/overlay"
 )
@@ -102,22 +104,25 @@ func run(addr, join, statusAddr string, keyBits, spaceBits int, capacity float64
 
 	var statusSrv *http.Server
 	if statusAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(node.Status()); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		statusSrv = &http.Server{Addr: statusAddr, Handler: mux}
+		// The control-plane server is hardened against slow or hostile
+		// clients: bounded header reads, bounded request reads, an idle
+		// keep-alive cap and a small header limit. No WriteTimeout — the
+		// /events stream is long-lived and manages its own per-write
+		// deadlines through http.ResponseController.
+		statusSrv = &http.Server{
+			Addr:              statusAddr,
+			Handler:           hub.New(node).Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    1 << 16,
+		}
 		go func() {
 			if err := statusSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("clashd %s: status server: %v", node.Addr(), err)
+				log.Printf("clashd %s: control-plane server: %v", node.Addr(), err)
 			}
 		}()
-		log.Printf("clashd %s: status at http://%s/status", node.Addr(), statusAddr)
+		log.Printf("clashd %s: control plane at http://%s/ (status, metrics, topology, traces, events, admin)", node.Addr(), statusAddr)
 	}
 
 	done := make(chan struct{})

@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	"clash/internal/bitkey"
 	"clash/internal/chord"
 	"clash/internal/cq"
+	"clash/internal/hub"
 	"clash/internal/load"
 	"clash/internal/metrics"
 	"clash/internal/overlay"
@@ -107,6 +109,8 @@ func main() {
 		loss      = flag.Float64("loss", 0, "per-message loss probability injected under -inproc")
 		replicas  = flag.Int("replicas", 0, "key-group replication factor under -inproc (0 = default 2, negative disables)")
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
+		metricsAd = flag.String("metrics-addr", "", "serve the driver's Prometheus metrics at this HTTP address during the run")
+		traceEv   = flag.Int("trace-every", 0, "sample every Nth published packet with a request trace (0 disables)")
 		dialTO    = flag.Duration("dial-timeout", 0, "TCP connect timeout for outbound connections (0 = default 3s; TCP mode only)")
 		callTO    = flag.Duration("call-timeout", 0, "per-call reply deadline (0 = default 10s; TCP mode only)")
 		idleTO    = flag.Duration("idle-timeout", 0, "idle time before pooled connections close (0 = default 5m; TCP mode only)")
@@ -116,7 +120,7 @@ func main() {
 	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
 	tcpCfg := overlay.TCPConfig{DialTimeout: *dialTO, CallTimeout: *callTO, IdleTimeout: *idleTO}
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, tcpCfg); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, *metricsAd, *traceEv, tcpCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -135,7 +139,7 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out string, tcpCfg overlay.TCPConfig) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out, metricsAddr string, traceEvery int, tcpCfg overlay.TCPConfig) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -219,6 +223,44 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		return err
 	}
 	defer client.Close()
+
+	// Observability: -metrics-addr serves the driver's own registry (client
+	// transport counters plus, under -trace-every, the per-stage trace
+	// histograms); -trace-every stamps every Nth publish with a trace id. In
+	// inproc mode the trace store doubles as the nodes' observer, so the
+	// server-side stage timings land in this process; in TCP mode they land
+	// on the serving nodes' hubs instead.
+	var reg *metrics.Registry
+	if metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		frames := reg.CounterVec("clashload_transport_frames_total", "Client wire frames by direction.", "dir")
+		bytes := reg.CounterVec("clashload_transport_bytes_total", "Client wire bytes by direction.", "dir")
+		inFlight := reg.Gauge("clashload_transport_in_flight", "Client calls awaiting a reply.")
+		reg.OnCollect(func() {
+			ts := clientTr.Stats()
+			frames.With("in").Set(ts.FramesIn)
+			frames.With("out").Set(ts.FramesOut)
+			bytes.With("in").Set(ts.BytesIn)
+			bytes.With("out").Set(ts.BytesOut)
+			inFlight.Set(float64(ts.InFlight))
+		})
+		msrv := &http.Server{Addr: metricsAddr, Handler: reg, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "clashload: metrics server:", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("clashload: metrics at http://%s/metrics\n", metricsAddr)
+	}
+	var traces *hub.Traces
+	if traceEvery > 0 {
+		client.SetTraceEvery(traceEvery)
+		traces = hub.NewTraces(0, reg)
+		for _, n := range nodes {
+			n.SetObserver(traces)
+		}
+	}
 
 	// Count pushed match notifications in the background.
 	var pushed int64
@@ -387,6 +429,19 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 	fmt.Printf("  transport: frames in=%d out=%d bytes in=%d out=%d in-flight=%d reconnects=%d oversized=%d\n",
 		ts.FramesIn, ts.FramesOut, ts.BytesIn, ts.BytesOut, ts.InFlight, ts.Reconnects, ts.OversizedDrops)
 	fmt.Printf("  resilience: timeouts=%d retries=%d shed=%d\n", ts.Timeouts, ts.Retries, ts.Shed)
+	if traces != nil {
+		if stages := traces.StageSummaries(); len(stages) > 0 {
+			var parts []string
+			for _, st := range []string{overlay.TraceStageRoute, overlay.TraceStageResolve, overlay.TraceStageMatch, overlay.TraceStageDeliver} {
+				if s, ok := stages[st]; ok {
+					parts = append(parts, fmt.Sprintf("%s p50=%.0f p99=%.0f n=%d", st, s.P50, s.P99, s.Count))
+				}
+			}
+			fmt.Printf("  trace stages µs: %s (%d records)\n", strings.Join(parts, " | "), traces.Count())
+		} else if inproc <= 0 {
+			fmt.Printf("  trace stages: recorded on the serving nodes' hubs (/traces/sample)\n")
+		}
+	}
 	for _, n := range res.Nodes {
 		fmt.Printf("  node %s: groups=%d splits=%d merges=%d accepted=%d released=%d\n",
 			n.Addr, len(n.ActiveGroups), n.Splits, n.Merges, n.Accepted, n.Released)

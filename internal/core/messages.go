@@ -59,6 +59,13 @@ type AcceptObjectMsg struct {
 	// Payload is the opaque application object (a serialised query or data
 	// record).
 	Payload []byte `json:"payload,omitempty"`
+	// TraceID is the request-tracing context: a non-zero value marks this
+	// object as sampled, and every server on its path records per-stage
+	// timings under the ID (overlay trace plumbing, clashd /traces/sample).
+	// Zero means untraced. Appended after the original fields per the
+	// wire-evolution rule, so pre-trace peers interoperate: an old decoder
+	// ignores the trailing field, an old encoder yields TraceID 0.
+	TraceID uint64 `json:"traceId,omitempty"`
 }
 
 // ObjectKind distinguishes the two object classes the paper stores in the

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -608,6 +609,26 @@ func (s *Server) PlanMerges(mergeThreshold float64, now time.Time) []MergePropos
 		return out[i].Parent.Prefix.Compare(out[j].Parent.Prefix) < 0
 	})
 	return out
+}
+
+// ProposeMerge builds the consolidation proposal for one specific parent
+// entry regardless of load — the admin force-merge path. It fails when the
+// pair is not structurally mergeable: the parent is still an active leaf, the
+// right child was split further, the left leaf lives elsewhere, or a remote
+// right holder has not reported recently enough for its identity to be
+// trusted.
+func (s *Server) ProposeMerge(parent bitkey.Group, now time.Time) (MergeProposal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.table.get(parent)
+	if !ok {
+		return MergeProposal{}, fmt.Errorf("%w: %v", ErrUnknownGroup, parent)
+	}
+	prop, ok := s.mergeCandidateLocked(e, math.MaxFloat64, now)
+	if !ok {
+		return MergeProposal{}, fmt.Errorf("%w: %v", ErrCannotMerge, parent)
+	}
+	return prop, nil
 }
 
 func (s *Server) mergeCandidateLocked(e *Entry, mergeThreshold float64, now time.Time) (MergeProposal, bool) {

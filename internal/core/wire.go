@@ -44,22 +44,32 @@ func checkKey(value uint64, bits int) error {
 	return nil
 }
 
-// MarshalWire appends the binary encoding of m to b.
+// MarshalWire appends the binary encoding of m to b. TraceID is appended
+// after the original fields (append-only evolution: an old reader ignores
+// it). The zero value is encoded too — within a batch the objects travel as
+// length-prefixed records, so a trailing field cannot simply be omitted
+// without making the record length ambiguous for mixed-version readers.
 func (m *AcceptObjectMsg) MarshalWire(b []byte) []byte {
 	b = appendKey(b, m.KeyValue, m.KeyBits)
 	b = wirecodec.AppendInt(b, m.Depth)
 	b = wirecodec.AppendInt(b, int(m.Kind))
-	return wirecodec.AppendBytes(b, m.Payload)
+	b = wirecodec.AppendBytes(b, m.Payload)
+	return wirecodec.AppendUvarint(b, m.TraceID)
 }
 
 // UnmarshalWire decodes the binary encoding produced by MarshalWire.
-// The Payload aliases data.
+// The Payload aliases data. A frame from an old writer carries no trace
+// field; it decodes as TraceID 0 (untraced).
 func (m *AcceptObjectMsg) UnmarshalWire(data []byte) error {
 	r := wirecodec.NewReader(data)
 	m.KeyValue, m.KeyBits = readKey(r)
 	m.Depth = r.Int()
 	m.Kind = ObjectKind(r.Int())
 	m.Payload = r.Bytes()
+	m.TraceID = 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.TraceID = r.Uvarint()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}

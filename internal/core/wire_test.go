@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"clash/internal/wirecodec"
 )
 
 func TestAcceptObjectMsgWireRoundTrip(t *testing.T) {
@@ -151,6 +153,72 @@ func TestWireAppendStyle(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, m) {
 		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestAcceptObjectMsgTraceIDWire(t *testing.T) {
+	// Round trip with the appended trace-id field.
+	m := AcceptObjectMsg{KeyValue: 0b1100, KeyBits: 16, Depth: 4, Kind: ObjectData,
+		Payload: []byte("pkt"), TraceID: 0xDEADBEEF}
+	var got AcceptObjectMsg
+	if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+
+	// New decoder, old encoder: a frame hand-built in the pre-trace layout
+	// (key, depth, kind, length-prefixed payload — the PR 6 wire shape)
+	// decodes with TraceID 0.
+	old := appendKey(nil, m.KeyValue, m.KeyBits)
+	old = append(old, byte(m.Depth))
+	old = append(old, byte(m.Kind))
+	old = append(old, byte(len(m.Payload)))
+	old = append(old, m.Payload...)
+	var legacy AcceptObjectMsg
+	if err := legacy.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if legacy.TraceID != 0 {
+		t.Errorf("legacy frame decoded TraceID %d, want 0", legacy.TraceID)
+	}
+	if legacy.Depth != m.Depth || legacy.Kind != m.Kind || !bytes.Equal(legacy.Payload, m.Payload) {
+		t.Errorf("legacy decode = %+v, want pre-trace fields of %+v", legacy, m)
+	}
+
+	// Old decoder, new encoder: a PR 6-era reader stops after the payload and
+	// ignores the trailing trace bytes (the documented evolution contract).
+	// Emulate it field by field over the new encoding.
+	enc := m.MarshalWire(nil)
+	r := wirecodec.NewReader(enc)
+	oldKeyBits := r.Int()
+	oldKeyValue := r.Uvarint()
+	oldDepth := r.Int()
+	oldKind := ObjectKind(r.Int())
+	oldPayload := r.Bytes()
+	if err := r.Err(); err != nil {
+		t.Fatalf("old-shape decode of new frame: %v", err)
+	}
+	if oldKeyValue != m.KeyValue || oldKeyBits != m.KeyBits || oldDepth != m.Depth ||
+		oldKind != m.Kind || !bytes.Equal(oldPayload, m.Payload) {
+		t.Errorf("old-shape decode got (%d,%d,%d,%d,%q)", oldKeyValue, oldKeyBits, oldDepth, oldKind, oldPayload)
+	}
+	if r.Len() == 0 {
+		t.Error("new encoding carries no trailing trace bytes to ignore")
+	}
+
+	// The same holds through the batch nesting: objects travel as
+	// length-prefixed records, so an old reader skips a traced object's
+	// appended field via the record length.
+	batch := AcceptBatchMsg{Objects: []AcceptObjectMsg{m, {KeyValue: 1, KeyBits: 8, Depth: 1, Kind: ObjectQuery}}}
+	var gotBatch AcceptBatchMsg
+	if err := gotBatch.UnmarshalWire(batch.MarshalWire(nil)); err != nil {
+		t.Fatalf("batch with traced object: %v", err)
+	}
+	if gotBatch.Objects[0].TraceID != m.TraceID || gotBatch.Objects[1].TraceID != 0 {
+		t.Errorf("batch trace ids = %d, %d; want %d, 0",
+			gotBatch.Objects[0].TraceID, gotBatch.Objects[1].TraceID, m.TraceID)
 	}
 }
 

@@ -1,0 +1,136 @@
+package hub
+
+import (
+	"sync"
+
+	"clash/internal/metrics"
+	"clash/internal/overlay"
+)
+
+// tracesCapacity bounds the sample ring served by /traces/sample.
+const tracesCapacity = 256
+
+// Traces stores sampled request traces: a bounded ring of the most recent
+// TraceRecords plus per-stage latency histograms. It implements
+// overlay.Observer (events are ignored) so it can also be installed
+// standalone — clashload attaches one directly to its in-process nodes to
+// report a per-stage latency summary without running a hub.
+type Traces struct {
+	// hist is the Prometheus view of the per-stage latencies (seconds);
+	// absent when constructed without a registry.
+	hist   metrics.HistogramVec
+	bound  bool
+	mu     sync.Mutex
+	ring   []overlay.TraceRecord
+	next   int
+	full   bool
+	count  uint64
+	stages map[string]*metrics.LatencyHist
+}
+
+// NewTraces creates a trace store keeping the last capacity records
+// (<= 0 selects the default). With a non-nil registry, stage observations
+// also feed the clash_trace_stage_seconds histogram family.
+func NewTraces(capacity int, reg *metrics.Registry) *Traces {
+	if capacity <= 0 {
+		capacity = tracesCapacity
+	}
+	t := &Traces{
+		ring:   make([]overlay.TraceRecord, capacity),
+		stages: make(map[string]*metrics.LatencyHist),
+	}
+	if reg != nil {
+		t.hist = reg.HistogramVec("clash_trace_stage_seconds",
+			"Per-stage latency of sampled publish requests.",
+			metrics.ExpBuckets(1e-6, 4, 11), "stage")
+		t.bound = true
+	}
+	return t
+}
+
+// OnEvent implements overlay.Observer; Traces ignores protocol events.
+func (t *Traces) OnEvent(overlay.Event) {}
+
+// OnTrace stores one completed trace record.
+func (t *Traces) OnTrace(rec overlay.TraceRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.count++
+	t.mu.Unlock()
+}
+
+// OnTraceStage records one stage observation (microseconds).
+func (t *Traces) OnTraceStage(stage string, micros int64) {
+	t.mu.Lock()
+	h := t.stages[stage]
+	if h == nil {
+		h = metrics.NewLatencyHist()
+		t.stages[stage] = h
+	}
+	h.Record(micros)
+	t.mu.Unlock()
+	if t.bound {
+		t.hist.With(stage).Observe(float64(micros) / 1e6)
+	}
+}
+
+// TraceSample is the /traces/sample document: per-stage latency summaries
+// (microseconds) and the most recent records, newest first.
+type TraceSample struct {
+	// Count is the total number of trace records observed (not just retained).
+	Count uint64 `json:"count"`
+	// Stages maps stage name to its latency summary in microseconds.
+	Stages map[string]metrics.Summary `json:"stages"`
+	Recent []overlay.TraceRecord      `json:"recent"`
+}
+
+// Sample snapshots the store: stage summaries plus up to limit recent
+// records, newest first (<= 0 returns all retained records).
+func (t *Traces) Sample(limit int) TraceSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	s := TraceSample{
+		Count:  t.count,
+		Stages: make(map[string]metrics.Summary, len(t.stages)),
+		Recent: make([]overlay.TraceRecord, 0, limit),
+	}
+	for stage, h := range t.stages {
+		s.Stages[stage] = h.Summary()
+	}
+	// Walk backwards from the most recent write.
+	for i := 0; i < limit; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		s.Recent = append(s.Recent, t.ring[idx])
+	}
+	return s
+}
+
+// StageSummaries returns the per-stage latency summaries (microseconds).
+func (t *Traces) StageSummaries() map[string]metrics.Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]metrics.Summary, len(t.stages))
+	for stage, h := range t.stages {
+		out[stage] = h.Summary()
+	}
+	return out
+}
+
+// Count returns the total number of trace records observed.
+func (t *Traces) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}

@@ -148,23 +148,23 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-// Histogram counts occurrences per integer bucket (e.g. key frequency per
+// IntHistogram counts occurrences per integer bucket (e.g. key frequency per
 // 8-bit base value in Figure 3).
-type Histogram struct {
+type IntHistogram struct {
 	Name    string
 	buckets []int64
 }
 
-// NewHistogram creates a histogram with the given number of buckets.
-func NewHistogram(name string, buckets int) *Histogram {
+// NewIntHistogram creates a histogram with the given number of buckets.
+func NewIntHistogram(name string, buckets int) *IntHistogram {
 	if buckets < 1 {
 		buckets = 1
 	}
-	return &Histogram{Name: name, buckets: make([]int64, buckets)}
+	return &IntHistogram{Name: name, buckets: make([]int64, buckets)}
 }
 
 // Add increments bucket i (out-of-range adds are clamped to the edges).
-func (h *Histogram) Add(i int) {
+func (h *IntHistogram) Add(i int) {
 	if i < 0 {
 		i = 0
 	}
@@ -175,14 +175,14 @@ func (h *Histogram) Add(i int) {
 }
 
 // Buckets returns a copy of the bucket counts.
-func (h *Histogram) Buckets() []int64 {
+func (h *IntHistogram) Buckets() []int64 {
 	out := make([]int64, len(h.buckets))
 	copy(out, h.buckets)
 	return out
 }
 
 // Total returns the total number of samples recorded.
-func (h *Histogram) Total() int64 {
+func (h *IntHistogram) Total() int64 {
 	var sum int64
 	for _, c := range h.buckets {
 		sum += c
@@ -191,7 +191,7 @@ func (h *Histogram) Total() int64 {
 }
 
 // MaxBucket returns the index and count of the fullest bucket.
-func (h *Histogram) MaxBucket() (int, int64) {
+func (h *IntHistogram) MaxBucket() (int, int64) {
 	bestI, bestC := 0, int64(0)
 	for i, c := range h.buckets {
 		if c > bestC {
@@ -204,7 +204,7 @@ func (h *Histogram) MaxBucket() (int, int64) {
 // SkewRatio returns max bucket count divided by the mean bucket count — a
 // simple measure of how skewed the distribution is (1.0 means perfectly
 // uniform).
-func (h *Histogram) SkewRatio() float64 {
+func (h *IntHistogram) SkewRatio() float64 {
 	total := h.Total()
 	if total == 0 {
 		return 0

@@ -76,8 +76,8 @@ func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram("keys", 4)
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram("keys", 4)
 	for i := 0; i < 10; i++ {
 		h.Add(1)
 	}
@@ -99,10 +99,10 @@ func TestHistogram(t *testing.T) {
 	if got := h.SkewRatio(); math.Abs(got-10/3.25) > 1e-9 {
 		t.Errorf("SkewRatio = %g", got)
 	}
-	if NewHistogram("tiny", 0) == nil {
+	if NewIntHistogram("tiny", 0) == nil {
 		t.Error("zero-bucket histogram should be coerced, not nil")
 	}
-	empty := NewHistogram("e", 3)
+	empty := NewIntHistogram("e", 3)
 	if empty.SkewRatio() != 0 {
 		t.Error("empty histogram skew should be 0")
 	}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRenderAndLint(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("clash_splits_total", "Total key-group splits.")
+	c.Add(3)
+	cv := r.CounterVec("clash_objects_total", "Objects by status.", "status")
+	cv.With("ok").Add(10)
+	cv.With("wrong").Inc()
+	g := r.Gauge("clash_load_total", "Node load fraction.")
+	g.Set(0.75)
+	gv := r.GaugeVec("clash_group_load", "Per-group load.", "group")
+	gv.With(`0"1\`).Set(1.5)
+	h := r.HistogramVec("clash_trace_stage_seconds", "Per-stage latency.", ExpBuckets(0.0001, 4, 6), "stage")
+	h.With("route").Observe(0.0002)
+	h.With("route").Observe(0.5)
+	h.With("match").Observe(0.001)
+	r.OnCollect(func() { g.Set(0.9) })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE clash_splits_total counter",
+		"clash_splits_total 3",
+		`clash_objects_total{status="ok"} 10`,
+		`clash_objects_total{status="wrong"} 1`,
+		"clash_load_total 0.9", // collector ran at render time
+		`clash_group_load{group="0\"1\\"} 1.5`,
+		`clash_trace_stage_seconds_bucket{stage="route",le="+Inf"} 2`,
+		`clash_trace_stage_seconds_count{stage="route"} 2`,
+		`clash_trace_stage_seconds_count{stage="match"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "clash_group_load") > strings.Index(out, "clash_load_total") {
+		t.Error("families not sorted by name")
+	}
+	// The registry's own output must pass the lint checker.
+	if errs := LintPrometheus(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("self-lint failed: %v", errs)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "test", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="2"} 2`,
+		`h_seconds_bucket{le="4"} 3`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		`h_seconds_count 4`,
+		`h_seconds_sum 105`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+	if errs := LintPrometheus(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "t")
+	h := r.Histogram("h_seconds", "t", ExpBuckets(0.001, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 0.001)
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestGaugeVecReset(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("g", "t", "k")
+	gv.With("a").Set(1)
+	gv.With("b").Set(2)
+	gv.Reset()
+	gv.With("c").Set(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `k="a"`) || strings.Contains(out, `k="b"`) {
+		t.Errorf("reset children still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `g{k="c"} 3`) {
+		t.Errorf("missing post-reset child:\n%s", out)
+	}
+}
+
+func TestLintCatchesBrokenExpositions(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample": "no_type_metric 1\n",
+		"bad name":          "# TYPE 9bad counter\n",
+		"bad value":         "# TYPE m counter\nm notanumber\n",
+		"negative counter":  "# TYPE m counter\nm -5\n",
+		"duplicate type":    "# TYPE m counter\n# TYPE m gauge\nm 1\n",
+		"unknown type":      "# TYPE m widget\nm 1\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+		"missing inf bucket": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\n" + "h_sum 1\nh_count 5\n",
+		"unterminated labels": "# TYPE m gauge\nm{k=\"v 1\n",
+	}
+	for name, input := range cases {
+		if errs := LintPrometheus(strings.NewReader(input)); len(errs) == 0 {
+			t.Errorf("%s: lint found no errors in %q", name, input)
+		}
+	}
+	clean := "# HELP m help text\n# TYPE m gauge\n" + `m{k="v"} ` + "1\nm 2.5 1700000000\n"
+	if errs := LintPrometheus(strings.NewReader(clean)); len(errs) != 0 {
+		t.Errorf("clean input flagged: %v", errs)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "t")
+	g.Set(1)
+	g.Add(0.5)
+	g.Add(-2)
+	if got := g.Value(); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("gauge = %v, want -0.5", got)
+	}
+}

@@ -69,10 +69,13 @@ func TestSetCapsSeriesLength(t *testing.T) {
 		s.Observe("x", float64(i), float64(i))
 	}
 	ts := s.Get("x")
-	if ts.Len() > SetMaxPoints {
-		t.Fatalf("series grew to %d points, cap is %d", ts.Len(), SetMaxPoints)
+	if ts.Len() != SetMaxPoints {
+		t.Fatalf("series has %d points, want exactly %d", ts.Len(), SetMaxPoints)
 	}
-	// The newest samples survive the trimming.
+	// The ring window keeps exactly the newest SetMaxPoints samples.
+	if got := ts.Points[0].Value; got != float64(2*SetMaxPoints) {
+		t.Errorf("oldest retained value = %v, want %v", got, 2*SetMaxPoints)
+	}
 	if got := ts.Last().Value; got != float64(3*SetMaxPoints-1) {
 		t.Errorf("last value = %v, want %v", got, 3*SetMaxPoints-1)
 	}

@@ -1,0 +1,110 @@
+package overlay
+
+import (
+	"fmt"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/core"
+)
+
+// Admin verbs: the node-internals API the control-plane hub (internal/hub)
+// exposes over HTTP. Each verb is safe to call concurrently with the
+// maintenance loop — they reuse the same split/merge/transfer machinery the
+// load check drives.
+
+// Drain puts the node into drain mode and runs one drain pass immediately,
+// returning how many groups it moved off. While draining, every load check
+// repeats the pass (instead of the DHT reconciliation) and splitting is
+// suspended; the node still accepts inbound transfers — refusing them would
+// make senders drop state — and re-drains whatever arrives. Drain is meant to
+// precede a shutdown: as long as the node stays in the ring, peers' own
+// reconciliation may hand its key ranges back.
+func (n *Node) Drain() int {
+	if n.draining.CompareAndSwap(false, true) {
+		n.emit(Event{Type: EventDrain, Detail: "begin"})
+	}
+	return n.drainStep()
+}
+
+// Undrain returns the node to normal operation.
+func (n *Node) Undrain() { n.draining.Store(false) }
+
+// Draining reports whether the node is in drain mode.
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// drainStep pushes every active group off this node: to its DHT owner when
+// that is another node, otherwise to the first live successor. Returns how
+// many groups left.
+func (n *Node) drainStep() int {
+	self := core.ServerID(n.Addr())
+	var fallback core.ServerID
+	for _, s := range n.chord.Successors() {
+		if s.Addr != "" && s.Addr != n.Addr() && n.susp.state(s.Addr) != chord.PeerDead {
+			fallback = core.ServerID(s.Addr)
+			break
+		}
+	}
+	moved := 0
+	for _, e := range n.server.Entries() {
+		if !e.Active {
+			continue
+		}
+		owner := fallback
+		if vk, err := e.Group.VirtualKey(n.cfg.KeyBits); err == nil {
+			if o, merr := n.mapGroup(vk); merr == nil && o != core.NoServer && o != self {
+				owner = o
+			}
+		}
+		if owner == core.NoServer || owner == "" || owner == self {
+			continue
+		}
+		moved += n.transferGroup(e, owner)
+	}
+	if moved > 0 {
+		n.emit(Event{Type: EventDrain, Detail: fmt.Sprintf("moved groups=%d", moved)})
+	}
+	return moved
+}
+
+// ForceSplit splits one active group regardless of load (admin verb). The
+// resulting transfer is delivered like any overload split.
+func (n *Node) ForceSplit(g bitkey.Group) error {
+	return n.splitGroup(g)
+}
+
+// ForceMerge consolidates the children of parent regardless of load (admin
+// verb): the coldness checks are skipped, but every structural precondition —
+// parent inactive, left leaf local and active, a known right holder — still
+// applies. The reclaim itself runs the standard RELEASE_KEYGROUP machinery;
+// a transport failure parks it for retry like any consolidation.
+func (n *Node) ForceMerge(parent bitkey.Group) error {
+	now := n.cfg.Clock.Now()
+	prop, err := n.server.ProposeMerge(parent, now)
+	if err != nil {
+		return err
+	}
+	n.reclaim(pendingReclaim{prop: prop}, now)
+	return nil
+}
+
+// Rebalance runs one DHT ownership reconciliation immediately (admin verb)
+// and returns how many groups were re-homed.
+func (n *Node) Rebalance() int {
+	if n.draining.Load() {
+		return n.drainStep()
+	}
+	return n.reconcileOwnership()
+}
+
+// TransportStats exposes the node transport's counters for the hub's metric
+// collectors.
+func (n *Node) TransportStats() TransportStats { return n.tr.Stats() }
+
+// SuspicionTable exposes the failure detector's per-peer snapshot for the
+// hub's metric collectors.
+func (n *Node) SuspicionTable() map[string]SuspicionStat { return n.susp.snapshot() }
+
+// GroupLoads exposes the per-group load fractions from the last load check,
+// keyed by group label, for the hub's metric collectors.
+func (n *Node) GroupLoads() map[string]float64 { return n.server.GroupLoads() }

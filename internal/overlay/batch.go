@@ -85,6 +85,7 @@ func (c *Client) sendBatch(srv core.ServerID, idx []int, groups []bitkey.Group, 
 			Depth:    groups[j].Depth(),
 			Kind:     core.ObjectData,
 			Payload:  payloadBufs[j],
+			TraceID:  c.nextTraceID(),
 		}
 	}
 	var reply core.AcceptBatchReplyMsg

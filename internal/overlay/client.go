@@ -46,6 +46,13 @@ type Client struct {
 	seedIdx   atomic.Int64
 	drops     atomic.Int64
 	matches   chan Match
+
+	// traceEvery samples every Nth delivered object for request tracing
+	// (SetTraceEvery; 0 disables). traceSalt distinguishes this client's
+	// trace IDs from other publishers'.
+	traceEvery atomic.Int64
+	traceSeq   atomic.Uint64
+	traceSalt  uint64
 }
 
 // NewClient creates a client that reaches the overlay through the given seed
@@ -59,15 +66,40 @@ func NewClient(tr Transport, keyBits int, space chord.Space, seeds ...string) (*
 		return nil, fmt.Errorf("overlay: client needs at least one seed address")
 	}
 	c := &Client{
-		tr:      tr,
-		keyBits: keyBits,
-		space:   space,
-		seeds:   append([]string(nil), seeds...),
-		router:  core.NewRouter(keyBits),
-		matches: make(chan Match, matchBuffer),
+		tr:        tr,
+		keyBits:   keyBits,
+		space:     space,
+		seeds:     append([]string(nil), seeds...),
+		router:    core.NewRouter(keyBits),
+		matches:   make(chan Match, matchBuffer),
+		traceSalt: uint64(space.HashString(tr.Addr())) << 32,
 	}
 	tr.SetHandler(c.handle)
 	return c, nil
+}
+
+// SetTraceEvery samples every Nth delivered object for request tracing: the
+// sampled object carries a non-zero trace ID in its ACCEPT_OBJECT frames, and
+// every server on its path records per-stage timings under the ID (surfaced
+// by the hub's /traces/sample). n <= 0 disables sampling (the default).
+func (c *Client) SetTraceEvery(n int) { c.traceEvery.Store(int64(n)) }
+
+// nextTraceID draws the trace ID for one delivered object: zero (untraced)
+// except on every traceEvery-th call.
+func (c *Client) nextTraceID() uint64 {
+	every := c.traceEvery.Load()
+	if every <= 0 {
+		return 0
+	}
+	seq := c.traceSeq.Add(1)
+	if seq%uint64(every) != 0 {
+		return 0
+	}
+	id := c.traceSalt ^ seq
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Matches returns the channel match notifications are delivered on.
@@ -146,13 +178,15 @@ func decodeAccept(reply *core.AcceptObjectReplyMsg) (core.AcceptObjectResult, er
 }
 
 // acceptObject sends one ACCEPT_OBJECT request and decodes the reply.
-func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
+// traceID, when non-zero, marks the object as sampled for request tracing.
+func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte, traceID uint64) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
 	req := core.AcceptObjectMsg{
 		KeyValue: key.Value,
 		KeyBits:  key.Bits,
 		Depth:    depth,
 		Kind:     kind,
 		Payload:  payload,
+		TraceID:  traceID,
 	}
 	var reply core.AcceptObjectReplyMsg
 	if err := call(c.tr, addr, TypeAcceptObject, &req, &reply); err != nil {
@@ -186,10 +220,15 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 	if key.Bits != c.keyBits {
 		return nil, fmt.Errorf("%w: key %d bits, want %d", core.ErrBadKey, key.Bits, c.keyBits)
 	}
+	// One trace ID covers the whole delivery: every probe of a sampled
+	// object carries it, so the resolve hops and the final landing are
+	// recorded under the same ID.
+	traceID := c.nextTraceID()
+
 	// Fast path: cached binding (paper §6 — "simply caches this server
 	// value").
 	if g, srv, ok := c.router.Route(key); ok {
-		res, reply, err := c.acceptObject(string(srv), key, g.Depth(), kind, payload)
+		res, reply, err := c.acceptObject(string(srv), key, g.Depth(), kind, payload, traceID)
 		switch {
 		case err != nil && !IsRemote(err):
 			// The cached server is gone; evict everything it owned.
@@ -225,7 +264,7 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
-		res, reply, err := c.acceptObject(addr, key, d, kind, payload)
+		res, reply, err := c.acceptObject(addr, key, d, kind, payload, traceID)
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
@@ -292,7 +331,7 @@ func (c *Client) Resolve(key bitkey.Key) (core.ResolveResult, error) {
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
-		res, _, err := c.acceptObject(addr, key, d, core.ObjectData, nil)
+		res, _, err := c.acceptObject(addr, key, d, core.ObjectData, nil, 0)
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}

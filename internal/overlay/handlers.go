@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"clash/internal/bitkey"
 	"clash/internal/chord"
@@ -46,6 +47,8 @@ func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 		return n.handleReplicate(payload)
 	case TypeRecoverKeyGroups:
 		return n.handleRecoverKeyGroups(payload)
+	case TypeTopology:
+		return n.handleTopology(payload)
 	case TypeStatus:
 		return json.Marshal(n.Status())
 	default:
@@ -113,6 +116,7 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 	}
 	keys := make([]bitkey.Key, len(req.Objects))
 	depths := make([]int, len(req.Objects))
+	traced := false
 	for i := range req.Objects {
 		o := &req.Objects[i]
 		k, err := bitkey.New(o.KeyValue, o.KeyBits)
@@ -121,8 +125,20 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 		}
 		keys[i] = k
 		depths[i] = o.Depth
+		traced = traced || o.TraceID != 0
+	}
+	var routeStart time.Time
+	if traced = traced && n.obs.get() != nil; traced {
+		routeStart = n.cfg.Clock.Now()
 	}
 	results, errs := n.server.HandleAcceptObjectBatch(keys, depths)
+	var routeMicros int64
+	if traced {
+		// The batch passes the state machine under one lock acquisition, so
+		// a traced object inside it is attributed the whole batch duration
+		// (the time its delivery actually spent in routing).
+		routeMicros = n.cfg.Clock.Now().Sub(routeStart).Microseconds()
+	}
 	out := core.AcceptBatchReplyMsg{Replies: make([]core.AcceptObjectReplyMsg, len(req.Objects))}
 	registeredAny := false
 	for i := range req.Objects {
@@ -130,7 +146,7 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: errs[i].Error()}
 			continue
 		}
-		rep, registered, err := n.applyObject(&req.Objects[i], keys[i], results[i])
+		rep, registered, err := n.applyObject(&req.Objects[i], keys[i], results[i], routeMicros)
 		if err != nil {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: err.Error()}
 			continue
@@ -151,19 +167,33 @@ func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, 
 	if err != nil {
 		return core.AcceptObjectReplyMsg{}, false, err
 	}
+	traced := req.TraceID != 0 && n.obs.get() != nil
+	var routeStart time.Time
+	if traced {
+		routeStart = n.cfg.Clock.Now()
+	}
 	res, err := n.server.HandleAcceptObject(key, req.Depth)
 	if err != nil {
 		return core.AcceptObjectReplyMsg{}, false, err
 	}
-	return n.applyObject(req, key, res)
+	var routeMicros int64
+	if traced {
+		routeMicros = n.cfg.Clock.Now().Sub(routeStart).Microseconds()
+	}
+	return n.applyObject(req, key, res, routeMicros)
 }
 
 // applyObject converts a state-machine result into the wire reply and, when
 // the object landed on the right server, applies its application effect
 // (meter + query match for data, engine registration for queries). The bool
 // reports whether a new continuous query was registered (the caller pushes a
-// replica update when so).
-func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult) (core.AcceptObjectReplyMsg, bool, error) {
+// replica update when so). routeMicros is the state-machine time the caller
+// measured for this object (only meaningful on a traced request).
+func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult, routeMicros int64) (core.AcceptObjectReplyMsg, bool, error) {
+	var obs Observer
+	if req.TraceID != 0 {
+		obs = n.obs.get()
+	}
 	reply := core.AcceptObjectReplyMsg{Status: res.Status}
 	switch res.Status {
 	case core.StatusOK, core.StatusOKCorrected:
@@ -172,10 +202,16 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 		reply.CorrectDepth = res.CorrectDepth
 	case core.StatusIncorrectDepth:
 		reply.DMin = res.DMin
+		if obs != nil {
+			// A redirected probe is a split-resolution hop of the modified
+			// binary search: its state-machine time is the resolve stage.
+			obs.OnTraceStage(TraceStageResolve, routeMicros)
+		}
 		return reply, false, nil
 	}
 
 	registered := false
+	var matchMicros int64
 	switch req.Kind {
 	case core.ObjectData:
 		n.meter.RecordPackets(res.Group.String(), 1)
@@ -186,11 +222,18 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 			}
 		}
 		ev := cq.Event{Key: key, Attrs: data.Attrs, Payload: data.Payload}
+		var matchStart time.Time
+		if obs != nil {
+			matchStart = n.cfg.Clock.Now()
+		}
 		matched := n.engine.Match(ev)
+		if obs != nil {
+			matchMicros = n.cfg.Clock.Now().Sub(matchStart).Microseconds()
+		}
 		for _, q := range matched {
 			reply.Matches = append(reply.Matches, q.ID)
 		}
-		n.pushMatches(matched, ev)
+		n.pushMatches(matched, ev, req.TraceID)
 	case core.ObjectQuery:
 		var st queryState
 		if err := st.UnmarshalWire(req.Payload); err != nil {
@@ -214,6 +257,24 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 			n.mu.Unlock()
 		}
 	}
+	if obs != nil {
+		rec := TraceRecord{
+			TraceID: req.TraceID,
+			TimeMs:  n.cfg.Clock.Now().UnixMilli(),
+			Node:    n.Addr(),
+			Key:     key.String(),
+			Group:   res.Group.String(),
+			Status:  int(res.Status),
+			Matches: len(reply.Matches),
+			Stages:  []TraceStage{{Stage: TraceStageRoute, Micros: routeMicros}},
+		}
+		obs.OnTraceStage(TraceStageRoute, routeMicros)
+		if req.Kind == core.ObjectData {
+			rec.Stages = append(rec.Stages, TraceStage{Stage: TraceStageMatch, Micros: matchMicros})
+			obs.OnTraceStage(TraceStageMatch, matchMicros)
+		}
+		obs.OnTrace(rec)
+	}
 	return reply, registered, nil
 }
 
@@ -223,7 +284,9 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 // single-threaded mode). Deliveries follow the matched order (engine.Match
 // sorts by query ID), so a deterministic transport sees a deterministic
 // message sequence.
-func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
+// traceID, when non-zero, marks the originating publish as sampled: each
+// delivery's round trip is reported as a deliver-stage observation.
+func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
 	if len(matched) == 0 {
 		return
 	}
@@ -247,11 +310,19 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event) {
 		deliver := func(sub string, msg *matchMsg) {
 			payload := marshalMsg(msg)
 			defer wirecodec.PutBuf(payload)
+			obs := n.obs.get()
+			var start time.Time
+			if traceID != 0 && obs != nil {
+				start = n.cfg.Clock.Now()
+			}
 			// Match delivery is at-most-once (not idempotent), but the caller
 			// still supplies the data-class deadline and retries a shed — the
 			// handler never ran, so a resend cannot duplicate a notification.
 			if _, err := n.caller.call(sub, TypeMatch, payload); err != nil {
 				atomic.AddInt64(&n.matchDrops, 1)
+			}
+			if traceID != 0 && obs != nil {
+				obs.OnTraceStage(TraceStageDeliver, n.cfg.Clock.Now().Sub(start).Microseconds())
 			}
 		}
 		if n.cfg.InlineMatchPush {

@@ -3,6 +3,7 @@ package overlay
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -139,6 +140,11 @@ type Node struct {
 	series *metrics.Set
 	start  time.Time
 
+	// obs is the installed control-plane observer (SetObserver); draining
+	// marks the node in admin drain mode (Drain/Undrain).
+	obs      observerRef
+	draining atomic.Bool
+
 	// repMu serialises replica snapshot+version assignment (replicate), so
 	// concurrent pushes can't stamp an older snapshot with a newer version.
 	// Lock order: repMu before mu; never the reverse.
@@ -206,8 +212,21 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 		incarnation: uint64(cfg.Clock.Now().UnixNano()),
 	}
 	// Replicas follow ring churn: whenever the successor list changes, the
-	// current snapshot is re-pushed so the new first-k successors hold it.
-	n.chord.SetSuccessorsListener(func([]chord.NodeRef) { n.replicate() })
+	// current snapshot is re-pushed so the new first-k successors hold it
+	// (and the churn is reported on the event stream).
+	n.chord.SetSuccessorsListener(func(refs []chord.NodeRef) {
+		ev := Event{Type: EventRingChange, Detail: fmt.Sprintf("successors=%d", len(refs))}
+		if len(refs) > 0 {
+			ev.Peer = refs[0].Addr
+		}
+		n.emit(ev)
+		n.replicate()
+	})
+	// Failure-detector verdict transitions surface as events too.
+	susp.onVerdict = func(addr string, prior, cur chord.PeerState) {
+		n.emit(Event{Type: EventSuspicion, Peer: addr,
+			Detail: verdictString(prior) + "->" + verdictString(cur)})
+	}
 	// The suspicion tracker doubles as chord's health oracle: a suspected
 	// (gray, possibly just slow) successor is kept for the round instead of
 	// dropped on its first failed ping, so one slow peer cannot churn the
@@ -433,7 +452,15 @@ func (n *Node) LoadCheck(now time.Time) {
 	n.recoverFromReplicas()
 	n.retryPending()
 	n.requeueOrphans()
-	n.reconcileOwnership()
+	if n.draining.Load() {
+		// Drain mode replaces the DHT reconciliation: every active group is
+		// pushed off this node (to its DHT owner, or the first live successor
+		// when that owner is this node), and splitting is suspended — a
+		// draining node sheds state, it does not grow more.
+		n.drainStep()
+	} else {
+		n.reconcileOwnership()
+	}
 
 	samples := n.meter.Snapshot()
 	for _, g := range n.server.ActiveGroups() {
@@ -442,7 +469,7 @@ func (n *Node) LoadCheck(now time.Time) {
 	ranked := load.Rank(n.cfg.Model, samples)
 	total := n.server.TotalLoad()
 
-	if n.cfg.Thresholds.IsOverloaded(total) {
+	if !n.draining.Load() && n.cfg.Thresholds.IsOverloaded(total) {
 		n.trySplit()
 	}
 	n.sendLoadReports()
@@ -501,14 +528,23 @@ func (n *Node) trySplit() {
 	if !ok {
 		return
 	}
+	// ErrMaxDepth / ErrSplitExhausted / DHT failure: nothing left the server;
+	// try again next period.
+	_ = n.splitGroup(g)
+}
+
+// splitGroup splits one active group and delivers the resulting
+// ACCEPT_KEYGROUP transfer. It is the shared body of the overload path
+// (trySplit) and the admin verb (ForceSplit).
+func (n *Node) splitGroup(g bitkey.Group) error {
 	res, err := n.server.ExecuteSplit(g, n.precomputeSplitTargets(g))
 	if err != nil {
-		// ErrMaxDepth / ErrSplitExhausted / DHT failure: nothing left the
-		// server; try again next period.
-		return
+		return err
 	}
 	n.meter.Drop(res.Split.String())
 	n.resetQueryCount(res.Kept)
+	n.emit(Event{Type: EventSplit, Group: g.String(),
+		Detail: "kept=" + res.Kept.String() + " split=" + res.Split.String()})
 	for _, tr := range res.Transfers {
 		if tr.To == core.ServerID(n.Addr()) {
 			continue
@@ -517,6 +553,7 @@ func (n *Node) trySplit() {
 		// at epoch 1.
 		n.deliverTransfer(pendingTransfer{transfer: tr, queries: n.extractQueries(tr.Group), epoch: 1})
 	}
+	return nil
 }
 
 // extractQueries removes the queries stored in g (with their subscriber
@@ -712,8 +749,9 @@ func (n *Node) OrphanDrops() int64 { return atomic.LoadInt64(&n.orphanDrops) }
 // keeps working. A re-homed left child cannot be merged by its parent (the
 // parent's merge logic needs the left leaf locally); such pairs simply stay
 // split until a future tree-repair pass.
-func (n *Node) reconcileOwnership() {
+func (n *Node) reconcileOwnership() int {
 	self := core.ServerID(n.Addr())
+	moved := 0
 	for _, e := range n.server.Entries() {
 		if !e.Active {
 			continue
@@ -726,50 +764,58 @@ func (n *Node) reconcileOwnership() {
 		if err != nil || owner == self {
 			continue
 		}
-		// Release before sending: a failed release means the snapshot is
-		// stale (a concurrent RELEASE_KEYGROUP or merge already removed the
-		// entry), and sending anyway would make the range active on two
-		// nodes at once. The transfer carries the next ownership epoch, so
-		// the receiving side can drop delayed duplicates of older transfers.
-		epoch := e.Epoch + 1
-		states := n.extractQueries(e.Group)
-		if err := n.server.HandleRelease(e.Group); err != nil {
-			n.installQueries(states)
-			continue
-		}
-		payload, perr := acceptKeyGroupPayload(e.Group, e.Parent, states, epoch)
-		if perr == nil {
-			_, err = n.caller.call(string(owner), TypeAcceptKeyGroup, payload)
-		} else {
-			err = perr
-		}
-		if err != nil {
-			if IsRemote(err) {
-				// The owner refused: its table already covers the range with
-				// finer groups (a stale copy on our side). Do not resurrect
-				// the group here — that is how a range ends up active on two
-				// nodes — just re-home the extracted queries and drop the
-				// meter entry with the group.
-				n.meter.Drop(e.Group.String())
-				n.orphanQueries(states)
-				continue
-			}
-			// Transport failure: take the group back so its range stays
-			// served. If the request did reach the owner (only the reply was
-			// lost), the group is briefly active on both nodes; that is
-			// transient — ownership is deterministic, so the next
-			// reconciliation pass re-runs this transfer with a newer epoch
-			// and the owner's idempotent accept collapses the duplicate.
-			if aerr := n.server.HandleAcceptKeyGroupEpoch(e.Group, e.Parent, epoch); aerr == nil {
-				n.installQueries(states)
-			} else {
-				n.orphanQueries(states)
-			}
-			continue
-		}
-		n.meter.Drop(e.Group.String())
-		n.notifyChildMoved(e.Group, e.Parent, owner)
+		moved += n.transferGroup(e, owner)
 	}
+	return moved
+}
+
+// transferGroup hands one active group (with its query state) to owner via
+// ACCEPT_KEYGROUP and returns 1 when the group left this node (delivered or
+// refused-as-covered), 0 when it stayed. Shared by the DHT reconciliation
+// (reconcileOwnership) and the admin drain (drainStep).
+func (n *Node) transferGroup(e core.Entry, owner core.ServerID) int {
+	// Release before sending: a failed release means the snapshot is
+	// stale (a concurrent RELEASE_KEYGROUP or merge already removed the
+	// entry), and sending anyway would make the range active on two
+	// nodes at once. The transfer carries the next ownership epoch, so
+	// the receiving side can drop delayed duplicates of older transfers.
+	epoch := e.Epoch + 1
+	states := n.extractQueries(e.Group)
+	if err := n.server.HandleRelease(e.Group); err != nil {
+		n.installQueries(states)
+		return 0
+	}
+	payload, err := acceptKeyGroupPayload(e.Group, e.Parent, states, epoch)
+	if err == nil {
+		_, err = n.caller.call(string(owner), TypeAcceptKeyGroup, payload)
+	}
+	if err != nil {
+		if IsRemote(err) {
+			// The owner refused: its table already covers the range with
+			// finer groups (a stale copy on our side). Do not resurrect
+			// the group here — that is how a range ends up active on two
+			// nodes — just re-home the extracted queries and drop the
+			// meter entry with the group.
+			n.meter.Drop(e.Group.String())
+			n.orphanQueries(states)
+			return 1
+		}
+		// Transport failure: take the group back so its range stays
+		// served. If the request did reach the owner (only the reply was
+		// lost), the group is briefly active on both nodes; that is
+		// transient — ownership is deterministic, so the next
+		// reconciliation pass re-runs this transfer with a newer epoch
+		// and the owner's idempotent accept collapses the duplicate.
+		if aerr := n.server.HandleAcceptKeyGroupEpoch(e.Group, e.Parent, epoch); aerr == nil {
+			n.installQueries(states)
+		} else {
+			n.orphanQueries(states)
+		}
+		return 0
+	}
+	n.meter.Drop(e.Group.String())
+	n.notifyChildMoved(e.Group, e.Parent, owner)
+	return 1
 }
 
 // notifyChildMoved tells the parent of a re-homed right child who holds it
@@ -904,6 +950,19 @@ func (n *Node) reclaim(r pendingReclaim, now time.Time) {
 		n.meter.Drop(right.String())
 	}
 	n.resetQueryCount(res.Merged)
+	n.emit(Event{Type: EventMerge, Group: res.Merged.String(), Peer: string(prop.RightHolder)})
+}
+
+// verdictString renders a chord.PeerState for event details.
+func verdictString(s chord.PeerState) string {
+	switch s {
+	case chord.PeerDead:
+		return "dead"
+	case chord.PeerSuspect:
+		return "suspect"
+	default:
+		return "ok"
+	}
 }
 
 // record appends this period's samples to the metrics series: total load,

@@ -1,0 +1,137 @@
+package overlay
+
+import "sync/atomic"
+
+// Control-plane observation: a Node reports protocol events (splits, merges,
+// recoveries, ring changes, suspicion verdicts) and request-trace timings to
+// an installed Observer. The hub (internal/hub) implements Observer and fans
+// the stream out to /events subscribers and the trace store; the simulator
+// installs a counting observer to assert event/counter consistency. With no
+// observer installed (the default) every emit site is a nil check — the data
+// and maintenance paths pay nothing.
+
+// Event types published on the node's event stream.
+const (
+	// EventRingChange reports a successor-list change (ring churn).
+	EventRingChange = "ring-change"
+	// EventSplit reports a key-group split executed on this node.
+	EventSplit = "split"
+	// EventMerge reports a consolidation completed by this node (the parent).
+	EventMerge = "merge"
+	// EventRecovery reports replica promotion (a dead peer's groups restored
+	// here) or a restart pull of the node's own pre-crash state.
+	EventRecovery = "recovery"
+	// EventSuspicion reports a failure-detector verdict transition for a peer
+	// (suspect, dead, or cleared back to ok).
+	EventSuspicion = "suspicion-verdict"
+	// EventDrain reports an admin drain pass moving this node's groups to its
+	// successor.
+	EventDrain = "drain"
+)
+
+// Event is one protocol event. Node fills Node and TimeMs at emit time; Seq
+// is assigned by the consumer's buffer (the hub's ring), not the node.
+type Event struct {
+	Seq    uint64 `json:"seq,omitempty"`
+	TimeMs int64  `json:"timeMs"`
+	Type   string `json:"type"`
+	Node   string `json:"node"`
+	// Group is the key group involved (splits, merges, drains).
+	Group string `json:"group,omitempty"`
+	// Peer is the other node involved (suspicion verdicts, recovery origins).
+	Peer string `json:"peer,omitempty"`
+	// Detail is a human-readable supplement (counts, verdicts, targets).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace stages recorded along a sampled publish path, in path order.
+const (
+	// TraceStageRoute is the server state-machine time for an ACCEPT_OBJECT
+	// probe that landed (OK / OK_CORRECTED).
+	TraceStageRoute = "route"
+	// TraceStageResolve is the state-machine time of a probe answered
+	// INCORRECT_DEPTH — the split-resolution hops of the modified binary
+	// search.
+	TraceStageResolve = "resolve"
+	// TraceStageMatch is the continuous-query engine match time for a data
+	// packet.
+	TraceStageMatch = "match"
+	// TraceStageDeliver is the round trip of one match push to a subscriber.
+	TraceStageDeliver = "deliver"
+)
+
+// TraceStage is one timed stage of a sampled request.
+type TraceStage struct {
+	Stage  string `json:"stage"`
+	Micros int64  `json:"micros"`
+}
+
+// TraceRecord is the server-side record of one sampled ACCEPT_OBJECT: where
+// it landed and how long each stage took. Stages along the path of one
+// object on one node; the per-stage histograms aggregate across records.
+type TraceRecord struct {
+	TraceID uint64 `json:"traceId"`
+	TimeMs  int64  `json:"timeMs"`
+	Node    string `json:"node"`
+	Key     string `json:"key"`
+	Group   string `json:"group,omitempty"`
+	// Status is the numeric accept status (core.StatusOK etc.).
+	Status int `json:"status"`
+	// Matches is how many continuous queries a data packet matched.
+	Matches int          `json:"matches,omitempty"`
+	Stages  []TraceStage `json:"stages"`
+}
+
+// Observer receives a node's event stream and trace records. Implementations
+// must be safe for concurrent use and must not block: emit sites sit on the
+// data path and inside maintenance passes.
+type Observer interface {
+	// OnEvent receives one protocol event.
+	OnEvent(Event)
+	// OnTrace receives the completed record of one sampled request.
+	OnTrace(TraceRecord)
+	// OnTraceStage receives one stage observation (also contained in trace
+	// records; reported separately so per-stage histograms don't require
+	// record parsing, and for async stages like deliver that complete after
+	// the record was cut).
+	OnTraceStage(stage string, micros int64)
+}
+
+// obsHolder wraps the interface for atomic.Pointer storage.
+type obsHolder struct{ o Observer }
+
+// observerRef is the node's observer slot (atomic: SetObserver may race the
+// data path).
+type observerRef struct {
+	p atomic.Pointer[obsHolder]
+}
+
+func (r *observerRef) set(o Observer) {
+	if o == nil {
+		r.p.Store(nil)
+		return
+	}
+	r.p.Store(&obsHolder{o: o})
+}
+
+func (r *observerRef) get() Observer {
+	if h := r.p.Load(); h != nil {
+		return h.o
+	}
+	return nil
+}
+
+// SetObserver installs (or, with nil, removes) the node's observer.
+func (n *Node) SetObserver(o Observer) { n.obs.set(o) }
+
+// emit publishes one event, stamping the node identity and clock. No-op
+// without an observer.
+func (n *Node) emit(ev Event) {
+	o := n.obs.get()
+	if o == nil {
+		return
+	}
+	ev.Node = n.Addr()
+	ev.TimeMs = n.cfg.Clock.Now().UnixMilli()
+	o.OnEvent(ev)
+}

@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -353,7 +354,12 @@ func (n *Node) recoverFromReplicas() {
 		if set == nil {
 			continue
 		}
-		promoted += n.restoreReplicaGroups(set.groups)
+		restored := n.restoreReplicaGroups(set.groups)
+		if restored > 0 {
+			n.emit(Event{Type: EventRecovery, Peer: origin,
+				Detail: fmt.Sprintf("promoted groups=%d", restored)})
+		}
+		promoted += restored
 		// The origin's parked query state (loose records) has no group to
 		// promote under; re-place it through depth resolution.
 		n.orphanQueries(decodeLoose(set.loose))
@@ -440,7 +446,9 @@ func (n *Node) recoverOwnState() {
 	}
 	n.mu.Unlock()
 	n.orphanQueries(decodeLoose(best.Loose))
-	if n.restoreReplicaGroups(best.Groups) > 0 {
+	if restored := n.restoreReplicaGroups(best.Groups); restored > 0 {
+		n.emit(Event{Type: EventRecovery, Peer: n.Addr(),
+			Detail: fmt.Sprintf("restart pull groups=%d", restored)})
 		n.replicate()
 	}
 }

@@ -70,7 +70,7 @@ func (p CallPolicy) withDefaults() CallPolicy {
 func (p CallPolicy) classTimeout(msgType string) time.Duration {
 	switch msgType {
 	case TypePing, TypeFindSuccessor, TypeSuccessor, TypePredecessor,
-		TypeNotify, TypeLoadReport, TypeChildMoved:
+		TypeNotify, TypeLoadReport, TypeChildMoved, TypeTopology:
 		return p.ShortTimeout
 	case TypeAcceptKeyGroup, TypeReplicateKeyGroup, TypeRecoverKeyGroups:
 		return p.BulkTimeout
@@ -98,6 +98,7 @@ var idempotentTypes = map[string]bool{
 	TypeReplicateKeyGroup: true,
 	TypeRecoverKeyGroups:  true,
 	TypeStatus:            true,
+	TypeTopology:          true,
 }
 
 // caller is a node's resilient RPC path: every outbound call picks an

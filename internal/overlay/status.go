@@ -41,6 +41,8 @@ type Status struct {
 	ReplicaGroups  int `json:"replicaGroups"`
 	// MatchDrops counts match notifications that could not be delivered.
 	MatchDrops int64 `json:"matchDrops"`
+	// Draining reports admin drain mode (the node is shedding its groups).
+	Draining bool `json:"draining,omitempty"`
 	// Counters are the cumulative protocol counters.
 	Counters core.Counters `json:"counters"`
 	// Transport are the node transport's frame/byte/connection counters
@@ -86,6 +88,7 @@ func (n *Node) Status() Status {
 		ReplicaOrigins:   repOrigins,
 		ReplicaGroups:    repGroups,
 		MatchDrops:       atomic.LoadInt64(&n.matchDrops),
+		Draining:         n.draining.Load(),
 		Counters:         n.server.Counters(),
 		Transport:        n.tr.Stats(),
 		Suspicion:        n.susp.snapshot(),

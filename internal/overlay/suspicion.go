@@ -72,9 +72,27 @@ type peerStat struct {
 // and after every RPC. It is safe for concurrent use.
 type suspicion struct {
 	now func() time.Time
+	// onVerdict, when set, is invoked after an observation changes a peer's
+	// classification (unknown/suspect/dead) — the node turns these into
+	// suspicion-verdict events. Called outside the mutex; set once at node
+	// construction, before any RPC can run.
+	onVerdict func(addr string, prior, cur chord.PeerState)
 
 	mu    sync.Mutex
 	peers map[string]*peerStat
+}
+
+// classify derives a peer's verdict from its current evidence (the TTL-free
+// core of state; verdict transitions report what the evidence says now, and
+// staleness is a read-side concern).
+func classify(p *peerStat) chord.PeerState {
+	if p == nil || p.fails == 0 {
+		return chord.PeerUnknown
+	}
+	if p.hard || p.grayFails >= suspicionDeadAfter {
+		return chord.PeerDead
+	}
+	return chord.PeerSuspect
 }
 
 func newSuspicion(now func() time.Time) *suspicion {
@@ -97,8 +115,8 @@ func (s *suspicion) observeSuccess(addr string, rtt time.Duration) {
 		rtt = 0
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p := s.peer(addr)
+	prior := classify(p)
 	if p.ewmaRTT == 0 {
 		p.ewmaRTT = rtt
 	} else {
@@ -108,6 +126,12 @@ func (s *suspicion) observeSuccess(addr string, rtt time.Duration) {
 	p.grayFails = 0
 	p.hard = false
 	p.lastOK = s.now()
+	cur := classify(p)
+	cb := s.onVerdict
+	s.mu.Unlock()
+	if cb != nil && cur != prior {
+		cb(addr, prior, cur)
+	}
 }
 
 // observeFailure records one failed exchange. gray marks ambiguous outcomes
@@ -115,8 +139,8 @@ func (s *suspicion) observeSuccess(addr string, rtt time.Duration) {
 // definite unreachability.
 func (s *suspicion) observeFailure(addr string, gray bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p := s.peer(addr)
+	prior := classify(p)
 	p.fails++
 	if gray {
 		p.grayFails++
@@ -124,6 +148,12 @@ func (s *suspicion) observeFailure(addr string, gray bool) {
 		p.hard = true
 	}
 	p.lastFail = s.now()
+	cur := classify(p)
+	cb := s.onVerdict
+	s.mu.Unlock()
+	if cb != nil && cur != prior {
+		cb(addr, prior, cur)
+	}
 }
 
 // state classifies a peer for the chord health oracle. Evidence older than

@@ -90,6 +90,10 @@ const (
 	// given origin. A node rejoining after a crash queries its successors and
 	// restores the freshest copy of its own pre-crash state.
 	TypeRecoverKeyGroups = "clash.recover_keygroups"
+	// TypeTopology asks a node for its topology snapshot (ring pointers,
+	// active groups with loads, replica origins). The hub's /topology
+	// endpoint walks the ring with it.
+	TypeTopology = "clash.topology"
 )
 
 // Wire type bytes. Request types live below 0xF0; the two reply types sit at
@@ -111,6 +115,7 @@ const (
 	typeSuccessor         byte = 0x18
 	typeReplicateKeyGroup byte = 0x19
 	typeRecoverKeyGroups  byte = 0x1A
+	typeTopology          byte = 0x1B
 
 	typeReplyOK  byte = 0xF0
 	typeReplyErr byte = 0xF1
@@ -140,6 +145,7 @@ var (
 		TypeSuccessor:         typeSuccessor,
 		TypeReplicateKeyGroup: typeReplicateKeyGroup,
 		TypeRecoverKeyGroups:  typeRecoverKeyGroups,
+		TypeTopology:          typeTopology,
 	}
 	nameRegistry [256]string
 )

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"clash/internal/bitkey"
@@ -116,6 +117,14 @@ type Expect struct {
 	// invariant that one slow peer must not wedge everyone else's
 	// maintenance for a full legacy call timeout.
 	MaxHealthyTickMs float64 `json:"max_healthy_tick_ms,omitempty"`
+	// EventsConsistent cross-checks the nodes' observer event stream against
+	// the protocol counters: split events bound the split counter from below
+	// (one split event covers one or more table subdivisions) and agree with
+	// it on zero-ness, merge events equal the merge counter, and recovery
+	// events agree with the recovered-groups counter on zero-ness. Only
+	// meaningful on churn-free runs — a crashed node's counters vanish while
+	// its events remain counted.
+	EventsConsistent bool `json:"events_consistent,omitempty"`
 }
 
 // Scenario fully describes one simulated experiment.
@@ -212,21 +221,21 @@ type Totals struct {
 // wall-clock timestamps, so two runs with the same scenario and seed marshal
 // byte-identically.
 type Result struct {
-	Scenario         Scenario        `json:"scenario"`
-	RunVirtualSec    float64         `json:"run_virtual_s"`
-	Ticks            []TickSample    `json:"ticks"`
-	FinalDepthHist   []int           `json:"final_depth_hist"`
-	Totals           Totals          `json:"totals"`
-	MatchLatencyMs   metrics.Summary `json:"match_latency_virtual_ms"`
+	Scenario       Scenario        `json:"scenario"`
+	RunVirtualSec  float64         `json:"run_virtual_s"`
+	Ticks          []TickSample    `json:"ticks"`
+	FinalDepthHist []int           `json:"final_depth_hist"`
+	Totals         Totals          `json:"totals"`
+	MatchLatencyMs metrics.Summary `json:"match_latency_virtual_ms"`
 	// TickCostMs summarises the virtual blocking cost of the healthy (not
 	// gray-slowed) nodes' maintenance ticks; SlowTickCostMs covers the
 	// gray-slowed nodes when a SlowSpec is set.
-	TickCostMs     metrics.Summary  `json:"tick_cost_virtual_ms"`
-	SlowTickCostMs *metrics.Summary `json:"slow_tick_cost_virtual_ms,omitempty"`
-	RingConverged  bool             `json:"ring_converged"`
-	RingDrift        int             `json:"ring_drift"`
-	CoverageComplete bool            `json:"coverage_complete"`
-	CoverageOverlaps int             `json:"coverage_overlaps"`
+	TickCostMs       metrics.Summary  `json:"tick_cost_virtual_ms"`
+	SlowTickCostMs   *metrics.Summary `json:"slow_tick_cost_virtual_ms,omitempty"`
+	RingConverged    bool             `json:"ring_converged"`
+	RingDrift        int              `json:"ring_drift"`
+	CoverageComplete bool             `json:"coverage_complete"`
+	CoverageOverlaps int              `json:"coverage_overlaps"`
 	// Durability accounting: how many group-holding nodes the churn
 	// schedule crashed (HoldersAtFirstCrash is the holder population when
 	// the first crash hit), how many of the boot-registered continuous
@@ -239,7 +248,43 @@ type Result struct {
 	CQSurviving         int      `json:"cq_surviving"`
 	CQProbeMisses       int      `json:"cq_probe_misses"`
 	LostCQs             []string `json:"lost_cqs,omitempty"`
-	Violations          []string `json:"violations"`
+	// Events counts the protocol events the nodes' observers reported over
+	// the whole run (boot included), by event type.
+	Events     map[string]int `json:"events,omitempty"`
+	Violations []string       `json:"violations"`
+}
+
+// eventCounter is the simulator's overlay.Observer (the hub's role in a live
+// deployment): it counts protocol events by type across every node, so the
+// scenario assertions can cross-check the event stream against the protocol
+// counters. Traces are ignored — the virtual clock makes every stage zero.
+type eventCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newEventCounter() *eventCounter {
+	return &eventCounter{counts: make(map[string]int)}
+}
+
+func (c *eventCounter) OnEvent(ev overlay.Event) {
+	c.mu.Lock()
+	c.counts[ev.Type]++
+	c.mu.Unlock()
+}
+
+func (c *eventCounter) OnTrace(overlay.TraceRecord) {}
+
+func (c *eventCounter) OnTraceStage(string, int64) {}
+
+func (c *eventCounter) snapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
 }
 
 // simNode is one simulated overlay member.
@@ -274,6 +319,9 @@ type runner struct {
 	slowSet      map[string]bool
 	tickCost     *metrics.LatencyHist
 	slowTickCost *metrics.LatencyHist
+
+	// events counts the protocol events every node's observer reports.
+	events *eventCounter
 }
 
 // Run executes a scenario to completion and returns its result.
@@ -305,6 +353,7 @@ func Run(sc Scenario) (*Result, error) {
 		slowSet:      make(map[string]bool),
 		tickCost:     metrics.NewLatencyHist(),
 		slowTickCost: metrics.NewLatencyHist(),
+		events:       newEventCounter(),
 	}
 	if err := r.boot(); err != nil {
 		return nil, err
@@ -363,6 +412,7 @@ func (r *runner) boot() error {
 		if err != nil {
 			return err
 		}
+		node.SetObserver(r.events)
 		r.nodes[i] = &simNode{node: node, addr: addr}
 	}
 	if err := r.nodes[0].node.BootstrapRoots(); err != nil {
@@ -817,6 +867,7 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 		ms := msSummary(s)
 		res.SlowTickCostMs = &ms
 	}
+	res.Events = r.events.snapshot()
 	res.CoverageComplete, res.CoverageOverlaps = coverage(sc.KeyBits, groups)
 	res.RingDrift = r.ringDrift()
 	res.RingConverged = res.RingDrift == 0
@@ -876,6 +927,22 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("healthy-node tick cost p99 %.1fms exceeds the allowed %.1fms",
 				res.TickCostMs.P99, ex.MaxHealthyTickMs))
+	}
+	if ex.EventsConsistent {
+		splitEvents := res.Events[overlay.EventSplit]
+		if splitEvents > totals.Splits || (splitEvents == 0) != (totals.Splits == 0) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%d split events inconsistent with %d counted splits", splitEvents, totals.Splits))
+		}
+		if mergeEvents := res.Events[overlay.EventMerge]; mergeEvents != totals.Merges {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%d merge events != %d counted merges", mergeEvents, totals.Merges))
+		}
+		recEvents := res.Events[overlay.EventRecovery]
+		if recEvents > res.GroupsRecovered || (recEvents == 0) != (res.GroupsRecovered == 0) {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%d recovery events inconsistent with %d recovered groups", recEvents, res.GroupsRecovered))
+		}
 	}
 }
 

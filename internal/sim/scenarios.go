@@ -108,6 +108,7 @@ func splitMerge(nodes int, seed int64) Scenario {
 		AllMatchesDelivered: true,
 		CoverageComplete:    true,
 		RingConverged:       true,
+		EventsConsistent:    true,
 	}
 	return sc
 }
@@ -178,6 +179,7 @@ func flashCrowd(nodes int, seed int64) Scenario {
 		AllMatchesDelivered: true,
 		CoverageComplete:    true,
 		RingConverged:       true,
+		EventsConsistent:    true,
 	}
 	return sc
 }

@@ -86,7 +86,7 @@ func TestFigure3SkewOrdering(t *testing.T) {
 	const samples = 200000
 	skew := func(kind Kind) float64 {
 		g := mustGen(t, kind, 42)
-		h := metrics.NewHistogram(kind.String(), 256)
+		h := metrics.NewIntHistogram(kind.String(), 256)
 		for i := 0; i < samples; i++ {
 			h.Add(g.NextBase())
 		}
