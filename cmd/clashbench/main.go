@@ -20,13 +20,19 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clash/internal/benchutil"
 	"clash/internal/bitkey"
 	"clash/internal/chord"
 	"clash/internal/core"
 	"clash/internal/cq"
+	"clash/internal/metrics"
 )
 
 type config struct {
@@ -37,6 +43,7 @@ type config struct {
 	RingMembers int `json:"ring_members"`
 	RingVnodes  int `json:"ring_vnodes"`
 	MaxProcs    int `json:"go_max_procs"`
+	NumCPU      int `json:"num_cpu"`
 }
 
 type result struct {
@@ -52,6 +59,122 @@ type snapshot struct {
 	GoVersion  string             `json:"go_version"`
 	Benchmarks []result           `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups"`
+	Scaling    *scalingCurve      `json:"scaling,omitempty"`
+}
+
+// scalingPoint is one core count's measurement of the parallel ACCEPT_OBJECT
+// hot path (publishes against the server's lock-free routing snapshot).
+type scalingPoint struct {
+	Cores         int     `json:"cores"`
+	ThroughputPPS float64 `json:"throughput_pps"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	P99US         float64 `json:"p99_us"`
+	SpeedupVs1    float64 `json:"speedup_vs_1core,omitempty"`
+}
+
+type scalingCurve struct {
+	NumCPU     int `json:"num_cpu"`
+	MaxProcs   int `json:"go_max_procs"`
+	DurationMS int `json:"duration_ms"`
+	// Points is the sharded server's curve; LegacySingleLockPPS is the frozen
+	// single-mutex server driven at the highest core count for comparison.
+	Points              []scalingPoint `json:"points"`
+	LegacySingleLockPPS float64        `json:"legacy_single_lock_pps"`
+}
+
+// acceptPath is the piece of the server surface the scaling driver exercises;
+// both the sharded Server and the single-mutex LegacyServer satisfy it.
+type acceptPath interface {
+	HandleAcceptObject(k bitkey.Key, estimatedDepth int) (core.AcceptObjectResult, error)
+	ManagesKey(k bitkey.Key) (bitkey.Group, bool)
+}
+
+// parseCores parses a comma-separated core list ("1,2,4,8"). An empty spec
+// derives the curve from the machine: powers of two up to NumCPU.
+func parseCores(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		var cores []int
+		for c := 1; c <= runtime.NumCPU(); c *= 2 {
+			cores = append(cores, c)
+		}
+		return cores, nil
+	}
+	var cores []int
+	for _, part := range strings.Split(spec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -cores entry %q", part)
+		}
+		cores = append(cores, c)
+	}
+	return cores, nil
+}
+
+// measureAccept drives the ACCEPT_OBJECT path from `cores` goroutines (with
+// GOMAXPROCS pinned to match) for roughly the given duration and reports
+// throughput, per-op cost, allocation rate and sampled p99 latency.
+func measureAccept(srv acceptPath, keys []bitkey.Key, depths []int, cores int, dur time.Duration) scalingPoint {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	var (
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+		ops   = make([]int64, cores)
+		hists = make([]*metrics.LatencyHist, cores)
+	)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for w := 0; w < cores; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hist := metrics.NewLatencyHist()
+			hists[w] = hist
+			// Workers start on disjoint key offsets so they fan out across
+			// the lock stripes instead of marching in step.
+			i := w * (len(keys) / cores)
+			var n int64
+			for !stop.Load() {
+				// One latency sample per 64-op block (the block's mean per-op
+				// cost, recorded in nanoseconds): sampling keeps the timer
+				// calls off the measured fast path.
+				t0 := time.Now()
+				for j := 0; j < 64; j++ {
+					k := keys[i%len(keys)]
+					_, _ = srv.HandleAcceptObject(k, depths[i%len(depths)])
+					i++
+				}
+				hist.Record(time.Since(t0).Nanoseconds() / 64)
+				n += 64
+			}
+			ops[w] = n
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	var total int64
+	hist := metrics.NewLatencyHist()
+	for w := 0; w < cores; w++ {
+		total += ops[w]
+		hist.Merge(hists[w])
+	}
+	pt := scalingPoint{Cores: cores}
+	if total > 0 && elapsed > 0 {
+		pt.ThroughputPPS = float64(total) / elapsed.Seconds()
+		pt.NsPerOp = elapsed.Seconds() * 1e9 / float64(total)
+		pt.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(total)
+		pt.P99US = hist.Summary().P99 / 1e3 // samples are ns/op
+	}
+	return pt
 }
 
 func main() {
@@ -66,6 +189,10 @@ func main() {
 		vnodes  = flag.Int("vnodes", 4, "virtual servers per ring member")
 		out     = flag.String("out", "BENCH_routing.json", "output snapshot path")
 		seed    = flag.Int64("seed", 1, "workload PRNG seed")
+		cores   = flag.String("cores", "", "comma-separated GOMAXPROCS values for the multi-core scaling curve (default: powers of two up to NumCPU)")
+		scalDur = flag.Duration("scaledur", 500*time.Millisecond, "measurement window per scaling point")
+		gateSc  = flag.Float64("gate-scale", 0, "fail unless 4-core throughput >= this multiple of 1-core (0 disables; skipped below 4 CPUs)")
+		gateFl  = flag.Float64("gate-floor", 0, "fail unless the best scaling point reaches this many publishes/s (0 disables)")
 	)
 	flag.Parse()
 
@@ -77,6 +204,7 @@ func main() {
 		RingMembers: *members,
 		RingVnodes:  *vnodes,
 		MaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 	log.Printf("workload: %d keys, %d groups, %d-bit key space", cfg.Keys, cfg.Groups, cfg.KeyBits)
 
@@ -204,6 +332,84 @@ func main() {
 			}
 		}
 	})
+
+	// Multi-core scaling curve: the parallel ACCEPT_OBJECT hot path against
+	// the sharded server's lock-free routing snapshot, one point per core
+	// count, plus the frozen single-mutex server at the highest core count as
+	// the contention baseline.
+	coreList, err := parseCores(*cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Per-key correct depth: the depth of the active group covering the key,
+	// so the measured path is the case-(a) OK branch.
+	depths := make([]int, len(workload))
+	for i, k := range workload {
+		if g, ok := server.ManagesKey(k); ok {
+			depths[i] = g.Prefix.Bits
+		}
+	}
+	legacyServer, err := core.NewLegacyServer("bench-legacy", cfg.KeyBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range partition {
+		if err := legacyServer.HandleAcceptKeyGroup(g, "seed"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	curve := &scalingCurve{
+		NumCPU:     cfg.NumCPU,
+		MaxProcs:   cfg.MaxProcs,
+		DurationMS: int(scalDur.Milliseconds()),
+	}
+	for _, c := range coreList {
+		pt := measureAccept(server, workload, depths, c, *scalDur)
+		if len(curve.Points) > 0 && curve.Points[0].Cores == 1 && curve.Points[0].ThroughputPPS > 0 {
+			pt.SpeedupVs1 = pt.ThroughputPPS / curve.Points[0].ThroughputPPS
+		}
+		curve.Points = append(curve.Points, pt)
+		log.Printf("scaling/%d-core %14.0f pkt/s %8.1f ns/op %6.3f allocs/op p99 %.1fµs",
+			pt.Cores, pt.ThroughputPPS, pt.NsPerOp, pt.AllocsPerOp, pt.P99US)
+	}
+	maxCores := coreList[len(coreList)-1]
+	legacyPt := measureAccept(legacyServer, workload, depths, maxCores, *scalDur)
+	curve.LegacySingleLockPPS = legacyPt.ThroughputPPS
+	log.Printf("scaling/legacy-%d-core %8.0f pkt/s (single mutex)", maxCores, legacyPt.ThroughputPPS)
+	snap.Scaling = curve
+
+	if *gateFl > 0 {
+		best := 0.0
+		for _, pt := range curve.Points {
+			if pt.ThroughputPPS > best {
+				best = pt.ThroughputPPS
+			}
+		}
+		if best < *gateFl {
+			log.Fatalf("scaling gate: best throughput %.0f pkt/s below floor %.0f", best, *gateFl)
+		}
+	}
+	if *gateSc > 0 {
+		var one, four float64
+		for _, pt := range curve.Points {
+			switch pt.Cores {
+			case 1:
+				one = pt.ThroughputPPS
+			case 4:
+				four = pt.ThroughputPPS
+			}
+		}
+		switch {
+		case cfg.NumCPU < 4:
+			log.Printf("scaling gate: ratio check skipped (%d CPUs < 4)", cfg.NumCPU)
+		case one == 0 || four == 0:
+			log.Printf("scaling gate: ratio check skipped (-cores lacks 1 and 4)")
+		case four < *gateSc*one:
+			log.Fatalf("scaling gate: 4-core %.0f pkt/s < %.2fx 1-core %.0f", four, *gateSc, one)
+		default:
+			log.Printf("scaling gate: 4-core is %.2fx 1-core (>= %.2fx required)", four/one, *gateSc)
+		}
+	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,17 @@ type benchConfig struct {
 	Queries  int    `json:"queries"`
 	Workload string `json:"workload"`
 	KeyBits  int    `json:"key_bits"`
+	MaxProcs int    `json:"go_max_procs"`
+	NumCPU   int    `json:"num_cpu"`
+}
+
+// scalingPoint is one GOMAXPROCS setting's end-to-end drive measurement
+// (client publish through transport, routing and CQ match, back).
+type scalingPoint struct {
+	Procs         int     `json:"procs"`
+	ThroughputPPS float64 `json:"throughput_pps"`
+	P99US         float64 `json:"p99_us"`
+	SpeedupVs1    float64 `json:"speedup_vs_first,omitempty"`
 }
 
 type nodeSnapshot struct {
@@ -88,9 +100,10 @@ type benchResults struct {
 }
 
 type benchOut struct {
-	Config    benchConfig  `json:"config"`
-	GoVersion string       `json:"go_version"`
-	Results   benchResults `json:"results"`
+	Config    benchConfig    `json:"config"`
+	GoVersion string         `json:"go_version"`
+	Results   benchResults   `json:"results"`
+	Scaling   []scalingPoint `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -109,6 +122,7 @@ func main() {
 		loss      = flag.Float64("loss", 0, "per-message loss probability injected under -inproc")
 		replicas  = flag.Int("replicas", 0, "key-group replication factor under -inproc (0 = default 2, negative disables)")
 		out       = flag.String("out", "", "write a JSON benchmark snapshot to this file")
+		procs     = flag.String("procs", "", "comma-separated GOMAXPROCS values: drive the workload once per value and record the scaling curve (last value's run fills the detailed results)")
 		metricsAd = flag.String("metrics-addr", "", "serve the driver's Prometheus metrics at this HTTP address during the run")
 		traceEv   = flag.Int("trace-every", 0, "sample every Nth published packet with a request trace (0 disables)")
 		dialTO    = flag.Duration("dial-timeout", 0, "TCP connect timeout for outbound connections (0 = default 3s; TCP mode only)")
@@ -120,7 +134,7 @@ func main() {
 	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
 	tcpCfg := overlay.TCPConfig{DialTimeout: *dialTO, CallTimeout: *callTO, IdleTimeout: *idleTO}
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, *metricsAd, *traceEv, tcpCfg); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, *metricsAd, *traceEv, *procs, tcpCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -139,8 +153,29 @@ func parseKind(s string) (workload.Kind, error) {
 	}
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out, metricsAddr string, traceEvery int, tcpCfg overlay.TCPConfig) error {
+// parseProcs parses the -procs list ("1,2,4"); empty means "run once at the
+// current GOMAXPROCS".
+func parseProcs(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, part := range strings.Split(spec, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", part)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out, metricsAddr string, traceEvery int, procsSpec string, tcpCfg overlay.TCPConfig) error {
 	kind, err := parseKind(kindFlag)
+	if err != nil {
+		return err
+	}
+	procList, err := parseProcs(procsSpec)
 	if err != nil {
 		return err
 	}
@@ -172,6 +207,8 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		Queries:  queries,
 		Workload: kind.String(),
 		KeyBits:  keyBits,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:   runtime.NumCPU(),
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -303,87 +340,120 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 		probes  int
 		matches int64
 	}
-	results := make([]workerResult, conns)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < conns; w++ {
-		per := packets / conns
-		if w < packets%conns {
-			per++
-		}
-		wg.Add(1)
-		go func(w, per int) {
-			defer wg.Done()
-			gen := qgen.Clone(randSeed + int64(w) + 1)
-			attrRng := rand.New(rand.NewSource(randSeed + int64(w) + 1000))
-			res := &results[w]
-			res.hist = metrics.NewLatencyHist()
-			var key bitkey.Key
-			streamLeft := 0
-			var pending []overlay.BatchItem
-			flush := func() {
-				if len(pending) == 0 {
-					return
+	drive := func() (workerResult, *metrics.LatencyHist, time.Duration) {
+		results := make([]workerResult, conns)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < conns; w++ {
+			per := packets / conns
+			if w < packets%conns {
+				per++
+			}
+			wg.Add(1)
+			go func(w, per int) {
+				defer wg.Done()
+				gen := qgen.Clone(randSeed + int64(w) + 1)
+				attrRng := rand.New(rand.NewSource(randSeed + int64(w) + 1000))
+				res := &results[w]
+				res.hist = metrics.NewLatencyHist()
+				var key bitkey.Key
+				streamLeft := 0
+				var pending []overlay.BatchItem
+				flush := func() {
+					if len(pending) == 0 {
+						return
+					}
+					t0 := time.Now()
+					prs, errs := client.PublishBatch(pending)
+					// One histogram sample per batch frame: the latency a
+					// batched producer observes per flush.
+					res.hist.Record(time.Since(t0).Microseconds())
+					for i := range pending {
+						if errs[i] != nil {
+							res.errs++
+							continue
+						}
+						res.ok++
+						res.probes += prs[i].Probes
+						res.matches += int64(len(prs[i].Matches))
+					}
+					pending = pending[:0]
 				}
-				t0 := time.Now()
-				prs, errs := client.PublishBatch(pending)
-				// One histogram sample per batch frame: the latency a
-				// batched producer observes per flush.
-				res.hist.Record(time.Since(t0).Microseconds())
-				for i := range pending {
-					if errs[i] != nil {
+				for i := 0; i < per; i++ {
+					if streamLeft == 0 {
+						key = gen.Next()
+						streamLeft = gen.NextStreamLength()
+					}
+					streamLeft--
+					attrs := map[string]float64{"speed": attrRng.Float64() * 100}
+					if batch > 0 {
+						pending = append(pending, overlay.BatchItem{Key: key, Attrs: attrs})
+						if len(pending) >= batch {
+							flush()
+						}
+						continue
+					}
+					t0 := time.Now()
+					pr, err := client.Publish(key, attrs, nil)
+					if err != nil {
 						res.errs++
 						continue
 					}
+					res.hist.Record(time.Since(t0).Microseconds())
 					res.ok++
-					res.probes += prs[i].Probes
-					res.matches += int64(len(prs[i].Matches))
+					res.probes += pr.Probes
+					res.matches += int64(len(pr.Matches))
 				}
-				pending = pending[:0]
-			}
-			for i := 0; i < per; i++ {
-				if streamLeft == 0 {
-					key = gen.Next()
-					streamLeft = gen.NextStreamLength()
-				}
-				streamLeft--
-				attrs := map[string]float64{"speed": attrRng.Float64() * 100}
-				if batch > 0 {
-					pending = append(pending, overlay.BatchItem{Key: key, Attrs: attrs})
-					if len(pending) >= batch {
-						flush()
-					}
-					continue
-				}
-				t0 := time.Now()
-				pr, err := client.Publish(key, attrs, nil)
-				if err != nil {
-					res.errs++
-					continue
-				}
-				res.hist.Record(time.Since(t0).Microseconds())
-				res.ok++
-				res.probes += pr.Probes
-				res.matches += int64(len(pr.Matches))
-			}
-			flush()
-		}(w, per)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	// Let async match pushes still in flight drain before reading the
-	// counter.
-	time.Sleep(200 * time.Millisecond)
+				flush()
+			}(w, per)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		// Let async match pushes still in flight drain before reading the
+		// counter.
+		time.Sleep(200 * time.Millisecond)
 
-	hist := metrics.NewLatencyHist()
-	agg := workerResult{}
-	for i := range results {
-		r := &results[i]
-		hist.Merge(r.hist)
-		agg.ok += r.ok
-		agg.errs += r.errs
-		agg.probes += r.probes
-		agg.matches += r.matches
+		hist := metrics.NewLatencyHist()
+		agg := workerResult{}
+		for i := range results {
+			r := &results[i]
+			hist.Merge(r.hist)
+			agg.ok += r.ok
+			agg.errs += r.errs
+			agg.probes += r.probes
+			agg.matches += r.matches
+		}
+		return agg, hist, elapsed
+	}
+
+	// With -procs, the whole drive phase repeats once per GOMAXPROCS value
+	// (same converged overlay, same per-worker generator seeds) and each run
+	// contributes one scaling point; the last run fills the detailed results.
+	var (
+		scaling []scalingPoint
+		agg     workerResult
+		hist    *metrics.LatencyHist
+		elapsed time.Duration
+	)
+	if len(procList) == 0 {
+		agg, hist, elapsed = drive()
+	} else {
+		prev := runtime.GOMAXPROCS(0)
+		for _, p := range procList {
+			runtime.GOMAXPROCS(p)
+			cfg.MaxProcs = p
+			agg, hist, elapsed = drive()
+			pt := scalingPoint{Procs: p, P99US: hist.Summary().P99}
+			if elapsed > 0 {
+				pt.ThroughputPPS = float64(agg.ok) / elapsed.Seconds()
+			}
+			if len(scaling) > 0 && scaling[0].ThroughputPPS > 0 {
+				pt.SpeedupVs1 = pt.ThroughputPPS / scaling[0].ThroughputPPS
+			}
+			scaling = append(scaling, pt)
+			fmt.Printf("clashload: procs=%d throughput=%.0f pkt/s p99=%.0fµs\n", p, pt.ThroughputPPS, pt.P99US)
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 
 	res := benchResults{
@@ -453,7 +523,7 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 	}
 
 	if out != "" {
-		snapshot := benchOut{Config: cfg, GoVersion: runtime.Version(), Results: res}
+		snapshot := benchOut{Config: cfg, GoVersion: runtime.Version(), Results: res, Scaling: scaling}
 		data, err := json.MarshalIndent(snapshot, "", "  ")
 		if err != nil {
 			return err

@@ -78,6 +78,7 @@ type benchOut struct {
 	// pipelined gain is syscall/RTT overlap only; with real cores and real
 	// network latency the concurrency win grows with both.
 	NumCPU    int             `json:"num_cpu"`
+	MaxProcs  int             `json:"go_max_procs"`
 	Quick     bool            `json:"quick,omitempty"`
 	Codec     []codecResult   `json:"codec"`
 	Transport transportResult `json:"transport_tcp"`
@@ -97,7 +98,7 @@ func main() {
 }
 
 func run(out string, quick bool) error {
-	res := benchOut{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), Quick: quick}
+	res := benchOut{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), MaxProcs: runtime.GOMAXPROCS(0), Quick: quick}
 	res.Codec = codecBenches()
 	for _, c := range res.Codec {
 		fmt.Printf("codec %-22s binary %7.1f ns/op (%d allocs, %3dB)  json %8.1f ns/op (%3dB)  speedup %5.1fx marshal / %5.1fx unmarshal\n",
@@ -246,7 +247,9 @@ func transportBench(quick bool) (transportResult, error) {
 	}
 	defer srv.Close()
 	srv.SetHandler(func(msgType string, payload []byte) ([]byte, error) {
-		return payload, nil
+		// The reply must not alias the pooled request payload (Handler's
+		// ownership contract): echo a copy.
+		return append([]byte(nil), payload...), nil
 	})
 	cli, err := overlay.ListenTCP("127.0.0.1:0")
 	if err != nil {

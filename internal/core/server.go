@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clash/internal/bitkey"
@@ -58,20 +59,102 @@ type Counters struct {
 	ObjectsWrong    int
 }
 
+// serverShardBits selects how many leading prefix bits pick a work-table lock
+// shard (2^4 = 16 shards), matching the Router's striping. Entries at least
+// this deep are guarded by the shard named by their leading bits; shallower
+// entries share the shallow shard's lock.
+const serverShardBits = 4
+
+// serverShard is one lock stripe of the work table plus the per-stripe object
+// counters the lock-free publish path updates. The trailing pad keeps two
+// stripes' hot atomics off one cache line so concurrent publishes to disjoint
+// prefixes do not false-share.
+type serverShard struct {
+	mu sync.Mutex
+	// lockWaits counts acquisitions that found the lock contended (TryLock
+	// failed), surfaced per shard through ShardStats.
+	lockWaits atomic.Uint64
+	// ACCEPT_OBJECT outcome counters for keys whose leading bits name this
+	// shard.
+	objectsOK        atomic.Uint64
+	objectsCorrected atomic.Uint64
+	objectsWrong     atomic.Uint64
+	_                [24]byte
+}
+
+// lock acquires the stripe, counting contended acquisitions.
+func (sh *serverShard) lock() {
+	if sh.mu.TryLock() {
+		return
+	}
+	sh.lockWaits.Add(1)
+	sh.mu.Lock()
+}
+
+// snapEntry is one work-table row inside an immutable read snapshot: just
+// enough for the ACCEPT_OBJECT state machine (group identity, leaf flag).
+type snapEntry struct {
+	group  bitkey.Group
+	active bool
+}
+
+// snapIsActive is the predicate the publish path passes to the snapshot trie;
+// as a non-capturing function it costs no allocation per lookup.
+func snapIsActive(e snapEntry) bool { return e.active }
+
+// readSnapshot is an immutable copy of the routing-relevant work-table state,
+// published through an atomic pointer (RCU style): the publish hot path loads
+// it with one atomic read and walks it with zero locks and zero allocations,
+// while mutations build a fresh snapshot under the shard locks and swap it in.
+type readSnapshot struct {
+	entries *bitkey.Trie[snapEntry]
+}
+
 // Server is the per-node CLASH protocol state machine. It owns the Server
 // Work Table and implements the split, consolidation and ACCEPT_OBJECT logic.
 // It never talks to the network itself: drivers resolve DHT mappings through
 // the MapFunc they pass to ExecuteSplit and deliver the messages described by
 // the returned results.
 //
-// Server is safe for concurrent use.
+// Server is safe for concurrent use, and the hot path scales across cores:
+//
+//   - ACCEPT_OBJECT routing (HandleAcceptObject, HandleAcceptObjectBatch,
+//     ManagesKey) reads an immutable snapshot of the table through an atomic
+//     pointer — zero locks, zero allocations — and records outcome counters on
+//     per-shard padded atomics, so publishes to disjoint prefixes never touch
+//     the same cache line.
+//   - Per-group bookkeeping (load samples, child reports, snapshots of one
+//     entry) takes only the lock shard named by the group's leading
+//     serverShardBits bits, extending the Router's 16-way striping idiom.
+//   - Structural mutations (bootstrap, split, transfer, merge, release,
+//     restore) take every shard lock in a fixed order (shallow first, then
+//     shards 0..15), apply the change, rebuild the read snapshot and swap it —
+//     which is also what keeps Validate()'s prefix-free invariant global: no
+//     structural change is visible to any reader until the whole-table
+//     rebuild is published.
 type Server struct {
-	mu              sync.Mutex
 	id              ServerID
-	table           *Table
-	counters        Counters
 	maxSplitRetries int
 	reportMaxAge    time.Duration
+
+	// table is the master Server Work Table. Trie structure (put/remove) only
+	// changes with every shard lock held; entry fields are guarded by the
+	// shard lock their prefix maps to, so a trie walk is safe under any one
+	// shard lock.
+	table     *Table
+	shardBits int
+	shards    []*serverShard
+	// shallow guards entries shallower than shardBits, which span several
+	// shards' key ranges.
+	shallow *serverShard
+
+	snap  atomic.Pointer[readSnapshot]
+	swaps atomic.Uint64
+
+	// Control-plane counters (mutated under the all-shard lock, read lock-free
+	// by Counters).
+	splits, merges                atomic.Uint64
+	accepted, released, recovered atomic.Uint64
 }
 
 // NewServer creates a CLASH server for an N-bit identifier key space.
@@ -83,16 +166,77 @@ func NewServer(id ServerID, keyBits int, opts ...ServerOption) (*Server, error) 
 	if err != nil {
 		return nil, err
 	}
+	shardBits := serverShardBits
+	if keyBits < shardBits {
+		shardBits = 0
+	}
 	s := &Server{
 		id:              id,
 		table:           table,
+		shardBits:       shardBits,
+		shards:          make([]*serverShard, 1<<uint(shardBits)),
+		shallow:         &serverShard{},
 		maxSplitRetries: 16,
 		reportMaxAge:    15 * time.Minute,
+	}
+	for i := range s.shards {
+		s.shards[i] = &serverShard{}
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.snap.Store(&readSnapshot{entries: bitkey.NewTrie[snapEntry]()})
 	return s, nil
+}
+
+// shardFor returns the lock stripe guarding the entry with the given prefix.
+func (s *Server) shardFor(p bitkey.Key) *serverShard {
+	if s.shardBits > 0 && p.Bits >= s.shardBits {
+		return s.shards[p.Value>>uint(p.Bits-s.shardBits)]
+	}
+	return s.shallow
+}
+
+// counterShard returns the stripe whose object counters account for key k
+// (keys always carry the full keyBits, so the deep stripe always applies when
+// striping is on).
+func (s *Server) counterShard(k bitkey.Key) *serverShard {
+	if s.shardBits > 0 {
+		return s.shards[k.Value>>uint(k.Bits-s.shardBits)]
+	}
+	return s.shallow
+}
+
+// lockAll acquires every shard lock in the fixed global order (shallow, then
+// deep shards ascending). Single-shard operations never take a second lock,
+// so the ordering cannot deadlock against them.
+func (s *Server) lockAll() {
+	s.shallow.lock()
+	for _, sh := range s.shards {
+		sh.lock()
+	}
+}
+
+// unlockAll releases every shard lock.
+func (s *Server) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	s.shallow.mu.Unlock()
+}
+
+// rebuildLocked rebuilds the immutable read snapshot from the master table
+// and publishes it. Callers hold every shard lock. Structural operations call
+// it (via defer, before unlocking) so a new snapshot is visible the moment
+// the locks release; the publish path never observes a half-applied change.
+func (s *Server) rebuildLocked() {
+	entries := bitkey.NewTrie[snapEntry]()
+	s.table.forEach(func(e *Entry) bool {
+		entries.Put(e.Group.Prefix, snapEntry{group: e.Group, active: e.Active})
+		return true
+	})
+	s.snap.Store(&readSnapshot{entries: entries})
+	s.swaps.Add(1)
 }
 
 // ID returns the server's identity.
@@ -103,17 +247,86 @@ func (s *Server) KeyBits() int { return s.table.KeyBits() }
 
 // Counters returns a snapshot of the protocol counters.
 func (s *Server) Counters() Counters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counters
+	c := Counters{
+		Splits:          int(s.splits.Load()),
+		Merges:          int(s.merges.Load()),
+		GroupsAccepted:  int(s.accepted.Load()),
+		GroupsReleased:  int(s.released.Load()),
+		GroupsRecovered: int(s.recovered.Load()),
+	}
+	add := func(sh *serverShard) {
+		c.ObjectsOK += int(sh.objectsOK.Load())
+		c.ObjectsCorrect += int(sh.objectsCorrected.Load())
+		c.ObjectsWrong += int(sh.objectsWrong.Load())
+	}
+	add(s.shallow)
+	for _, sh := range s.shards {
+		add(sh)
+	}
+	return c
+}
+
+// SnapshotSwaps returns how many read-snapshot rebuilds have been published
+// (one per structural mutation batch).
+func (s *Server) SnapshotSwaps() uint64 { return s.swaps.Load() }
+
+// ShardStat is one lock stripe's occupancy and contention snapshot.
+type ShardStat struct {
+	// Shard is the stripe index; -1 is the shallow stripe shared by entries
+	// shallower than the striping depth.
+	Shard int
+	// Entries and Active count the work-table rows guarded by this stripe.
+	Entries int
+	Active  int
+	// LockWaits counts contended lock acquisitions on this stripe.
+	LockWaits uint64
+	// ObjectsOK / ObjectsCorrected / ObjectsWrong are the ACCEPT_OBJECT
+	// outcomes recorded against keys in this stripe's range.
+	ObjectsOK        uint64
+	ObjectsCorrected uint64
+	ObjectsWrong     uint64
+}
+
+// ShardStats returns per-stripe occupancy, contention and object counters,
+// shallow stripe first. It takes the all-shard lock briefly to count entries
+// consistently; the atomic counters are read as-is.
+func (s *Server) ShardStats() []ShardStat {
+	out := make([]ShardStat, 0, len(s.shards)+1)
+	fill := func(idx int, sh *serverShard) ShardStat {
+		return ShardStat{
+			Shard:            idx,
+			LockWaits:        sh.lockWaits.Load(),
+			ObjectsOK:        sh.objectsOK.Load(),
+			ObjectsCorrected: sh.objectsCorrected.Load(),
+			ObjectsWrong:     sh.objectsWrong.Load(),
+		}
+	}
+	s.lockAll()
+	stats := make(map[*serverShard]*ShardStat, len(s.shards)+1)
+	out = append(out, fill(-1, s.shallow))
+	stats[s.shallow] = &out[0]
+	for i, sh := range s.shards {
+		out = append(out, fill(i, sh))
+		stats[sh] = &out[len(out)-1]
+	}
+	s.table.forEach(func(e *Entry) bool {
+		st := stats[s.shardFor(e.Group.Prefix)]
+		st.Entries++
+		if e.Active {
+			st.Active++
+		}
+		return true
+	})
+	s.unlockAll()
+	return out
 }
 
 // Bootstrap installs a root key group on this server (an administrative
 // anchor; consolidation never collapses past it). It is how the initial
 // partition of the key space is assigned at system start.
 func (s *Server) Bootstrap(g bitkey.Group) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	if g.Depth() > s.table.KeyBits() {
 		return fmt.Errorf("%w: depth %d > %d", ErrDepthRange, g.Depth(), s.table.KeyBits())
 	}
@@ -121,42 +334,62 @@ func (s *Server) Bootstrap(g bitkey.Group) error {
 		return fmt.Errorf("%w: %v", ErrAlreadyManaged, g)
 	}
 	s.table.put(&Entry{Group: g, Parent: NoServer, IsRoot: true, Active: true})
+	s.rebuildLocked()
 	return nil
 }
 
 // Entries returns the Server Work Table rows sorted by depth then prefix
 // (the layout of the paper's Figure 2).
 func (s *Server) Entries() []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.table.Entries()
 }
 
 // ActiveGroups returns the key groups this server currently manages (the
 // leaves of its part of the logical tree).
 func (s *Server) ActiveGroups() []bitkey.Group {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.table.ActiveGroups()
 }
 
 // ManagesKey reports whether some active group on this server contains k,
-// and returns that group.
+// and returns that group. It reads the published snapshot: zero locks, zero
+// allocations.
 func (s *Server) ManagesKey(k bitkey.Key) (bitkey.Group, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.table.activeEntryFor(k)
+	snap := s.snap.Load()
+	_, e, ok := snap.entries.LongestMatchWhere(k, snapIsActive)
 	if !ok {
 		return bitkey.Group{}, false
 	}
-	return e.Group, true
+	return e.group, true
 }
 
 // Validate checks the table invariants (active groups are prefix-free).
 func (s *Server) Validate() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.table.validateActivePrefixFree()
+}
+
+// objDeltas accumulates per-stripe object-counter increments so a batch
+// flushes one atomic add per touched counter instead of one per key.
+type objDeltas struct {
+	ok, corrected, wrong uint64
+}
+
+// flush adds the accumulated deltas to a stripe's atomic counters.
+func (d *objDeltas) flush(sh *serverShard) {
+	if d.ok != 0 {
+		sh.objectsOK.Add(d.ok)
+	}
+	if d.corrected != 0 {
+		sh.objectsCorrected.Add(d.corrected)
+	}
+	if d.wrong != 0 {
+		sh.objectsWrong.Add(d.wrong)
+	}
 }
 
 // HandleAcceptObject processes an ACCEPT_OBJECT request carrying an
@@ -166,62 +399,84 @@ func (s *Server) Validate() error {
 //	(a) right depth            → OK
 //	(b) wrong depth, right server → OK with corrected depth
 //	(c) wrong server           → INCORRECT_DEPTH with the longest prefix match
+//
+// The routing decision reads the published table snapshot — no lock is taken
+// and nothing is allocated — so concurrent publishes scale across cores.
 func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.acceptObjectLocked(k, estimatedDepth)
+	var d objDeltas
+	res, err := s.acceptOnSnapshot(s.snap.Load(), k, estimatedDepth, &d)
+	if err == nil {
+		d.flush(s.counterShard(k))
+	}
+	return res, err
 }
 
-// HandleAcceptObjectBatch processes a vector of ACCEPT_OBJECT requests under
-// a single table-lock acquisition (the server side of the batched publish
-// path). results[i] and errs[i] describe keys[i]; a per-item validation
-// failure fills errs[i] and leaves results[i] zero without affecting the
-// other items.
+// HandleAcceptObjectBatch processes a vector of ACCEPT_OBJECT requests
+// against one snapshot load (the server side of the batched publish path).
+// Keys are grouped per counter stripe as they stream through, so the batch
+// performs at most one atomic add per touched stripe counter rather than one
+// per key, and no lock is held at any point. results[i] and errs[i] describe
+// keys[i]; a per-item validation failure fills errs[i] and leaves results[i]
+// zero without affecting the other items.
 func (s *Server) HandleAcceptObjectBatch(keys []bitkey.Key, depths []int) (results []AcceptObjectResult, errs []error) {
 	if len(depths) != len(keys) {
 		panic("clash: batch keys/depths length mismatch")
 	}
 	results = make([]AcceptObjectResult, len(keys))
 	errs = make([]error, len(keys))
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.snap.Load()
+	var deltas [1 << serverShardBits]objDeltas
 	for i, k := range keys {
-		results[i], errs[i] = s.acceptObjectLocked(k, depths[i])
+		d := &deltas[0]
+		if s.shardBits > 0 && k.Bits >= s.shardBits {
+			d = &deltas[k.Value>>uint(k.Bits-s.shardBits)]
+		}
+		results[i], errs[i] = s.acceptOnSnapshot(snap, k, depths[i], d)
+	}
+	if s.shardBits > 0 {
+		for i := range deltas {
+			deltas[i].flush(s.shards[i])
+		}
+	} else {
+		deltas[0].flush(s.shallow)
 	}
 	return results, errs
 }
 
-// acceptObjectLocked is the ACCEPT_OBJECT state machine; s.mu must be held.
-func (s *Server) acceptObjectLocked(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
+// acceptOnSnapshot is the ACCEPT_OBJECT state machine evaluated against one
+// immutable snapshot; outcome counts go to d.
+func (s *Server) acceptOnSnapshot(snap *readSnapshot, k bitkey.Key, estimatedDepth int, d *objDeltas) (AcceptObjectResult, error) {
 	if k.Bits != s.table.KeyBits() {
 		return AcceptObjectResult{}, fmt.Errorf("%w: key %d bits, want %d", ErrBadKey, k.Bits, s.table.KeyBits())
 	}
 	if estimatedDepth < 0 || estimatedDepth > k.Bits {
 		return AcceptObjectResult{}, fmt.Errorf("%w: %d", ErrDepthRange, estimatedDepth)
 	}
-	entry, ok := s.table.activeEntryFor(k)
+	_, e, ok := snap.entries.LongestMatchWhere(k, snapIsActive)
 	if !ok {
-		s.counters.ObjectsWrong++
+		d.wrong++
 		return AcceptObjectResult{
 			Status: StatusIncorrectDepth,
-			DMin:   s.table.longestPrefixMatch(k),
+			DMin:   snap.entries.MaxCommonPrefix(k),
 		}, nil
 	}
-	if entry.Depth() == estimatedDepth {
-		s.counters.ObjectsOK++
-		return AcceptObjectResult{Status: StatusOK, Group: entry.Group, CorrectDepth: entry.Depth()}, nil
+	if e.group.Depth() == estimatedDepth {
+		d.ok++
+		return AcceptObjectResult{Status: StatusOK, Group: e.group, CorrectDepth: e.group.Depth()}, nil
 	}
-	s.counters.ObjectsCorrect++
-	return AcceptObjectResult{Status: StatusOKCorrected, Group: entry.Group, CorrectDepth: entry.Depth()}, nil
+	d.corrected++
+	return AcceptObjectResult{Status: StatusOKCorrected, Group: e.group, CorrectDepth: e.group.Depth()}, nil
 }
 
 // SetGroupLoad records the measured load fraction attributable to an active
 // group for the current measurement interval. The driver (the overlay's load
-// check, or the planned simulator) calls it before making split/merge
-// decisions.
+// check, or the simulator) calls it before making split/merge decisions.
+// Only the group's lock stripe is taken, so load samples for groups in
+// different stripes record concurrently.
 func (s *Server) SetGroupLoad(g bitkey.Group, loadFraction float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(g.Prefix)
+	sh.lock()
+	defer sh.mu.Unlock()
 	e, ok := s.table.get(g)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownGroup, g)
@@ -235,8 +490,8 @@ func (s *Server) SetGroupLoad(g bitkey.Group, loadFraction float64) error {
 
 // GroupLoads returns the last recorded load fraction for every active group.
 func (s *Server) GroupLoads() map[string]float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	out := make(map[string]float64)
 	s.table.forEach(func(e *Entry) bool {
 		if e.Active {
@@ -250,8 +505,8 @@ func (s *Server) GroupLoads() map[string]float64 {
 // TotalLoad returns the sum of the recorded loads of all active groups — the
 // server's overall load fraction.
 func (s *Server) TotalLoad() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var sum float64
 	s.table.forEach(func(e *Entry) bool {
 		if e.Active {
@@ -264,8 +519,8 @@ func (s *Server) TotalLoad() float64 {
 
 // HottestActiveGroup returns the active group with the highest recorded load.
 func (s *Server) HottestActiveGroup() (bitkey.Group, float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var (
 		best     *Entry
 		bestLoad float64
@@ -300,8 +555,9 @@ func (s *Server) ExecuteSplit(g bitkey.Group, mapFn MapFunc) (*SplitResult, erro
 	if mapFn == nil {
 		return nil, fmt.Errorf("clash: nil MapFunc")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	defer s.rebuildLocked()
 
 	entry, ok := s.table.get(g)
 	if !ok {
@@ -351,7 +607,7 @@ func (s *Server) ExecuteSplit(g bitkey.Group, mapFn MapFunc) (*SplitResult, erro
 			localLoad:    half,
 		}
 		s.table.put(leftEntry)
-		s.counters.Splits++
+		s.splits.Add(1)
 
 		if target != s.id {
 			result.Kept = left
@@ -391,8 +647,9 @@ func (s *Server) HandleAcceptKeyGroup(g bitkey.Group, parent ServerID) error {
 // returns ErrCovered instead of installing an overlap — the caller should
 // keep the message's query state locally and discard the group.
 func (s *Server) HandleAcceptKeyGroupEpoch(g bitkey.Group, parent ServerID, epoch uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	defer s.rebuildLocked()
 	if g.Depth() > s.table.KeyBits() {
 		return fmt.Errorf("%w: depth %d", ErrDepthRange, g.Depth())
 	}
@@ -426,7 +683,7 @@ func (s *Server) HandleAcceptKeyGroupEpoch(g bitkey.Group, parent ServerID, epoc
 		Active:       true,
 		Epoch:        epoch,
 	})
-	s.counters.GroupsAccepted++
+	s.accepted.Add(1)
 	return nil
 }
 
@@ -441,33 +698,35 @@ type GroupSnapshot struct {
 	Epoch  uint64
 }
 
-// SnapshotGroup captures the replicable state of one active entry.
+// SnapshotGroup captures the replicable state of one active entry. Only the
+// entry's lock stripe is taken.
 func (s *Server) SnapshotGroup(g bitkey.Group) (GroupSnapshot, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(g.Prefix)
+	sh.lock()
+	defer sh.mu.Unlock()
 	e, ok := s.table.get(g)
 	if !ok || !e.Active {
 		return GroupSnapshot{}, false
 	}
-	return snapshotLocked(e), true
+	return snapshotEntry(e), true
 }
 
 // SnapshotActive captures the replicable state of every active entry, in
 // prefix order (the trie's deterministic visit order).
 func (s *Server) SnapshotActive() []GroupSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var out []GroupSnapshot
 	s.table.forEach(func(e *Entry) bool {
 		if e.Active {
-			out = append(out, snapshotLocked(e))
+			out = append(out, snapshotEntry(e))
 		}
 		return true
 	})
 	return out
 }
 
-func snapshotLocked(e *Entry) GroupSnapshot {
+func snapshotEntry(e *Entry) GroupSnapshot {
 	return GroupSnapshot{Group: e.Group, Parent: e.Parent, IsRoot: e.IsRoot, Epoch: e.Epoch}
 }
 
@@ -479,8 +738,9 @@ func snapshotLocked(e *Entry) GroupSnapshot {
 // other active entries returns ErrCovered (install only the query state); a
 // snapshot conflicting with an inactive entry returns ErrAlreadyManaged.
 func (s *Server) RestoreGroup(snap GroupSnapshot) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	defer s.rebuildLocked()
 	g := snap.Group
 	if g.Depth() > s.table.KeyBits() {
 		return false, fmt.Errorf("%w: depth %d", ErrDepthRange, g.Depth())
@@ -505,7 +765,7 @@ func (s *Server) RestoreGroup(snap GroupSnapshot) (bool, error) {
 		Active:       true,
 		Epoch:        snap.Epoch + 1,
 	})
-	s.counters.GroupsRecovered++
+	s.recovered.Add(1)
 	return true, nil
 }
 
@@ -513,14 +773,15 @@ func (s *Server) RestoreGroup(snap GroupSnapshot) (bool, error) {
 // inactive entries is now held by a different server (the overlay re-homes
 // groups when DHT ownership changes). Stale child-load reports from the old
 // holder are invalidated so consolidation waits for the new holder's first
-// report.
+// report. Only the parent entry's lock stripe is taken.
 func (s *Server) HandleChildMoved(child bitkey.Group, newHolder ServerID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	parentGroup, ok := child.Parent()
 	if !ok {
 		return fmt.Errorf("%w: root group %v cannot move", ErrUnknownGroup, child)
 	}
+	sh := s.shardFor(parentGroup.Prefix)
+	sh.lock()
+	defer sh.mu.Unlock()
 	e, ok := s.table.get(parentGroup)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownGroup, parentGroup)
@@ -540,8 +801,8 @@ func (s *Server) HandleChildMoved(child bitkey.Group, newHolder ServerID) error 
 // current workload so parents can consolidate). Reports to itself are
 // omitted — the local left-child load is read directly at merge time.
 func (s *Server) LoadReports() []LoadReport {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var out []LoadReport
 	// The trie visit is already in prefix order, matching the sort the
 	// callers expect.
@@ -556,14 +817,16 @@ func (s *Server) LoadReports() []LoadReport {
 }
 
 // HandleLoadReport records a right-child load report on the inactive parent
-// entry that transferred the group.
+// entry that transferred the group. Only the parent entry's lock stripe is
+// taken, so reports for groups in different stripes record concurrently.
 func (s *Server) HandleLoadReport(rep LoadReport, now time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	parentGroup, ok := rep.Group.Parent()
 	if !ok {
 		return fmt.Errorf("%w: report for root group %v", ErrUnknownGroup, rep.Group)
 	}
+	sh := s.shardFor(parentGroup.Prefix)
+	sh.lock()
+	defer sh.mu.Unlock()
 	e, ok := s.table.get(parentGroup)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownGroup, parentGroup)
@@ -592,8 +855,8 @@ type MergeProposal struct {
 // mergeThreshold (the underload threshold in the paper's experiments).
 // Proposals are ordered coldest first.
 func (s *Server) PlanMerges(mergeThreshold float64, now time.Time) []MergeProposal {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	var out []MergeProposal
 	s.table.forEach(func(e *Entry) bool {
 		prop, ok := s.mergeCandidateLocked(e, mergeThreshold, now)
@@ -618,8 +881,8 @@ func (s *Server) PlanMerges(mergeThreshold float64, now time.Time) []MergePropos
 // right holder has not reported recently enough for its identity to be
 // trusted.
 func (s *Server) ProposeMerge(parent bitkey.Group, now time.Time) (MergeProposal, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	e, ok := s.table.get(parent)
 	if !ok {
 		return MergeProposal{}, fmt.Errorf("%w: %v", ErrUnknownGroup, parent)
@@ -631,6 +894,9 @@ func (s *Server) ProposeMerge(parent bitkey.Group, now time.Time) (MergeProposal
 	return prop, nil
 }
 
+// mergeCandidateLocked evaluates one entry as a consolidation candidate; the
+// caller holds every shard lock (the check reads sibling entries across
+// stripes).
 func (s *Server) mergeCandidateLocked(e *Entry, mergeThreshold float64, now time.Time) (MergeProposal, bool) {
 	if e.Active || e.RightChild == NoServer {
 		return MergeProposal{}, false
@@ -673,8 +939,9 @@ func (s *Server) mergeCandidateLocked(e *Entry, mergeThreshold float64, now time
 // right child lives on this same server). The parent becomes an active leaf
 // again and the child entries are removed.
 func (s *Server) ExecuteMerge(parent bitkey.Group, now time.Time) (*MergeResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	defer s.rebuildLocked()
 	e, ok := s.table.get(parent)
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownGroup, parent)
@@ -703,7 +970,7 @@ func (s *Server) ExecuteMerge(parent bitkey.Group, now time.Time) (*MergeResult,
 	e.RightChildGroup = bitkey.Group{}
 	e.hasChildLoad = false
 	e.localLoad = combined
-	s.counters.Merges++
+	s.merges.Add(1)
 	return &MergeResult{Merged: parent, ReclaimedFrom: prop.RightHolder, ReleasedGroup: right}, nil
 }
 
@@ -712,8 +979,9 @@ func (s *Server) ExecuteMerge(parent bitkey.Group, now time.Time) (*MergeResult,
 // the group has been split further on this server (the parent's view was
 // stale), in which case the driver must abort the merge.
 func (s *Server) HandleRelease(g bitkey.Group) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
+	defer s.rebuildLocked()
 	e, ok := s.table.get(g)
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownGroup, g)
@@ -722,6 +990,6 @@ func (s *Server) HandleRelease(g bitkey.Group) error {
 		return fmt.Errorf("%w: %v", ErrNotActive, g)
 	}
 	s.table.remove(g)
-	s.counters.GroupsReleased++
+	s.released.Add(1)
 	return nil
 }

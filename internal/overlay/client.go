@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"bytes"
 	"fmt"
 	"sync/atomic"
 
@@ -129,7 +130,9 @@ func (c *Client) handle(msgType string, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	select {
-	case c.matches <- Match{QueryID: m.QueryID, Key: key, Attrs: m.Attrs, Payload: m.Payload}:
+	// The decoded payload aliases the transport's pooled request buffer; the
+	// Match escapes to the application, so it must own its bytes.
+	case c.matches <- Match{QueryID: m.QueryID, Key: key, Attrs: m.Attrs, Payload: bytes.Clone(m.Payload)}:
 	default:
 		c.drops.Add(1)
 	}

@@ -23,10 +23,10 @@ func (n *Node) handle(msgType string, payload []byte) ([]byte, error) {
 		return n.handleFindSuccessor(payload)
 	case TypePredecessor:
 		ref := refToMsg(n.chord.PredecessorRef())
-		return ref.MarshalWire(nil), nil
+		return marshalMsg(&ref), nil
 	case TypeSuccessor:
 		ref := refToMsg(n.chord.Successor())
-		return ref.MarshalWire(nil), nil
+		return marshalMsg(&ref), nil
 	case TypeNotify:
 		return n.handleNotify(payload)
 	case TypePing:
@@ -66,7 +66,7 @@ func (n *Node) handleFindSuccessor(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	msg := refToMsg(ref)
-	return msg.MarshalWire(nil), nil
+	return marshalMsg(&msg), nil
 }
 
 func (n *Node) handleNotify(payload []byte) ([]byte, error) {
@@ -101,7 +101,7 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 		// to one push per frame (handleAcceptBatch).
 		n.replicate()
 	}
-	return reply.MarshalWire(nil), nil
+	return marshalMsg(&reply), nil
 }
 
 // handleAcceptBatch is the vectored ACCEPT_OBJECT path: all objects pass
@@ -157,7 +157,7 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 	if registeredAny {
 		n.replicate()
 	}
-	return out.MarshalWire(nil), nil
+	return marshalMsg(&out), nil
 }
 
 // acceptOne runs one object through the server state machine and its side
@@ -307,8 +307,12 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
 			Attrs:    ev.Attrs,
 			Payload:  ev.Payload,
 		}
-		deliver := func(sub string, msg *matchMsg) {
-			payload := marshalMsg(msg)
+		// Marshal synchronously: ev.Payload may alias the pooled request
+		// buffer, which the transport recycles once the publish handler
+		// returns. The marshalled frame is self-contained, so the async
+		// delivery goroutine only ever touches the copy.
+		payload := marshalMsg(msg)
+		deliver := func(sub string, payload []byte) {
 			defer wirecodec.PutBuf(payload)
 			obs := n.obs.get()
 			var start time.Time
@@ -326,14 +330,14 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
 			}
 		}
 		if n.cfg.InlineMatchPush {
-			deliver(t.sub, msg)
+			deliver(t.sub, payload)
 			continue
 		}
 		n.wg.Add(1)
-		go func(sub string, msg *matchMsg) {
+		go func(sub string, payload []byte) {
 			defer n.wg.Done()
-			deliver(sub, msg)
-		}(t.sub, msg)
+			deliver(sub, payload)
+		}(t.sub, payload)
 	}
 }
 
@@ -437,7 +441,7 @@ func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
 			Error:      err.Error(),
 			Gone:       errors.Is(err, core.ErrUnknownGroup),
 		}
-		return reply.MarshalWire(nil), nil
+		return marshalMsg(&reply), nil
 	}
 	n.meter.Drop(g.String())
 	// Releasing a group shrinks the replicable state; push the new snapshot
@@ -447,5 +451,5 @@ func (n *Node) handleReleaseKeyGroup(payload []byte) ([]byte, error) {
 	for i := range states {
 		reply.Queries = append(reply.Queries, states[i].MarshalWire(nil))
 	}
-	return reply.MarshalWire(nil), nil
+	return marshalMsg(&reply), nil
 }

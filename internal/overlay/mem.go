@@ -214,10 +214,14 @@ func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOp
 	e.stats.inFlight.Add(1)
 	defer e.stats.inFlight.Add(-1)
 
-	req, err := e.frameRoundTrip(seq, typ, payload, &e.stats)
+	// The request direction mirrors TCP's pooled server path: the decoded
+	// request payload lives in a pooled buffer owned by this call and goes
+	// back to the pool once dispatch (and the reply round trip) is done.
+	req, err := e.frameRoundTrip(seq, typ, payload, &e.stats, wirecodec.GetBuf())
 	if err != nil {
 		return nil, err
 	}
+	defer wirecodec.PutBuf(req.payload)
 	target, err := e.net.route(addr, typeName(req.typ))
 	if err != nil {
 		return nil, err
@@ -249,6 +253,9 @@ func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOp
 		return nil, &RemoteError{Msg: string(rf.payload)}
 	}
 	rf, err := target.replyRoundTrip(seq, typeReplyOK, reply, e)
+	// The handler transferred reply ownership; the reply frame encoding copied
+	// it, so it can be recycled regardless of the round trip's outcome.
+	wirecodec.PutBuf(reply)
 	if err != nil {
 		return nil, err
 	}
@@ -268,28 +275,35 @@ func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOp
 }
 
 // frameRoundTrip encodes one frame and decodes it back, exercising the codec
-// and counting the caller's outbound side.
-func (e *MemEndpoint) frameRoundTrip(seq uint64, typ byte, payload []byte, out *transportStats) (frame, error) {
+// and counting the caller's outbound side. The decoded payload is read into
+// `into` (pass a pooled buffer on the request direction, where the payload's
+// lifetime ends with the dispatch; pass nil on the reply direction, whose
+// payload escapes to the application). On success the caller owns f.payload;
+// on error it has already been recycled.
+func (e *MemEndpoint) frameRoundTrip(seq uint64, typ byte, payload []byte, out *transportStats, into []byte) (frame, error) {
 	buf := wirecodec.GetBuf()
 	// Deferred as a closure so the buffer that actually went back to the
 	// pool is the grown one appendFrame returns, not the 512-byte original.
 	defer func() { wirecodec.PutBuf(buf) }()
 	buf, err := appendFrame(buf, seq, typ, payload)
 	if err != nil {
+		wirecodec.PutBuf(into)
 		return frame{}, err
 	}
 	out.countOut(len(buf))
-	f, err := readFrame(bytes.NewReader(buf))
+	f, err := readFrameInto(bytes.NewReader(buf), into)
 	if err != nil {
+		wirecodec.PutBuf(f.payload)
 		return frame{}, err
 	}
 	return f, nil
 }
 
 // replyRoundTrip encodes the reply frame on the target side and decodes it on
-// the caller side, mirroring TCP's reply direction for the counters.
+// the caller side, mirroring TCP's reply direction for the counters. The
+// decoded reply payload is freshly allocated — it escapes to the caller.
 func (t *MemEndpoint) replyRoundTrip(seq uint64, typ byte, payload []byte, caller *MemEndpoint) (frame, error) {
-	f, err := t.frameRoundTrip(seq, typ, payload, &t.stats)
+	f, err := t.frameRoundTrip(seq, typ, payload, &t.stats, nil)
 	if err != nil {
 		return frame{}, err
 	}

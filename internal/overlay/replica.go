@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -220,6 +221,18 @@ func (n *Node) handleReplicate(payload []byte) ([]byte, error) {
 			return nil, nil
 		}
 	}
+	// The decoded records alias the request payload, which lives in a pooled
+	// buffer the transport recycles after this handler returns; the stored
+	// copy must own its bytes.
+	for gi := range msg.Groups {
+		qs := msg.Groups[gi].Queries
+		for qi := range qs {
+			qs[qi] = bytes.Clone(qs[qi])
+		}
+	}
+	for li := range msg.Loose {
+		msg.Loose[li] = bytes.Clone(msg.Loose[li])
+	}
 	n.replicas[msg.Origin] = &replicaSet{
 		incarnation: msg.Incarnation,
 		version:     msg.Version,
@@ -270,7 +283,7 @@ func (n *Node) handleRecoverKeyGroups(payload []byte) ([]byte, error) {
 		reply.Loose = set.loose
 	}
 	n.mu.Unlock()
-	return reply.MarshalWire(nil), nil
+	return marshalMsg(&reply), nil
 }
 
 // restoreReplicaGroups promotes replica records to active local groups and
@@ -494,6 +507,9 @@ func (n *Node) orphanQueries(states []queryState) {
 	}
 	n.mu.Lock()
 	for _, st := range states {
+		// Parked state outlives the request that carried it; the decoded
+		// Query bytes may alias a pooled payload buffer, so take ownership.
+		st.Query = bytes.Clone(st.Query)
 		n.orphans = append(n.orphans, orphanQuery{st: st})
 	}
 	n.mu.Unlock()

@@ -330,7 +330,12 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 	}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
-		f, err := readFrame(conn)
+		// Request payloads live in pooled buffers end-to-end: the socket read
+		// lands in a pooled buffer, the handler decodes it in place, and the
+		// dispatch goroutine returns it to the pool once the reply frame has
+		// been built (appendFrame copies). readFrameInto always hands the
+		// buffer back through f.payload, so every path below recycles it.
+		f, err := readFrameInto(conn, wirecodec.GetBuf())
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) {
 				// The oversized payload was skipped and framing is intact:
@@ -338,9 +343,11 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 				// every pipelined call on it) alive.
 				t.stats.oversizedDrops.Add(1)
 				writeReply(f.seq, typeReplyErr, []byte(err.Error()))
+				wirecodec.PutBuf(f.payload)
 				continue
 			}
 			// EOF, deadline, or framing corruption: close.
+			wirecodec.PutBuf(f.payload)
 			return
 		}
 		t.stats.countIn(frameHeaderSize + len(f.payload))
@@ -360,6 +367,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 			case <-shedTimer.C:
 				t.stats.shed.Add(1)
 				writeReply(f.seq, typeReplyShed, []byte("server overloaded: request shed"))
+				wirecodec.PutBuf(f.payload)
 				continue
 			}
 		}
@@ -370,9 +378,13 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 			reply, herr := dispatch(h, typeName(f.typ), f.payload)
 			if herr != nil {
 				writeReply(f.seq, typeReplyErr, []byte(herr.Error()))
-				return
+			} else {
+				writeReply(f.seq, typeReplyOK, reply)
+				// The handler transferred reply ownership; the frame encoder
+				// copied it, so it can feed the next reply.
+				wirecodec.PutBuf(reply)
 			}
-			writeReply(f.seq, typeReplyOK, reply)
+			wirecodec.PutBuf(f.payload)
 		}(f)
 	}
 }

@@ -48,6 +48,14 @@ func IsRemote(err error) bool {
 // error never tears down the connection. Handlers run concurrently (the TCP
 // transport dispatches pipelined requests in parallel), so they must be safe
 // for concurrent use.
+//
+// Buffer ownership: the request payload lives in a pooled buffer owned by the
+// transport and is valid only for the duration of the call — a handler that
+// retains any of its bytes (directly or through a decoded message that aliases
+// them) must copy them first. The returned reply transfers ownership to the
+// transport, which encodes it into the reply frame and may recycle it into the
+// same pool; a reply must therefore be a fresh or pool-drawn buffer, never a
+// slice aliasing the request payload or any long-lived state.
 type Handler func(msgType string, payload []byte) ([]byte, error)
 
 // TransportStats is a snapshot of one transport's cumulative counters,

@@ -233,31 +233,42 @@ func appendFrame(dst []byte, seq uint64, typ byte, payload []byte) ([]byte, erro
 	return append(dst, payload...), nil
 }
 
-// readFrame reads one frame from r. On success the payload is freshly
-// allocated (it is handed across goroutines on the demux path).
+// readFrame reads one frame from r. The payload is freshly allocated, so it
+// may escape to application code (the client-side demux path hands reply
+// payloads to callers that keep them).
+func readFrame(r io.Reader) (frame, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one frame from r, reading the payload into buf
+// (typically a pooled wirecodec buffer) — the zero-copy entry of the pooled
+// request path: the payload buffer travels from the socket read through
+// decode and dispatch and back to the pool after the reply is flushed. The
+// returned frame's payload is buf, grown as needed, on EVERY return path
+// (even errors), so the caller can always recycle f.payload with PutBuf. A
+// nil buf allocates fresh (readFrame's behaviour).
 //
-// When the advertised payload exceeds maxFrameSize, readFrame discards the
-// payload from the stream and returns the decoded header alongside
+// When the advertised payload exceeds maxFrameSize, the payload is discarded
+// from the stream and the decoded header is returned alongside
 // ErrFrameTooLarge: framing stays intact, so the caller can answer with a
 // framed error and keep the connection. Any other error (short read, unknown
 // version) is unrecoverable.
-func readFrame(r io.Reader) (frame, error) {
+func readFrameInto(r io.Reader, buf []byte) (frame, error) {
+	f := frame{payload: buf[:0]}
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, err
+		return f, err
 	}
 	n := binary.BigEndian.Uint32(hdr[0:4])
-	f := frame{
-		seq: binary.BigEndian.Uint64(hdr[4:12]),
-		typ: hdr[13],
-	}
+	f.seq = binary.BigEndian.Uint64(hdr[4:12])
+	f.typ = hdr[13]
 	if ver := hdr[12]; ver != wireVersion {
-		return frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, ver, wireVersion)
+		return f, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, ver, wireVersion)
 	}
 	if n > maxFrameSize {
 		// Recoverable: skip the oversized payload so the stream stays framed.
 		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
-			return frame{}, err
+			return f, err
 		}
 		return f, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
@@ -273,7 +284,7 @@ func readFrame(r io.Reader) (frame, error) {
 		start := len(f.payload)
 		f.payload = slices.Grow(f.payload, k)[:start+k]
 		if _, err := io.ReadFull(r, f.payload[start:]); err != nil {
-			return frame{}, err
+			return f, err
 		}
 		remaining -= k
 	}
