@@ -14,7 +14,8 @@
 //
 // The -status address serves the node's control plane (internal/hub):
 // GET /status (JSON snapshot), GET /metrics (Prometheus), GET /topology
-// (ring walk), GET /traces/sample, GET /events (server-sent event stream),
+// (ring walk), GET /traces/sample, GET /traces/spans (hop spans of sampled
+// publishes, scraped by clashtop), GET /events (server-sent event stream),
 // and the POST /admin/{drain,undrain,rebalance} and
 // POST /admin/{split,merge}/{group} verbs.
 package main

@@ -21,6 +21,11 @@
 // With -batch N every worker ships its packets in N-object ACCEPT_BATCH
 // frames through Client.PublishBatch instead of one frame per packet.
 //
+// -trace-compare measures the observability tax: after the main drive it
+// repeats the same packet count once with tracing off and once with every
+// publish carrying a trace ID (worst-case sampling), and records both
+// throughputs in the snapshot's trace_overhead section.
+//
 // Call latency is recorded in an HDR-style bucketed histogram
 // (metrics.LatencyHist — no per-call allocation), so the reported p50/p95/p99
 // stay exact-shaped at millions of packets. Every connection draws keys from
@@ -99,11 +104,36 @@ type benchResults struct {
 	Nodes           []nodeSnapshot         `json:"overlay,omitempty"`
 }
 
+// traceOverhead compares the same drive at three sampling rates: tracing off
+// (the baseline the hot path must not regress — untraced requests skip every
+// span branch), the production sampling rate (one publish in SampledEvery
+// carries a trace ID), and every publish sampled (worst case: each hop on the
+// path records spans and stage timings for each packet). Each mode keeps its
+// best throughput over Rounds alternating rounds, which filters scheduler and
+// GC noise that would otherwise dwarf the effect on sub-second drives.
+type traceOverhead struct {
+	Rounds        int     `json:"rounds"`
+	UntracedPPS   float64 `json:"untraced_pps"`
+	UntracedP99US float64 `json:"untraced_p99_us"`
+	// Sampled is the realistic operating point (clashsim's split-merge
+	// scenario samples at the same rate).
+	SampledEvery       int     `json:"sampled_every"`
+	SampledPPS         float64 `json:"sampled_pps"`
+	SampledOverheadPct float64 `json:"sampled_overhead_pct"`
+	// Traced stamps every publish. OverheadPct is
+	// (untraced - traced) / untraced throughput in percent; negative values
+	// mean the traced run happened to measure faster (noise).
+	TracedPPS   float64 `json:"traced_pps"`
+	TracedP99US float64 `json:"traced_p99_us"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type benchOut struct {
-	Config    benchConfig    `json:"config"`
-	GoVersion string         `json:"go_version"`
-	Results   benchResults   `json:"results"`
-	Scaling   []scalingPoint `json:"scaling,omitempty"`
+	Config        benchConfig    `json:"config"`
+	GoVersion     string         `json:"go_version"`
+	Results       benchResults   `json:"results"`
+	Scaling       []scalingPoint `json:"scaling,omitempty"`
+	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
 }
 
 func main() {
@@ -125,6 +155,7 @@ func main() {
 		procs     = flag.String("procs", "", "comma-separated GOMAXPROCS values: drive the workload once per value and record the scaling curve (last value's run fills the detailed results)")
 		metricsAd = flag.String("metrics-addr", "", "serve the driver's Prometheus metrics at this HTTP address during the run")
 		traceEv   = flag.Int("trace-every", 0, "sample every Nth published packet with a request trace (0 disables)")
+		traceCmp  = flag.Bool("trace-compare", false, "after the main drive, measure trace-sampling overhead: repeat the drive once untraced and once with every publish traced, and record both (trace_overhead in the -out snapshot)")
 		dialTO    = flag.Duration("dial-timeout", 0, "TCP connect timeout for outbound connections (0 = default 3s; TCP mode only)")
 		callTO    = flag.Duration("call-timeout", 0, "per-call reply deadline (0 = default 10s; TCP mode only)")
 		idleTO    = flag.Duration("idle-timeout", 0, "idle time before pooled connections close (0 = default 5m; TCP mode only)")
@@ -134,7 +165,7 @@ func main() {
 	flag.Int64Var(&randSeed, "rand-seed", 1, "deprecated alias for -seed")
 	flag.Parse()
 	tcpCfg := overlay.TCPConfig{DialTimeout: *dialTO, CallTimeout: *callTO, IdleTimeout: *idleTO}
-	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, *metricsAd, *traceEv, *procs, tcpCfg); err != nil {
+	if err := run(*seedAddrs, *inproc, *conns, *packets, *batch, *queries, *kindFlag, *keyBits, *capacity, *streamLen, *latency, *loss, *replicas, randSeed, *out, *metricsAd, *traceEv, *traceCmp, *procs, tcpCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "clashload:", err)
 		os.Exit(1)
 	}
@@ -170,7 +201,7 @@ func parseProcs(spec string) ([]int, error) {
 	return procs, nil
 }
 
-func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out, metricsAddr string, traceEvery int, procsSpec string, tcpCfg overlay.TCPConfig) error {
+func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag string, keyBits int, capacity, streamLen float64, latency time.Duration, loss float64, replicas int, randSeed int64, out, metricsAddr string, traceEvery int, traceCompare bool, procsSpec string, tcpCfg overlay.TCPConfig) error {
 	kind, err := parseKind(kindFlag)
 	if err != nil {
 		return err
@@ -517,13 +548,62 @@ func run(seedAddrs string, inproc, conns, packets, batch, queries int, kindFlag 
 			n.Addr, len(n.ActiveGroups), n.Splits, n.Merges, n.Accepted, n.Released)
 	}
 
+	// -trace-compare: repeat the exact drive (same warmed overlay, same
+	// per-worker generator seeds) at three sampling rates, alternating the
+	// modes across rounds so slow phases of the box hit all of them alike;
+	// each mode keeps its best round. The main drive above doubles as warmup.
+	var tcmp *traceOverhead
+	if traceCompare {
+		if traces == nil {
+			traces = hub.NewTraces(0, reg)
+			for _, n := range nodes {
+				n.SetObserver(traces)
+			}
+		}
+		const cmpRounds = 3
+		const sampledEvery = 16
+		type modeBest struct {
+			pps float64
+			p99 float64
+		}
+		bests := map[int]modeBest{}
+		for r := 0; r < cmpRounds; r++ {
+			for _, every := range []int{0, sampledEvery, 1} {
+				client.SetTraceEvery(every)
+				a, h, el := drive()
+				if a.ok == 0 || el <= 0 {
+					client.SetTraceEvery(traceEvery)
+					return fmt.Errorf("trace-compare drive (every=%d, round %d) delivered nothing (%d errors)", every, r, a.errs)
+				}
+				if pps := float64(a.ok) / el.Seconds(); pps > bests[every].pps {
+					bests[every] = modeBest{pps: pps, p99: h.Summary().P99}
+				}
+			}
+		}
+		client.SetTraceEvery(traceEvery)
+		tcmp = &traceOverhead{
+			Rounds:        cmpRounds,
+			UntracedPPS:   bests[0].pps,
+			UntracedP99US: bests[0].p99,
+			SampledEvery:  sampledEvery,
+			SampledPPS:    bests[sampledEvery].pps,
+			TracedPPS:     bests[1].pps,
+			TracedP99US:   bests[1].p99,
+		}
+		tcmp.SampledOverheadPct = 100 * (tcmp.UntracedPPS - tcmp.SampledPPS) / tcmp.UntracedPPS
+		tcmp.OverheadPct = 100 * (tcmp.UntracedPPS - tcmp.TracedPPS) / tcmp.UntracedPPS
+		fmt.Printf("  trace overhead: untraced=%.0f pkt/s  every-%d=%.0f pkt/s (%+.1f%%)  every-publish=%.0f pkt/s (%+.1f%%; p99 %.0fµs → %.0fµs)\n",
+			tcmp.UntracedPPS, sampledEvery, tcmp.SampledPPS, tcmp.SampledOverheadPct,
+			tcmp.TracedPPS, tcmp.OverheadPct, tcmp.UntracedP99US, tcmp.TracedP99US)
+	}
+
 	cancel()
 	for _, n := range nodes {
 		_ = n.Close()
 	}
 
 	if out != "" {
-		snapshot := benchOut{Config: cfg, GoVersion: runtime.Version(), Results: res, Scaling: scaling}
+		snapshot := benchOut{Config: cfg, GoVersion: runtime.Version(), Results: res, Scaling: scaling, TraceOverhead: tcmp}
 		data, err := json.MarshalIndent(snapshot, "", "  ")
 		if err != nil {
 			return err

@@ -1,0 +1,191 @@
+// Command clashtop is the cluster-wide observability aggregator: it scrapes
+// every node's control plane (/status, /metrics, /traces/spans), walks the
+// ring through /topology, reassembles sampled publishes into cross-node trace
+// trees with critical paths, merges fleet metrics (per-stage latency
+// quantiles, group heat, headline counters) and runs cluster invariant
+// probes (key-space coverage, ring successor order, replica health).
+//
+// One-shot JSON report (CI mode):
+//
+//	clashtop -hubs http://127.0.0.1:8001,http://127.0.0.1:8002 -once
+//
+// Assemble one trace across the fleet:
+//
+//	clashtop -hubs ... -trace 81914374837
+//
+// Default is a refreshing live view:
+//
+//	clashtop -hubs ... -interval 2s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"clash/internal/cluster"
+)
+
+func main() {
+	var (
+		hubs     = flag.String("hubs", "", "comma-separated hub base URLs (e.g. http://127.0.0.1:8001,http://127.0.0.1:8002)")
+		once     = flag.Bool("once", false, "collect once, print the JSON report to stdout, and exit")
+		traceID  = flag.Uint64("trace", 0, "assemble one trace by ID across the fleet and print it as JSON")
+		interval = flag.Duration("interval", 2*time.Second, "live-mode refresh interval")
+		recent   = flag.Int("recent", 8, "recent traces to assemble per pass")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-pass collection deadline")
+	)
+	flag.Parse()
+	if *hubs == "" {
+		fmt.Fprintln(os.Stderr, "clashtop: -hubs is required")
+		os.Exit(2)
+	}
+	c := &cluster.Collector{}
+	for _, h := range strings.Split(*hubs, ",") {
+		if h = strings.TrimSpace(strings.TrimSuffix(h, "/")); h != "" {
+			c.Hubs = append(c.Hubs, h)
+		}
+	}
+	if len(c.Hubs) == 0 {
+		fmt.Fprintln(os.Stderr, "clashtop: -hubs parsed to an empty list")
+		os.Exit(2)
+	}
+
+	switch {
+	case *traceID != 0:
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		tree := cluster.AssembleTrace(*traceID, c.SpansFor(ctx, *traceID))
+		printJSON(tree)
+		if !tree.Complete {
+			os.Exit(1)
+		}
+	case *once:
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		printJSON(cluster.BuildReport(ctx, c, *recent))
+	default:
+		live(c, *interval, *recent, *timeout)
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "clashtop:", err)
+		os.Exit(1)
+	}
+}
+
+// live refreshes a terminal dashboard until interrupted.
+func live(c *cluster.Collector, interval time.Duration, recent int, timeout time.Duration) {
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		rep := cluster.BuildReport(ctx, c, recent)
+		cancel()
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		render(rep)
+		time.Sleep(interval)
+	}
+}
+
+func render(rep *cluster.Report) {
+	f := rep.Fleet
+	fmt.Printf("clashtop — %d/%d nodes reachable", f.Reachable, f.Nodes)
+	if len(rep.Unscraped) > 0 {
+		fmt.Printf(", %d ring members unscraped", len(rep.Unscraped))
+	}
+	if f.VersionSkew {
+		fmt.Printf("  [VERSION SKEW: %d builds]", len(f.Builds))
+	}
+	fmt.Println()
+	fmt.Printf("groups %d  queries %d  spans %d  objects", f.GroupsActive, f.Queries, f.Spans)
+	for _, status := range sortedKeys(f.Objects) {
+		fmt.Printf(" %s=%.0f", status, f.Objects[status])
+	}
+	fmt.Println()
+
+	fmt.Println("\ninvariants:")
+	for _, p := range rep.Probes {
+		mark := "FAIL"
+		if p.OK {
+			mark = "ok  "
+		}
+		fmt.Printf("  %s %-10s %s\n", mark, p.Name, p.Detail)
+		for _, v := range p.Violations {
+			fmt.Printf("       ! %s\n", v)
+		}
+	}
+
+	if len(f.Stages) > 0 {
+		fmt.Println("\nstage latency (fleet-merged):")
+		fmt.Printf("  %-12s %10s %10s %10s %8s\n", "stage", "p50", "p95", "p99", "count")
+		for _, stage := range sortedStageKeys(f.Stages) {
+			s := f.Stages[stage]
+			fmt.Printf("  %-12s %10s %10s %10s %8d\n",
+				stage, fmtSeconds(s.P50), fmtSeconds(s.P95), fmtSeconds(s.P99), s.Count)
+		}
+	}
+
+	if len(f.Heat) > 0 {
+		fmt.Println("\nhottest groups:")
+		for _, g := range f.Heat {
+			fmt.Printf("  %-20s load %.3f  queries %-5d holder %s\n", g.Group, g.Load, g.Queries, g.Holder)
+		}
+	}
+
+	if len(rep.Traces) > 0 {
+		fmt.Printf("\nrecent traces (%d complete of %d):\n", rep.TracesComplete, len(rep.Traces))
+		for _, tr := range rep.Traces {
+			state := "incomplete"
+			if tr.Complete {
+				state = "complete"
+			}
+			fmt.Printf("  trace %d — %d spans, %s, critical path %s:\n",
+				tr.TraceID, tr.Spans, state, fmtMicros(tr.CriticalPathMicros))
+			for _, hop := range tr.CriticalPath {
+				fmt.Printf("    %-18s %-22s %10s  (cum %s)\n",
+					hop.Kind, hop.Node, fmtMicros(hop.Micros), fmtMicros(hop.CumMicros))
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedStageKeys(m map[string]cluster.StageLatency) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtSeconds(s float64) string {
+	return fmtMicros(int64(s * 1e6))
+}
+
+func fmtMicros(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clash/internal/bitkey"
+	"clash/internal/chord"
+	"clash/internal/cq"
+	"clash/internal/hub"
+	"clash/internal/load"
+	"clash/internal/overlay"
+)
+
+// kindsOf walks one assembled tree and collects the hop kinds and node
+// addresses it touches.
+func kindsOf(tr *TraceTree) (map[string]bool, map[string]bool) {
+	kinds := map[string]bool{}
+	nodes := map[string]bool{}
+	var walk func(ts *TraceSpan)
+	walk = func(ts *TraceSpan) {
+		kinds[ts.Kind] = true
+		nodes[ts.Node] = true
+		for _, ch := range ts.Children {
+			walk(ch)
+		}
+	}
+	if tr.Root != nil {
+		walk(tr.Root)
+	}
+	return kinds, nodes
+}
+
+// findCrossNodeTrace returns the first complete trace that spans at least two
+// nodes and covers the whole publish path: ingress, a routing hop (resolve or
+// route-forward), the CQ match and the subscriber delivery.
+func findCrossNodeTrace(trees []*TraceTree) *TraceTree {
+	for _, tr := range trees {
+		if !tr.Complete {
+			continue
+		}
+		kinds, nodes := kindsOf(tr)
+		if kinds[overlay.HopIngress] && kinds[overlay.HopCQMatch] && kinds[overlay.HopDeliver] &&
+			(kinds[overlay.HopResolve] || kinds[overlay.HopRouteForward]) && len(nodes) >= 2 {
+			return tr
+		}
+	}
+	return nil
+}
+
+// TestClashtopEndToEnd boots a live 3-node loopback-TCP overlay with a hub on
+// every node, drives traced publishes through a fresh client (cold routing
+// cache, so probes hop), and checks the full clashtop pipeline: the collector
+// scrapes every hub, the invariant probes pass, the fleet aggregate carries
+// merged stage latencies, and at least one sampled publish reassembles into a
+// complete cross-node span tree covering ingress, a routing hop, the CQ match
+// and the subscriber delivery with per-hop timings.
+func TestClashtopEndToEnd(t *testing.T) {
+	cfg := overlay.Config{
+		KeyBits:           16,
+		Space:             chord.DefaultSpace(),
+		BootstrapDepth:    2,
+		Model:             load.DefaultModel(200),
+		LoadCheckInterval: time.Second,
+		ReplicationFactor: 2,
+	}
+	var nodes []*overlay.Node
+	var srvs []*httptest.Server
+	for i := 0; i < 3; i++ {
+		tr, err := overlay.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenTCP: %v", err)
+		}
+		node, err := overlay.NewNode(tr, cfg)
+		if err != nil {
+			t.Fatalf("NewNode %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+		srvs = append(srvs, httptest.NewServer(hub.New(node).Handler()))
+	}
+	t.Cleanup(func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	})
+	if err := nodes[0].BootstrapRoots(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes[1:] {
+		if err := n.Join(nodes[0].Addr()); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+	}
+	now := time.Now()
+	tick := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for _, n := range nodes {
+				n.Tick()
+				_ = n.FixAllFingers()
+			}
+		}
+	}
+	check := func() {
+		now = now.Add(cfg.LoadCheckInterval)
+		for _, n := range nodes {
+			n.LoadCheck(now)
+		}
+	}
+	tick(8)
+	check()
+	check()
+
+	ctr, err := overlay.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := overlay.NewClient(ctr, cfg.KeyBits, cfg.Space, nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	cli.SetTraceEvery(1)
+
+	// One query per bootstrap region so every publish lands on a CQ match
+	// and fans out a subscriber delivery.
+	for i, rg := range []string{"00", "01", "10", "11"} {
+		q := cq.Query{
+			ID:         fmt.Sprintf("q-%d", i),
+			Region:     bitkey.MustParseGroup(rg),
+			Predicates: []cq.Predicate{{Attr: "speed", Op: cq.OpGt, Value: 50}},
+		}
+		if _, err := cli.Register(q); err != nil {
+			t.Fatalf("Register %s: %v", q.ID, err)
+		}
+	}
+	check() // replicate the registered state to successors
+
+	// Bulk traffic through the warmed client: after its first probes it
+	// resolves in one hop, so this feeds the stage histograms, counters and
+	// single-node traces.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40; i++ {
+		key := bitkey.Key{Value: uint64(rng.Intn(1 << 16)), Bits: 16}
+		if _, err := cli.Publish(key, map[string]float64{"speed": 80}, nil); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+
+	c := &Collector{Hubs: []string{srvs[0].URL, srvs[1].URL, srvs[2].URL}}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Cross-node traces come from clients with no depth estimate: a fresh
+	// client's first publish starts the modified binary search in the middle
+	// of the depth range, landing on a hash-placed server that answers
+	// INCORRECT_DEPTH (the ingress hop) before the search forwards to the
+	// real holder — usually a different node. Each attempt publishes one
+	// fresh-client object per bootstrap region; the retry loop only guards
+	// against the unlucky case where every search happened to start on the
+	// holder itself.
+	var best *TraceTree
+	var rep *Report
+	for attempt := 0; attempt < 10 && best == nil; attempt++ {
+		for _, rg := range []string{"00", "01", "10", "11"} {
+			ftr, err := overlay.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcli, err := overlay.NewClient(ftr, cfg.KeyBits, cfg.Space, nodes[0].Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fcli.SetTraceEvery(1)
+			g := bitkey.MustParseGroup(rg)
+			vk, err := g.VirtualKey(cfg.KeyBits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := bitkey.Key{Value: vk.Value | uint64(rng.Intn(1<<14)), Bits: 16}
+			if _, err := fcli.Publish(key, map[string]float64{"speed": 80}, nil); err != nil {
+				t.Fatalf("fresh-client Publish: %v", err)
+			}
+			_ = fcli.Close()
+		}
+		rep = BuildReport(ctx, c, 64)
+		best = findCrossNodeTrace(rep.Traces)
+	}
+
+	if rep.Fleet.Reachable != 3 {
+		t.Fatalf("reachable = %d, want 3 (nodes: %+v)", rep.Fleet.Reachable, rep.Nodes)
+	}
+	if len(rep.Unscraped) != 0 {
+		t.Errorf("unscraped ring members: %v", rep.Unscraped)
+	}
+	if rep.Fleet.VersionSkew {
+		t.Errorf("one binary reported version skew: %+v", rep.Fleet.Builds)
+	}
+	for _, name := range []string{"coverage", "successors"} {
+		if p := probeByName(t, rep.Probes, name); !p.OK {
+			t.Errorf("probe %s failed: %s %v", name, p.Detail, p.Violations)
+		}
+	}
+	if rep.Fleet.Objects["ok"]+rep.Fleet.Objects["corrected"] == 0 {
+		t.Errorf("fleet saw no accepted objects: %+v", rep.Fleet.Objects)
+	}
+	if _, ok := rep.Fleet.Stages["route"]; !ok {
+		t.Errorf("merged stages missing route: %+v", rep.Fleet.Stages)
+	}
+	if rep.Fleet.Spans == 0 {
+		t.Fatal("no spans scraped from any node")
+	}
+
+	if best == nil {
+		for _, tr := range rep.Traces {
+			k, n := kindsOf(tr)
+			t.Logf("trace %d complete=%v spans=%d kinds=%v nodes=%v", tr.TraceID, tr.Complete, tr.Spans, k, n)
+		}
+		t.Fatalf("no complete cross-node trace with ingress+route+cq-match+deliver among %d traces (%d complete)",
+			len(rep.Traces), rep.TracesComplete)
+	}
+	if len(best.CriticalPath) < 3 {
+		t.Errorf("critical path too short: %+v", best.CriticalPath)
+	}
+	// Per-hop timings: a real TCP delivery round trip cannot be free.
+	if best.CriticalPathMicros <= 0 {
+		t.Errorf("critical path carries no time: %+v", best.CriticalPath)
+	}
+
+	// Cross-check the per-trace fetch path (/traces/spans?traceId=) against
+	// the pooled-ring assembly.
+	direct := AssembleTrace(best.TraceID, c.SpansFor(ctx, best.TraceID))
+	if !direct.Complete || direct.Spans != best.Spans {
+		t.Errorf("SpansFor assembly disagrees: direct %d spans complete=%v, pooled %d",
+			direct.Spans, direct.Complete, best.Spans)
+	}
+}

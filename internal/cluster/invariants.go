@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"clash/internal/bitkey"
+	"clash/internal/hub"
+	"clash/internal/overlay"
+)
+
+// Probe is one cluster invariant check result.
+type Probe struct {
+	// Name identifies the invariant: coverage, successors, replicas.
+	Name string `json:"name"`
+	// OK is true when the invariant held; Detail explains either way.
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+	// Violations carries up to a handful of concrete counterexamples.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// maxProbeViolations caps the counterexamples a probe reports.
+const maxProbeViolations = 8
+
+// RunProbes evaluates every cluster invariant against one topology walk.
+// A nil or incomplete topology yields skipped (not-OK) probes rather than
+// false confidence.
+func RunProbes(topo *hub.TopologyView) []Probe {
+	if topo == nil {
+		p := Probe{Name: "coverage", Detail: "no topology available (no hub reachable)"}
+		return []Probe{p,
+			{Name: "successors", Detail: p.Detail},
+			{Name: "replicas", Detail: p.Detail}}
+	}
+	return []Probe{
+		probeCoverage(topo),
+		probeSuccessors(topo),
+		probeReplicas(topo),
+	}
+}
+
+// probeCoverage checks the CLASH structural invariant that the active key
+// groups tile the key space exactly: sorted by prefix value, each group must
+// begin where the previous one ended, with no gap and no overlap, and the
+// last must wrap back to zero. (The paper's split/merge rules preserve this;
+// a violation means a transfer lost or duplicated a group.)
+func probeCoverage(topo *hub.TopologyView) Probe {
+	p := Probe{Name: "coverage"}
+	if !topo.Complete {
+		p.Detail = "ring walk incomplete; coverage not evaluable"
+		return p
+	}
+	type tile struct {
+		name  string
+		start uint64 // prefix bits left-aligned in 64
+		width uint64 // 2^(64-depth); 0 means the whole space (depth 0)
+	}
+	tiles := make([]tile, 0, len(topo.Groups))
+	for name := range topo.Groups {
+		g, err := bitkey.ParseGroup(name)
+		if err != nil {
+			p.Violations = append(p.Violations, fmt.Sprintf("unparseable group %q: %v", name, err))
+			continue
+		}
+		d := g.Depth()
+		tiles = append(tiles, tile{
+			name:  name,
+			start: g.Prefix.Value << (64 - uint(d)),
+			width: uint64(1) << (64 - uint(d)),
+		})
+	}
+	if len(p.Violations) > 0 {
+		p.Detail = "group names did not parse"
+		return p
+	}
+	if len(tiles) == 0 {
+		p.Detail = "no active key groups anywhere in the ring"
+		return p
+	}
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i].start < tiles[j].start })
+	// Walk the tiles with a wrapping cursor: starting from 0 and adding each
+	// width must visit every start exactly and land back on 0.
+	var cursor uint64
+	ok := true
+	for _, t := range tiles {
+		if t.start != cursor {
+			ok = false
+			if len(p.Violations) < maxProbeViolations {
+				kind := "gap"
+				if t.start < cursor {
+					kind = "overlap"
+				}
+				p.Violations = append(p.Violations,
+					fmt.Sprintf("%s before group %s (expected prefix start %#016x, got %#016x)",
+						kind, t.name, cursor, t.start))
+			}
+			// Resynchronise so one bad tile doesn't cascade into noise.
+			cursor = t.start
+		}
+		cursor += t.width
+		if t.width == 0 && len(tiles) > 1 { // depth-0 root next to other groups
+			ok = false
+			p.Violations = append(p.Violations,
+				fmt.Sprintf("root group %s coexists with %d other groups", t.name, len(tiles)-1))
+		}
+	}
+	if cursor != 0 {
+		ok = false
+		if len(p.Violations) < maxProbeViolations {
+			p.Violations = append(p.Violations,
+				fmt.Sprintf("tail gap: last group ends at %#016x, not at the wrap point", cursor))
+		}
+	}
+	p.OK = ok && len(p.Violations) == 0
+	if p.OK {
+		p.Detail = fmt.Sprintf("%d groups tile the key space exactly", len(tiles))
+	} else {
+		p.Detail = fmt.Sprintf("%d groups do not tile the key space", len(tiles))
+	}
+	return p
+}
+
+// probeSuccessors checks ring consistency: with the members sorted by Chord
+// ID, every node's first successor must be the next member (wrapping).
+func probeSuccessors(topo *hub.TopologyView) Probe {
+	p := Probe{Name: "successors"}
+	if !topo.Complete {
+		p.Detail = "ring walk incomplete; successor order not evaluable"
+		return p
+	}
+	nodes := append([]overlay.TopoNode(nil), topo.Nodes...)
+	if len(nodes) == 0 {
+		p.Detail = "topology walk returned no nodes"
+		return p
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for i, n := range nodes {
+		want := nodes[(i+1)%len(nodes)].Addr
+		got := ""
+		if len(n.Successors) > 0 {
+			got = n.Successors[0]
+		}
+		if got != want && len(p.Violations) < maxProbeViolations {
+			p.Violations = append(p.Violations,
+				fmt.Sprintf("%s: first successor %q, ring order expects %q", n.Addr, got, want))
+		}
+	}
+	p.OK = len(p.Violations) == 0
+	if p.OK {
+		p.Detail = fmt.Sprintf("%d-node ring successor order consistent", len(nodes))
+	} else {
+		p.Detail = "successor pointers disagree with Chord ID order"
+	}
+	return p
+}
+
+// probeReplicas checks crash-recovery health: in a multi-node ring, every
+// node holding key groups must have at least one live peer replicating it
+// (replication is per origin node, not per group).
+func probeReplicas(topo *hub.TopologyView) Probe {
+	p := Probe{Name: "replicas"}
+	if !topo.Complete {
+		p.Detail = "ring walk incomplete; replica placement not evaluable"
+		return p
+	}
+	if len(topo.Nodes) < 2 {
+		p.OK = true
+		p.Detail = "single-node ring: replication not applicable"
+		return p
+	}
+	replicas := make(map[string]int)
+	for _, n := range topo.Nodes {
+		for _, origin := range n.ReplicaOrigins {
+			if origin != n.Addr {
+				replicas[origin]++
+			}
+		}
+	}
+	holders := 0
+	for _, n := range topo.Nodes {
+		if len(n.Groups) == 0 {
+			continue
+		}
+		holders++
+		if replicas[n.Addr] == 0 && len(p.Violations) < maxProbeViolations {
+			p.Violations = append(p.Violations,
+				fmt.Sprintf("%s holds %d groups but no peer replicates it", n.Addr, len(n.Groups)))
+		}
+	}
+	p.OK = len(p.Violations) == 0
+	if p.OK {
+		p.Detail = fmt.Sprintf("every group-holding node (%d) has at least one replica peer", holders)
+	} else {
+		p.Detail = "group holders without crash-recovery replicas"
+	}
+	return p
+}

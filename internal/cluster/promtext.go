@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// inf marks the +Inf histogram bucket bound.
+var inf = math.Inf(1)
+
+// Sample is one parsed Prometheus exposition sample.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Metrics is a parsed /metrics scrape with lookup helpers.
+type Metrics struct {
+	samples []Sample
+}
+
+// parseMetrics parses the Prometheus text exposition format (the subset our
+// registry emits: HELP/TYPE comments and `name{labels} value` samples). It is
+// the scrape-side twin of metrics.LintPrometheus — the linter validates the
+// grammar on the way out, this reads values back in on the way into clashtop.
+func parseMetrics(r io.Reader) (*Metrics, error) {
+	m := &Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+		}
+		m.samples = append(m.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parsePromSample parses one `name{k="v",...} value` line.
+func parsePromSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses `k="v",k2="v2"` with \\, \" and \n escapes.
+func parsePromLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// Select returns every sample of the named family member (exact name match,
+// so histogram series are addressed as name_bucket / name_sum / name_count).
+func (m *Metrics) Select(name string) []Sample {
+	var out []Sample
+	for _, s := range m.samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the first sample matching name and the given label subset.
+func (m *Metrics) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range m.samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of the given name (all label combinations).
+func (m *Metrics) Sum(name string) float64 {
+	total := 0.0
+	for _, s := range m.samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// bucketPoint is one cumulative histogram bucket.
+type bucketPoint struct {
+	le    float64 // upper bound (math.Inf(1) for +Inf)
+	count uint64
+}
+
+// mergedBuckets accumulates identical bucket layouts across nodes, keyed by
+// one distinguishing label (e.g. stage).
+type mergedBuckets map[string]map[float64]uint64
+
+// addHistogram folds one node's `name_bucket` samples into the merge, keyed
+// by the byLabel value.
+func (mb mergedBuckets) addHistogram(m *Metrics, name, byLabel string) {
+	for _, s := range m.Select(name + "_bucket") {
+		key := s.Labels[byLabel]
+		leStr, ok := s.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseLE(leStr)
+		if err != nil {
+			continue
+		}
+		if mb[key] == nil {
+			mb[key] = make(map[float64]uint64)
+		}
+		mb[key][le] += uint64(s.Value)
+	}
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return inf, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// quantiles computes the given quantiles from a merged cumulative bucket set
+// by linear interpolation inside the covering bucket (the Prometheus
+// histogram_quantile estimate).
+func (mb mergedBuckets) quantiles(key string, qs ...float64) []float64 {
+	cum := mb[key]
+	out := make([]float64, len(qs))
+	if len(cum) == 0 {
+		return out
+	}
+	points := make([]bucketPoint, 0, len(cum))
+	for le, c := range cum {
+		points = append(points, bucketPoint{le: le, count: c})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].le < points[j].le })
+	total := points[len(points)-1].count
+	if total == 0 {
+		return out
+	}
+	for qi, q := range qs {
+		rank := q * float64(total)
+		var prev bucketPoint
+		for _, p := range points {
+			if float64(p.count) >= rank {
+				if p.le == inf {
+					// Estimate the open-ended bucket at its lower bound.
+					out[qi] = prev.le
+					break
+				}
+				span := float64(p.count) - float64(prev.count)
+				if span <= 0 {
+					out[qi] = p.le
+					break
+				}
+				out[qi] = prev.le + (p.le-prev.le)*(rank-float64(prev.count))/span
+				break
+			}
+			prev = p
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import "context"
+
+// NodeSummary is the per-node slice of a Report (the scrape minus the bulky
+// raw metrics and span payloads).
+type NodeSummary struct {
+	Hub      string  `json:"hub"`
+	Addr     string  `json:"addr,omitempty"`
+	Err      string  `json:"err,omitempty"`
+	Groups   int     `json:"groups"`
+	Queries  int     `json:"queries"`
+	Load     float64 `json:"load"`
+	Draining bool    `json:"draining,omitempty"`
+	Build    string  `json:"build,omitempty"`
+	Spans    int     `json:"spans"`
+}
+
+// Report is clashtop's one-shot document: fleet aggregate, invariant probes
+// and the most recent cross-node traces.
+type Report struct {
+	Fleet  *Fleet        `json:"fleet"`
+	Nodes  []NodeSummary `json:"nodes"`
+	Probes []Probe       `json:"probes"`
+	// Unscraped lists ring members the topology walk saw but no configured
+	// hub covers.
+	Unscraped []string `json:"unscraped,omitempty"`
+	// Traces are the most recent sampled publishes reassembled across the
+	// fleet, newest first.
+	Traces []*TraceTree `json:"traces,omitempty"`
+	// TracesComplete counts how many of Traces passed the span-completeness
+	// invariant.
+	TracesComplete int `json:"tracesComplete"`
+}
+
+// BuildReport runs one full collection pass: scrape, aggregate, probe, and
+// assemble up to traceLimit recent traces.
+func BuildReport(ctx context.Context, c *Collector, traceLimit int) *Report {
+	v := c.Collect(ctx)
+	rep := &Report{
+		Fleet:     Aggregate(v),
+		Probes:    RunProbes(v.Topo),
+		Unscraped: v.Unscraped,
+	}
+	for _, nv := range v.Nodes {
+		ns := NodeSummary{Hub: nv.Hub, Addr: nv.Addr, Err: nv.Err, Spans: len(nv.Spans)}
+		if nv.Status != nil {
+			ns.Groups = len(nv.Status.ActiveGroups)
+			ns.Queries = nv.Status.Queries
+			ns.Load = nv.Status.TotalLoad
+			ns.Draining = nv.Status.Draining
+		}
+		if nv.Build != (BuildInfo{}) {
+			ns.Build = nv.Build.Version + " / " + nv.Build.GoVersion
+		}
+		rep.Nodes = append(rep.Nodes, ns)
+	}
+	if traceLimit > 0 {
+		rep.Traces = RecentTraces(v.Nodes, traceLimit)
+		for _, tr := range rep.Traces {
+			if tr.Complete {
+				rep.TracesComplete++
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"sort"
+
+	"clash/internal/overlay"
+)
+
+// TraceSpan is one hop span with its resolved children.
+type TraceSpan struct {
+	overlay.Span
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// ownMicros is the virtual work the span itself accounts for: queue wait,
+// payload decode, state-machine time and the onward network round trip
+// charged to the hop.
+func ownMicros(sp overlay.Span) int64 {
+	return sp.QueueMicros + sp.CodecMicros + sp.HandlerMicros + sp.NetworkMicros
+}
+
+// PathHop is one step of a trace's critical path.
+type PathHop struct {
+	Node      string `json:"node"`
+	Kind      string `json:"kind"`
+	Hop       int    `json:"hop"`
+	Detail    string `json:"detail,omitempty"`
+	Micros    int64  `json:"micros"`
+	CumMicros int64  `json:"cumMicros"`
+}
+
+// TraceTree is one sampled publish reassembled across the fleet.
+type TraceTree struct {
+	TraceID uint64 `json:"traceId"`
+	// Complete reports the span-completeness invariant: exactly one root
+	// span of kind ingress and every other span's parent resolved.
+	Complete bool `json:"complete"`
+	// Spans is the number of distinct spans (after cross-scrape dedup).
+	Spans int `json:"spans"`
+	// Root is the ingress span with the full tree hanging off it.
+	Root *TraceSpan `json:"root,omitempty"`
+	// Orphans are spans whose parent was not found (span ring overwrote it,
+	// or its node was unreachable); a non-empty list means Complete false.
+	Orphans []overlay.Span `json:"orphans,omitempty"`
+	// CriticalPath is the root-to-leaf chain maximising accounted time; its
+	// total is CriticalPathMicros.
+	CriticalPath       []PathHop `json:"criticalPath,omitempty"`
+	CriticalPathMicros int64     `json:"criticalPathMicros"`
+}
+
+// AssembleTrace builds the span tree of one trace from spans scraped off any
+// number of nodes. Duplicate span IDs (the same ring scraped twice) collapse
+// to their first occurrence.
+func AssembleTrace(traceID uint64, spans []overlay.Span) *TraceTree {
+	tree := &TraceTree{TraceID: traceID}
+	byID := make(map[uint64]*TraceSpan)
+	var ordered []*TraceSpan
+	for _, sp := range spans {
+		if sp.TraceID != traceID || sp.SpanID == 0 {
+			continue
+		}
+		if _, dup := byID[sp.SpanID]; dup {
+			continue
+		}
+		ts := &TraceSpan{Span: sp}
+		byID[sp.SpanID] = ts
+		ordered = append(ordered, ts)
+	}
+	tree.Spans = len(ordered)
+
+	var roots []*TraceSpan
+	for _, ts := range ordered {
+		if ts.Parent == 0 {
+			roots = append(roots, ts)
+			continue
+		}
+		parent, ok := byID[ts.Parent]
+		if !ok {
+			tree.Orphans = append(tree.Orphans, ts.Span)
+			continue
+		}
+		parent.Children = append(parent.Children, ts)
+	}
+	// Child order is scrape order (racy across nodes); sort for stable output.
+	for _, ts := range ordered {
+		sort.Slice(ts.Children, func(i, j int) bool {
+			a, b := ts.Children[i], ts.Children[j]
+			if a.Hop != b.Hop {
+				return a.Hop < b.Hop
+			}
+			return a.SpanID < b.SpanID
+		})
+	}
+
+	tree.Complete = len(roots) == 1 && len(tree.Orphans) == 0 &&
+		len(ordered) > 0 && roots[0].Kind == overlay.HopIngress
+	if len(roots) > 0 {
+		tree.Root = roots[0]
+		tree.CriticalPath, tree.CriticalPathMicros = criticalPath(tree.Root)
+	}
+	return tree
+}
+
+// criticalPath walks root to the leaf with the largest accumulated accounted
+// time and returns the chain with running totals.
+func criticalPath(root *TraceSpan) ([]PathHop, int64) {
+	var best []PathHop
+	var bestTotal int64
+	var walk func(ts *TraceSpan, path []PathHop, total int64)
+	walk = func(ts *TraceSpan, path []PathHop, total int64) {
+		total += ownMicros(ts.Span)
+		path = append(path, PathHop{
+			Node:      ts.Node,
+			Kind:      ts.Kind,
+			Hop:       ts.Hop,
+			Detail:    ts.Detail,
+			Micros:    ownMicros(ts.Span),
+			CumMicros: total,
+		})
+		if len(ts.Children) == 0 {
+			if total >= bestTotal {
+				bestTotal = total
+				best = append([]PathHop(nil), path...)
+			}
+			return
+		}
+		for _, child := range ts.Children {
+			walk(child, path, total)
+		}
+	}
+	walk(root, nil, 0)
+	return best, bestTotal
+}
+
+// RecentTraces groups the fleet's pooled span rings by trace and assembles
+// the most recent limit traces (by their newest span's timestamp).
+func RecentTraces(views []NodeView, limit int) []*TraceTree {
+	byTrace := make(map[uint64][]overlay.Span)
+	newest := make(map[uint64]int64)
+	for _, nv := range views {
+		for _, sp := range nv.Spans {
+			if sp.TraceID == 0 {
+				continue
+			}
+			byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+			if sp.TimeMs > newest[sp.TraceID] {
+				newest[sp.TraceID] = sp.TimeMs
+			}
+		}
+	}
+	ids := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if newest[ids[i]] != newest[ids[j]] {
+			return newest[ids[i]] > newest[ids[j]]
+		}
+		return ids[i] > ids[j]
+	})
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]*TraceTree, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, AssembleTrace(id, byTrace[id]))
+	}
+	return out
+}

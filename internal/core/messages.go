@@ -66,6 +66,17 @@ type AcceptObjectMsg struct {
 	// wire-evolution rule, so pre-trace peers interoperate: an old decoder
 	// ignores the trailing field, an old encoder yields TraceID 0.
 	TraceID uint64 `json:"traceId,omitempty"`
+	// ParentSpan identifies the sender-side span this request descends from,
+	// so servers can link their own spans into one cross-node trace tree
+	// (clashd /traces/spans, clashtop assembly). Zero when the sender is the
+	// trace root or the object is untraced. Appended after TraceID per the
+	// wire-evolution rule: TraceID-era peers decode it as 0 and still
+	// interoperate.
+	ParentSpan uint64 `json:"parentSpan,omitempty"`
+	// Hop counts redirection hops already taken by this object (0 at the
+	// client). Servers use it to bound pathological forwarding and record it
+	// in their spans. Appended with ParentSpan.
+	Hop int `json:"hop,omitempty"`
 }
 
 // ObjectKind distinguishes the two object classes the paper stores in the
@@ -93,6 +104,12 @@ type AcceptObjectReplyMsg struct {
 	Matches []string `json:"matches,omitempty"`
 	// Error is the per-item failure text inside a batch reply (Status 0).
 	Error string `json:"error,omitempty"`
+	// SpanID echoes the serving node's span identifier for this request when
+	// the object was sampled, letting the caller parent its next probe (or
+	// its ingress record) under the span the server just recorded. Zero from
+	// pre-span peers or for untraced objects. Appended after the original
+	// fields per the wire-evolution rule.
+	SpanID uint64 `json:"spanId,omitempty"`
 }
 
 // AcceptBatchMsg is the payload of MsgAcceptBatch: a vector of ACCEPT_OBJECT

@@ -44,22 +44,26 @@ func checkKey(value uint64, bits int) error {
 	return nil
 }
 
-// MarshalWire appends the binary encoding of m to b. TraceID is appended
-// after the original fields (append-only evolution: an old reader ignores
-// it). The zero value is encoded too — within a batch the objects travel as
-// length-prefixed records, so a trailing field cannot simply be omitted
-// without making the record length ambiguous for mixed-version readers.
+// MarshalWire appends the binary encoding of m to b. TraceID (PR 7) and the
+// span context ParentSpan+Hop (PR 9) are appended after the original fields
+// (append-only evolution: an old reader ignores them). The zero values are
+// encoded too — within a batch the objects travel as length-prefixed
+// records, so a trailing field cannot simply be omitted without making the
+// record length ambiguous for mixed-version readers.
 func (m *AcceptObjectMsg) MarshalWire(b []byte) []byte {
 	b = appendKey(b, m.KeyValue, m.KeyBits)
 	b = wirecodec.AppendInt(b, m.Depth)
 	b = wirecodec.AppendInt(b, int(m.Kind))
 	b = wirecodec.AppendBytes(b, m.Payload)
-	return wirecodec.AppendUvarint(b, m.TraceID)
+	b = wirecodec.AppendUvarint(b, m.TraceID)
+	b = wirecodec.AppendUvarint(b, m.ParentSpan)
+	return wirecodec.AppendInt(b, m.Hop)
 }
 
 // UnmarshalWire decodes the binary encoding produced by MarshalWire.
 // The Payload aliases data. A frame from an old writer carries no trace
-// field; it decodes as TraceID 0 (untraced).
+// field; it decodes as TraceID 0 (untraced). A TraceID-era frame carries no
+// span context; it decodes as ParentSpan 0, Hop 0.
 func (m *AcceptObjectMsg) UnmarshalWire(data []byte) error {
 	r := wirecodec.NewReader(data)
 	m.KeyValue, m.KeyBits = readKey(r)
@@ -70,13 +74,20 @@ func (m *AcceptObjectMsg) UnmarshalWire(data []byte) error {
 	if r.Err() == nil && r.Len() > 0 {
 		m.TraceID = r.Uvarint()
 	}
+	m.ParentSpan, m.Hop = 0, 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.ParentSpan = r.Uvarint()
+		m.Hop = r.Int()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
 	return checkKey(m.KeyValue, m.KeyBits)
 }
 
-// MarshalWire appends the binary encoding of m to b.
+// MarshalWire appends the binary encoding of m to b. SpanID is appended
+// after the original fields (append-only evolution: an old reader ignores
+// it).
 func (m *AcceptObjectReplyMsg) MarshalWire(b []byte) []byte {
 	b = wirecodec.AppendInt(b, int(m.Status))
 	b = appendKey(b, m.GroupValue, m.GroupBits)
@@ -86,10 +97,12 @@ func (m *AcceptObjectReplyMsg) MarshalWire(b []byte) []byte {
 	for _, id := range m.Matches {
 		b = wirecodec.AppendString(b, id)
 	}
-	return wirecodec.AppendString(b, m.Error)
+	b = wirecodec.AppendString(b, m.Error)
+	return wirecodec.AppendUvarint(b, m.SpanID)
 }
 
 // UnmarshalWire decodes the binary encoding produced by MarshalWire.
+// A reply from a pre-span writer decodes as SpanID 0.
 func (m *AcceptObjectReplyMsg) UnmarshalWire(data []byte) error {
 	r := wirecodec.NewReader(data)
 	m.Status = Status(r.Int())
@@ -102,6 +115,10 @@ func (m *AcceptObjectReplyMsg) UnmarshalWire(data []byte) error {
 		m.Matches = append(m.Matches, r.String())
 	}
 	m.Error = r.String()
+	m.SpanID = 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.SpanID = r.Uvarint()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}

@@ -121,13 +121,18 @@ func TestWireRejectsMalformed(t *testing.T) {
 		t.Error("decoder accepted key value overflowing its bit length")
 	}
 
-	// Truncations of a valid message must error, never panic.
+	// Truncations of a valid message must error, never panic — except a
+	// prefix that drops whole appended optional fields, which is exactly an
+	// old writer's frame and must decode back to the original message (the
+	// dropped fields were zero, so re-encoding reproduces the full frame).
 	full := (&AcceptObjectReplyMsg{Status: StatusOK, GroupValue: 3, GroupBits: 2,
 		CorrectDepth: 2, Matches: []string{"q"}}).MarshalWire(nil)
 	for i := 0; i < len(full); i++ {
 		var rep AcceptObjectReplyMsg
 		if err := rep.UnmarshalWire(full[:i]); err == nil {
-			t.Errorf("decoder accepted %d-byte truncation of %d-byte message", i, len(full))
+			if !bytes.Equal(rep.MarshalWire(nil), full) {
+				t.Errorf("decoder accepted %d-byte truncation of %d-byte message", i, len(full))
+			}
 		}
 	}
 
@@ -246,5 +251,108 @@ func TestAcceptKeyGroupMsgEpochWire(t *testing.T) {
 	}
 	if legacy.Epoch != 0 || legacy.Parent != m.Parent {
 		t.Errorf("legacy decode = %+v, want epoch 0, parent %q", legacy, m.Parent)
+	}
+}
+
+// TestAcceptObjectSpanWire pins the span-context wire evolution: ParentSpan
+// and Hop ride behind TraceID on the request, SpanID behind Error on the
+// reply, and frames from TraceID-era writers decode with the span fields
+// zero (the old↔new interop contract for mixed-version rings).
+func TestAcceptObjectSpanWire(t *testing.T) {
+	m := AcceptObjectMsg{KeyValue: 0b0110, KeyBits: 16, Depth: 3, Kind: ObjectData,
+		Payload: []byte("pkt"), TraceID: 0xC0FFEE, ParentSpan: 0xABCD, Hop: 2}
+	var got AcceptObjectMsg
+	if err := got.UnmarshalWire(m.MarshalWire(nil)); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+
+	// New decoder, TraceID-era encoder: the frame stops after TraceID and
+	// must decode with a zero span context.
+	old := appendKey(nil, m.KeyValue, m.KeyBits)
+	old = append(old, byte(m.Depth))
+	old = append(old, byte(m.Kind))
+	old = append(old, byte(len(m.Payload)))
+	old = append(old, m.Payload...)
+	old = wirecodec.AppendUvarint(old, m.TraceID)
+	var legacy AcceptObjectMsg
+	if err := legacy.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if legacy.TraceID != m.TraceID || legacy.ParentSpan != 0 || legacy.Hop != 0 {
+		t.Errorf("legacy frame decoded (trace %d, parent %d, hop %d), want (%d, 0, 0)",
+			legacy.TraceID, legacy.ParentSpan, legacy.Hop, m.TraceID)
+	}
+
+	// Old decoder, new encoder: a TraceID-era reader consumes through TraceID
+	// and ignores the trailing span bytes.
+	r := wirecodec.NewReader(m.MarshalWire(nil))
+	_ = r.Int()     // key bits
+	_ = r.Uvarint() // key value
+	_ = r.Int()     // depth
+	_ = r.Int()     // kind
+	_ = r.Bytes()   // payload
+	oldTrace := r.Uvarint()
+	if err := r.Err(); err != nil {
+		t.Fatalf("old-shape decode of new frame: %v", err)
+	}
+	if oldTrace != m.TraceID {
+		t.Errorf("old-shape decode read TraceID %d, want %d", oldTrace, m.TraceID)
+	}
+	if r.Len() == 0 {
+		t.Error("new encoding carries no trailing span bytes to ignore")
+	}
+}
+
+// TestAcceptObjectReplySpanWire pins the reply-side evolution: the serving
+// node's span ID rides behind Error, a pre-span reply decodes as SpanID 0,
+// and an old reader of a new reply stops cleanly at Error.
+func TestAcceptObjectReplySpanWire(t *testing.T) {
+	rep := AcceptObjectReplyMsg{Status: StatusIncorrectDepth, GroupValue: 3,
+		GroupBits: 2, CorrectDepth: 5, DMin: 4, SpanID: 0xFEED}
+	var got AcceptObjectReplyMsg
+	if err := got.UnmarshalWire(rep.MarshalWire(nil)); err != nil {
+		t.Fatalf("UnmarshalWire: %v", err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round trip = %+v, want %+v", got, rep)
+	}
+
+	// New decoder, pre-span encoder: hand-build the old layout (status, group
+	// key, depths, matches, error) and require SpanID 0.
+	old := wirecodec.AppendInt(nil, int(rep.Status))
+	old = appendKey(old, rep.GroupValue, rep.GroupBits)
+	old = wirecodec.AppendInt(old, rep.CorrectDepth)
+	old = wirecodec.AppendInt(old, rep.DMin)
+	old = wirecodec.AppendInt(old, 0) // no matches
+	old = wirecodec.AppendString(old, "")
+	var legacy AcceptObjectReplyMsg
+	if err := legacy.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if legacy.SpanID != 0 || legacy.CorrectDepth != rep.CorrectDepth {
+		t.Errorf("legacy decode = %+v, want SpanID 0, CorrectDepth %d", legacy, rep.CorrectDepth)
+	}
+
+	// Old decoder, new encoder: the pre-span reader stops after Error with
+	// trailing span bytes left over.
+	r := wirecodec.NewReader(rep.MarshalWire(nil))
+	_ = r.Int()     // status
+	_ = r.Int()     // group bits
+	_ = r.Uvarint() // group value
+	_ = r.Int()     // correct depth
+	_ = r.Int()     // dmin
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		_ = r.String()
+	}
+	_ = r.String() // error
+	if err := r.Err(); err != nil {
+		t.Fatalf("old-shape decode of new reply: %v", err)
+	}
+	if r.Len() == 0 {
+		t.Error("new reply carries no trailing span bytes to ignore")
 	}
 }

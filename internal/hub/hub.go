@@ -12,13 +12,26 @@ package hub
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 
 	"clash/internal/bitkey"
 	"clash/internal/metrics"
 	"clash/internal/overlay"
 )
+
+// buildVersion is the module version baked into the binary ("(devel)" for
+// plain go build / go test); it labels clash_build_info so clashtop can spot
+// fleet version skew without a release pipeline stamping ldflags.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
 
 // maxTopoNodes caps the /topology ring walk.
 const maxTopoNodes = 256
@@ -71,6 +84,9 @@ func (h *Hub) OnTraceStage(stage string, micros int64) {
 	h.traces.OnTraceStage(stage, micros)
 }
 
+// OnSpan implements overlay.Observer.
+func (h *Hub) OnSpan(sp overlay.Span) { h.traces.OnSpan(sp) }
+
 // registerCollectors declares the node's metric families and installs the
 // scrape-time collector that reads them off the node. Cumulative node
 // counters surface as counters via Set (the node owns the monotonic value);
@@ -112,8 +128,12 @@ func (h *Hub) registerCollectors() {
 		"Failure-detector suspicion score per peer carrying a failure streak.", "peer")
 	suspFails := reg.GaugeVec("clash_suspicion_fails",
 		"Consecutive failed calls per suspected peer.", "peer")
-	eventDrops := reg.Counter("clash_event_drops_total",
+	eventDrops := reg.Counter("clash_events_dropped_total",
 		"Events lost on saturated /events subscribers.")
+	buildInfo := reg.GaugeVec("clash_build_info",
+		"Build identity; the value is always 1. clashtop compares the labels "+
+			"across the fleet to report version skew.",
+		"version", "goversion", "gomaxprocs")
 	shardEntries := reg.GaugeVec("clash_server_shard_entries",
 		"Work-table rows guarded by each lock stripe (shard -1 is the shallow stripe).", "shard")
 	shardActive := reg.GaugeVec("clash_server_shard_active_groups",
@@ -125,6 +145,7 @@ func (h *Hub) registerCollectors() {
 	snapshotSwaps := reg.Counter("clash_server_snapshot_swaps_total",
 		"Routing read-snapshot rebuilds published by structural changes.")
 	info.With(h.node.Addr()).Set(1)
+	buildInfo.With(buildVersion(), runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
 
 	reg.OnCollect(func() {
 		c := h.node.Server().Counters()
@@ -195,6 +216,7 @@ func (h *Hub) Handler() http.Handler {
 	mux.HandleFunc("GET /status", h.serveStatus)
 	mux.HandleFunc("GET /topology", h.serveTopology)
 	mux.HandleFunc("GET /traces/sample", h.serveTraces)
+	mux.HandleFunc("GET /traces/spans", h.serveSpans)
 	mux.HandleFunc("GET /events", h.serveEvents)
 	mux.HandleFunc("POST /admin/drain", h.adminDrain)
 	mux.HandleFunc("POST /admin/undrain", h.adminUndrain)
@@ -225,6 +247,32 @@ func (h *Hub) serveStatus(w http.ResponseWriter, _ *http.Request) {
 
 func (h *Hub) serveTraces(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, h.traces.Sample(64))
+}
+
+// serveSpans returns this node's retained hop spans. ?traceId= (decimal)
+// filters to one trace, in recording order — the form clashtop scrapes when
+// assembling a cross-node trace tree. ?limit= caps the unfiltered sample
+// (default 512, newest first).
+func (h *Hub) serveSpans(w http.ResponseWriter, r *http.Request) {
+	var traceID uint64
+	if q := r.URL.Query().Get("traceId"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad traceId %q: %v", q, err))
+			return
+		}
+		traceID = id
+	}
+	limit := 512
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, h.traces.Spans(traceID, limit))
 }
 
 // TopoPlacement is one key group's placement in the /topology document.

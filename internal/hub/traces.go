@@ -10,6 +10,11 @@ import (
 // tracesCapacity bounds the sample ring served by /traces/sample.
 const tracesCapacity = 256
 
+// spansCapacity bounds the hop-span ring served by /traces/spans. Spans are
+// smaller and more numerous than trace records (one sampled publish yields a
+// handful across its path), so the ring is deeper.
+const spansCapacity = 2048
+
 // Traces stores sampled request traces: a bounded ring of the most recent
 // TraceRecords plus per-stage latency histograms. It implements
 // overlay.Observer (events are ignored) so it can also be installed
@@ -26,6 +31,15 @@ type Traces struct {
 	full   bool
 	count  uint64
 	stages map[string]*metrics.LatencyHist
+
+	// Hop spans live in their own ring under their own lock: span traffic
+	// (several per sampled publish, pushed from async delivery goroutines)
+	// must not contend with trace-record reads.
+	spanMu    sync.Mutex
+	spanRing  []overlay.Span
+	spanNext  int
+	spanFull  bool
+	spanCount uint64
 }
 
 // NewTraces creates a trace store keeping the last capacity records
@@ -36,8 +50,9 @@ func NewTraces(capacity int, reg *metrics.Registry) *Traces {
 		capacity = tracesCapacity
 	}
 	t := &Traces{
-		ring:   make([]overlay.TraceRecord, capacity),
-		stages: make(map[string]*metrics.LatencyHist),
+		ring:     make([]overlay.TraceRecord, capacity),
+		stages:   make(map[string]*metrics.LatencyHist),
+		spanRing: make([]overlay.Span, spansCapacity),
 	}
 	if reg != nil {
 		t.hist = reg.HistogramVec("clash_trace_stage_seconds",
@@ -77,6 +92,71 @@ func (t *Traces) OnTraceStage(stage string, micros int64) {
 	if t.bound {
 		t.hist.With(stage).Observe(float64(micros) / 1e6)
 	}
+}
+
+// OnSpan stores one hop span of a sampled publish's cross-node path.
+func (t *Traces) OnSpan(sp overlay.Span) {
+	t.spanMu.Lock()
+	t.spanRing[t.spanNext] = sp
+	t.spanNext++
+	if t.spanNext == len(t.spanRing) {
+		t.spanNext = 0
+		t.spanFull = true
+	}
+	t.spanCount++
+	t.spanMu.Unlock()
+}
+
+// SpanSample is the /traces/spans document: this node's retained hop spans,
+// optionally filtered to one trace.
+type SpanSample struct {
+	// Count is the total number of spans observed (not just retained).
+	Count uint64 `json:"count"`
+	// TraceID echoes the filter (0: unfiltered).
+	TraceID uint64         `json:"traceId,omitempty"`
+	Spans   []overlay.Span `json:"spans"`
+}
+
+// Spans snapshots the span ring. With a non-zero traceID only that trace's
+// spans return, in recording order (the order a tree assembler wants);
+// unfiltered, up to limit spans return newest first (<= 0: all retained).
+func (t *Traces) Spans(traceID uint64, limit int) SpanSample {
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	n := t.spanNext
+	if t.spanFull {
+		n = len(t.spanRing)
+	}
+	s := SpanSample{Count: t.spanCount, TraceID: traceID}
+	if traceID != 0 {
+		// Oldest first: start at the oldest retained write.
+		for i := 0; i < n; i++ {
+			idx := i
+			if t.spanFull {
+				idx = (t.spanNext + i) % len(t.spanRing)
+			}
+			if t.spanRing[idx].TraceID == traceID {
+				s.Spans = append(s.Spans, t.spanRing[idx])
+			}
+		}
+		return s
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	s.Spans = make([]overlay.Span, 0, limit)
+	for i := 0; i < limit; i++ {
+		idx := (t.spanNext - 1 - i + len(t.spanRing)) % len(t.spanRing)
+		s.Spans = append(s.Spans, t.spanRing[idx])
+	}
+	return s
+}
+
+// SpanCount returns the total number of spans observed.
+func (t *Traces) SpanCount() uint64 {
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	return t.spanCount
 }
 
 // TraceSample is the /traces/sample document: per-stage latency summaries

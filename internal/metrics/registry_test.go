@@ -157,6 +157,143 @@ func TestLintCatchesBrokenExpositions(t *testing.T) {
 	}
 }
 
+func TestRegistryEmptyFamilies(t *testing.T) {
+	// A registered Vec with no resolved children is a declared family with
+	// zero samples: the HELP/TYPE header must still render (scrapers discover
+	// the family before its first event) and the exposition must lint clean.
+	r := NewRegistry()
+	r.CounterVec("empty_total", "No children yet.", "reason")
+	r.GaugeVec("empty_gauge", "No children yet.", "peer")
+	r.HistogramVec("empty_seconds", "No children yet.", []float64{1, 2}, "stage")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range []string{"empty_total", "empty_gauge", "empty_seconds"} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") || !strings.Contains(out, "# HELP "+fam+" ") {
+			t.Errorf("empty family %s lost its header:\n%s", fam, out)
+		}
+	}
+	for _, ln := range strings.Split(out, "\n") {
+		if ln != "" && !strings.HasPrefix(ln, "#") {
+			t.Errorf("empty registry rendered a sample: %q", ln)
+		}
+	}
+	if errs := LintPrometheus(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestHistogramZeroCountExposition(t *testing.T) {
+	// A histogram that exists but has observed nothing must still expose the
+	// full cumulative bucket ladder (all zero), _sum 0 and _count 0 — and the
+	// +Inf bucket must equal _count so the lint consistency pass stays green.
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "Never observed.", []float64{0.1, 1})
+	r.HistogramVec("idle_vec_seconds", "Child resolved, never observed.", []float64{1}, "stage").With("route")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`idle_seconds_bucket{le="0.1"} 0`,
+		`idle_seconds_bucket{le="1"} 0`,
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		"idle_seconds_sum 0",
+		"idle_seconds_count 0",
+		`idle_vec_seconds_bucket{stage="route",le="+Inf"} 0`,
+		`idle_vec_seconds_count{stage="route"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in\n%s", want, out)
+		}
+	}
+	if errs := LintPrometheus(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	// Rendered label values with every escapable byte must parse back to the
+	// original through the lint-side parser.
+	hostile := "a\\b\"c\nd,e{f}g"
+	r := NewRegistry()
+	r.GaugeVec("esc", "t", "k").With(hostile).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "a\\b\"c\nd") {
+		t.Fatalf("label value rendered unescaped:\n%q", out)
+	}
+	if errs := LintPrometheus(strings.NewReader(out)); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+	var sample string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "esc{") {
+			sample = ln
+		}
+	}
+	if sample == "" {
+		t.Fatalf("no esc sample in\n%s", out)
+	}
+	inner := sample[strings.IndexByte(sample, '{')+1 : strings.LastIndexByte(sample, '}')]
+	pairs, err := parseLabels(inner)
+	if err != nil {
+		t.Fatalf("parseLabels(%q): %v", inner, err)
+	}
+	if len(pairs) != 1 || pairs[0].key != "k" || pairs[0].val != hostile {
+		t.Errorf("round trip = %+v, want k=%q", pairs, hostile)
+	}
+}
+
+func TestLintEdgeCases(t *testing.T) {
+	broken := map[string]string{
+		"histogram missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_count 2\n",
+		"histogram missing count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\n",
+		"histogram plain sample": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\nh 5\n",
+		"bucket missing le": "# TYPE h histogram\n" +
+			`h_bucket{stage="route"} 2` + "\nh_sum 1\nh_count 2\n",
+		"bucket bad le": "# TYPE h histogram\n" +
+			`h_bucket{le="wide"} 2` + "\nh_sum 1\nh_count 2\n",
+		"duplicate help":    "# HELP m a\n# HELP m b\n# TYPE m gauge\nm 1\n",
+		"type without type": "# TYPE m\nm 1\n",
+		"bad timestamp":     "# TYPE m gauge\nm 1 soon\n",
+		"bad label escape":  "# TYPE m gauge\n" + `m{k="a\tb"} 1` + "\n",
+		"bad label name":    "# TYPE m gauge\n" + `m{9k="v"} 1` + "\n",
+		"unquoted label":    "# TYPE m gauge\nm{k=v} 1\n",
+		"nan counter":       "# TYPE m counter\nm NaN\n",
+	}
+	for name, input := range broken {
+		if errs := LintPrometheus(strings.NewReader(input)); len(errs) == 0 {
+			t.Errorf("%s: lint found no errors in %q", name, input)
+		}
+	}
+	clean := map[string]string{
+		"empty input":                 "",
+		"declared family, no samples": "# HELP m help\n# TYPE m counter\n",
+		"negative gauge":              "# TYPE m gauge\nm -5\n",
+		"inf gauge":                   "# TYPE m gauge\nm{k=\"v\"} +Inf\nm -Inf\n",
+		"free comment":                "# just a note\n# TYPE m gauge\nm 1\n",
+		"summary family":              "# TYPE s summary\ns_sum 3\ns_count 2\n",
+		"escaped labels":              "# TYPE m gauge\n" + `m{k="a\\b\"c\nd"} 1` + "\n",
+		"zero histogram": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 0` + "\n" + `h_bucket{le="+Inf"} 0` + "\nh_sum 0\nh_count 0\n",
+	}
+	for name, input := range clean {
+		if errs := LintPrometheus(strings.NewReader(input)); len(errs) != 0 {
+			t.Errorf("%s: clean input flagged: %v", name, errs)
+		}
+	}
+}
+
 func TestGaugeAdd(t *testing.T) {
 	r := NewRegistry()
 	g := r.Gauge("g", "t")

@@ -181,15 +181,20 @@ func decodeAccept(reply *core.AcceptObjectReplyMsg) (core.AcceptObjectResult, er
 }
 
 // acceptObject sends one ACCEPT_OBJECT request and decodes the reply.
-// traceID, when non-zero, marks the object as sampled for request tracing.
-func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte, traceID uint64) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
+// traceID, when non-zero, marks the object as sampled for request tracing;
+// parentSpan and hop are the span context of the delivery so far (the
+// previous probe's server span and how many probes preceded this one), which
+// the contacted server chains its own span under.
+func (c *Client) acceptObject(addr string, key bitkey.Key, depth int, kind core.ObjectKind, payload []byte, traceID, parentSpan uint64, hop int) (core.AcceptObjectResult, *core.AcceptObjectReplyMsg, error) {
 	req := core.AcceptObjectMsg{
-		KeyValue: key.Value,
-		KeyBits:  key.Bits,
-		Depth:    depth,
-		Kind:     kind,
-		Payload:  payload,
-		TraceID:  traceID,
+		KeyValue:   key.Value,
+		KeyBits:    key.Bits,
+		Depth:      depth,
+		Kind:       kind,
+		Payload:    payload,
+		TraceID:    traceID,
+		ParentSpan: parentSpan,
+		Hop:        hop,
 	}
 	var reply core.AcceptObjectReplyMsg
 	if err := call(c.tr, addr, TypeAcceptObject, &req, &reply); err != nil {
@@ -225,13 +230,24 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 	}
 	// One trace ID covers the whole delivery: every probe of a sampled
 	// object carries it, so the resolve hops and the final landing are
-	// recorded under the same ID.
+	// recorded under the same ID. The span context chains across probes —
+	// each probe carries the previous server's span ID (echoed in its reply)
+	// as parent and the probe count as hop, so the servers' spans form one
+	// path rooted at the first contact's ingress span.
 	traceID := c.nextTraceID()
+	var parentSpan uint64
+	hop := 0
+	chain := func(reply *core.AcceptObjectReplyMsg) {
+		hop++
+		if reply.SpanID != 0 {
+			parentSpan = reply.SpanID
+		}
+	}
 
 	// Fast path: cached binding (paper §6 — "simply caches this server
 	// value").
 	if g, srv, ok := c.router.Route(key); ok {
-		res, reply, err := c.acceptObject(string(srv), key, g.Depth(), kind, payload, traceID)
+		res, reply, err := c.acceptObject(string(srv), key, g.Depth(), kind, payload, traceID, parentSpan, hop)
 		switch {
 		case err != nil && !IsRemote(err):
 			// The cached server is gone; evict everything it owned.
@@ -245,6 +261,7 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 		default:
 			// INCORRECT_DEPTH: the cached group moved or changed depth.
 			c.router.Forget(g)
+			chain(reply)
 		}
 	}
 
@@ -267,10 +284,11 @@ func (c *Client) deliver(key bitkey.Key, kind core.ObjectKind, payload []byte) (
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
-		res, reply, err := c.acceptObject(addr, key, d, kind, payload, traceID)
+		res, reply, err := c.acceptObject(addr, key, d, kind, payload, traceID, parentSpan, hop)
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
+		chain(reply)
 		if res.Status == core.StatusOK || res.Status == core.StatusOKCorrected {
 			lastAddr = addr
 			lastMatches = reply.Matches
@@ -334,7 +352,7 @@ func (c *Client) Resolve(key bitkey.Key) (core.ResolveResult, error) {
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}
-		res, _, err := c.acceptObject(addr, key, d, core.ObjectData, nil, 0)
+		res, _, err := c.acceptObject(addr, key, d, core.ObjectData, nil, 0, 0, 0)
 		if err != nil {
 			return core.AcceptObjectResult{}, err
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -84,11 +85,22 @@ func (n *Node) handleNotify(payload []byte) ([]byte, error) {
 // registrations are installed into the engine. Both only take effect when the
 // depth resolution has landed on the right server (status OK / OK_CORRECTED).
 func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
+	// The codec stage can only be attributed after the decode reveals the
+	// trace ID, so the clock is read up front whenever an observer is
+	// installed; without one the decode path stays untouched.
+	var codecStart time.Time
+	if n.obs.get() != nil {
+		codecStart = n.cfg.Clock.Now()
+	}
 	var req core.AcceptObjectMsg
 	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
-	reply, registered, err := n.acceptOne(&req)
+	var codecMicros int64
+	if !codecStart.IsZero() && req.TraceID != 0 {
+		codecMicros = n.cfg.Clock.Now().Sub(codecStart).Microseconds()
+	}
+	reply, registered, err := n.acceptOne(&req, codecMicros)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +110,10 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 		// query registered moments before its holder dies is recoverable.
 		// This is a full-snapshot push per registration — O(stored queries)
 		// marshaling on a control-plane path; batch registrations coalesce
-		// to one push per frame (handleAcceptBatch).
-		n.replicate()
+		// to one push per frame (handleAcceptBatch). A sampled registration
+		// threads its span context onto the push so the replica holders'
+		// spans join the trace tree.
+		n.replicateSpan(spanRef{TraceID: req.TraceID, Parent: reply.SpanID, Hop: req.Hop + 1})
 	}
 	return marshalMsg(&reply), nil
 }
@@ -110,6 +124,10 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 // outside the lock. The reply carries one entry per object in request order;
 // per-object failures fill that entry's Error instead of failing the frame.
 func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
+	var codecStart time.Time
+	if n.obs.get() != nil {
+		codecStart = n.cfg.Clock.Now()
+	}
 	var req core.AcceptBatchMsg
 	if err := req.UnmarshalWire(payload); err != nil {
 		return nil, err
@@ -127,8 +145,14 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 		depths[i] = o.Depth
 		traced = traced || o.TraceID != 0
 	}
+	var codecMicros int64
+	if traced = traced && !codecStart.IsZero(); traced {
+		// Like the route stage below, the frame decodes as one unit: a traced
+		// object is attributed the whole batch's codec time.
+		codecMicros = n.cfg.Clock.Now().Sub(codecStart).Microseconds()
+	}
 	var routeStart time.Time
-	if traced = traced && n.obs.get() != nil; traced {
+	if traced {
 		routeStart = n.cfg.Clock.Now()
 	}
 	results, errs := n.server.HandleAcceptObjectBatch(keys, depths)
@@ -141,28 +165,37 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 	}
 	out := core.AcceptBatchReplyMsg{Replies: make([]core.AcceptObjectReplyMsg, len(req.Objects))}
 	registeredAny := false
+	var regSpan spanRef
 	for i := range req.Objects {
 		if errs[i] != nil {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: errs[i].Error()}
 			continue
 		}
-		rep, registered, err := n.applyObject(&req.Objects[i], keys[i], results[i], routeMicros)
+		rep, registered, err := n.applyObject(&req.Objects[i], keys[i], results[i], routeMicros, codecMicros)
 		if err != nil {
 			out.Replies[i] = core.AcceptObjectReplyMsg{Error: err.Error()}
 			continue
+		}
+		if registered && regSpan.TraceID == 0 && rep.SpanID != 0 {
+			regSpan = spanRef{TraceID: req.Objects[i].TraceID, Parent: rep.SpanID, Hop: req.Objects[i].Hop + 1}
 		}
 		registeredAny = registeredAny || registered
 		out.Replies[i] = rep
 	}
 	if registeredAny {
-		n.replicate()
+		// The coalesced push carries the first sampled registration's span
+		// context (one push, one parent — the other registrations' traces
+		// simply end at their accept span).
+		n.replicateSpan(regSpan)
 	}
 	return marshalMsg(&out), nil
 }
 
 // acceptOne runs one object through the server state machine and its side
 // effects. The bool reports whether a new continuous query was registered.
-func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, bool, error) {
+// codecMicros is the frame decode time the caller measured (only meaningful
+// on a traced request).
+func (n *Node) acceptOne(req *core.AcceptObjectMsg, codecMicros int64) (core.AcceptObjectReplyMsg, bool, error) {
 	key, err := bitkey.New(req.KeyValue, req.KeyBits)
 	if err != nil {
 		return core.AcceptObjectReplyMsg{}, false, err
@@ -180,7 +213,7 @@ func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, 
 	if traced {
 		routeMicros = n.cfg.Clock.Now().Sub(routeStart).Microseconds()
 	}
-	return n.applyObject(req, key, res, routeMicros)
+	return n.applyObject(req, key, res, routeMicros, codecMicros)
 }
 
 // applyObject converts a state-machine result into the wire reply and, when
@@ -189,12 +222,25 @@ func (n *Node) acceptOne(req *core.AcceptObjectMsg) (core.AcceptObjectReplyMsg, 
 // reports whether a new continuous query was registered (the caller pushes a
 // replica update when so). routeMicros is the state-machine time the caller
 // measured for this object (only meaningful on a traced request).
-func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult, routeMicros int64) (core.AcceptObjectReplyMsg, bool, error) {
+func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.AcceptObjectResult, routeMicros, codecMicros int64) (core.AcceptObjectReplyMsg, bool, error) {
 	var obs Observer
 	if req.TraceID != 0 {
 		obs = n.obs.get()
 	}
-	reply := core.AcceptObjectReplyMsg{Status: res.Status}
+	// A sampled request gets a hop span: the root of the trace tree when the
+	// probe arrived with no parent (this node is the client's first contact),
+	// otherwise a resolve or route-forward hop chained under the sender's
+	// span. The span ID is echoed in the reply so the client parents its next
+	// probe under it.
+	var spanID uint64
+	spanKind := HopRouteForward
+	if obs != nil {
+		spanID = n.nextSpanID()
+		if req.ParentSpan == 0 {
+			spanKind = HopIngress
+		}
+	}
+	reply := core.AcceptObjectReplyMsg{Status: res.Status, SpanID: spanID}
 	switch res.Status {
 	case core.StatusOK, core.StatusOKCorrected:
 		reply.GroupValue = res.Group.Prefix.Value
@@ -206,8 +252,33 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 			// A redirected probe is a split-resolution hop of the modified
 			// binary search: its state-machine time is the resolve stage.
 			obs.OnTraceStage(TraceStageResolve, routeMicros)
+			if spanKind == HopRouteForward {
+				spanKind = HopResolve
+			}
+			n.emitSpan(obs, Span{
+				TraceID:       req.TraceID,
+				SpanID:        spanID,
+				Parent:        req.ParentSpan,
+				Hop:           req.Hop,
+				Kind:          spanKind,
+				Detail:        "dmin=" + strconv.Itoa(res.DMin),
+				CodecMicros:   codecMicros,
+				HandlerMicros: routeMicros,
+			})
 		}
 		return reply, false, nil
+	}
+	if obs != nil {
+		n.emitSpan(obs, Span{
+			TraceID:       req.TraceID,
+			SpanID:        spanID,
+			Parent:        req.ParentSpan,
+			Hop:           req.Hop,
+			Kind:          spanKind,
+			Detail:        "group=" + res.Group.String(),
+			CodecMicros:   codecMicros,
+			HandlerMicros: routeMicros,
+		})
 	}
 
 	registered := false
@@ -233,7 +304,23 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 		for _, q := range matched {
 			reply.Matches = append(reply.Matches, q.ID)
 		}
-		n.pushMatches(matched, ev, req.TraceID)
+		pushCtx := spanRef{TraceID: req.TraceID, Hop: req.Hop + 1}
+		if obs != nil {
+			// The engine match is a same-node child span of the accept span;
+			// the match pushes hang off it in turn.
+			matchSpan := n.nextSpanID()
+			pushCtx.Parent = matchSpan
+			n.emitSpan(obs, Span{
+				TraceID:       req.TraceID,
+				SpanID:        matchSpan,
+				Parent:        spanID,
+				Hop:           req.Hop,
+				Kind:          HopCQMatch,
+				Detail:        "matches=" + strconv.Itoa(len(matched)),
+				HandlerMicros: matchMicros,
+			})
+		}
+		n.pushMatches(matched, ev, pushCtx)
 	case core.ObjectQuery:
 		var st queryState
 		if err := st.UnmarshalWire(req.Payload); err != nil {
@@ -284,9 +371,14 @@ func (n *Node) applyObject(req *core.AcceptObjectMsg, key bitkey.Key, res core.A
 // single-threaded mode). Deliveries follow the matched order (engine.Match
 // sorts by query ID), so a deterministic transport sees a deterministic
 // message sequence.
-// traceID, when non-zero, marks the originating publish as sampled: each
-// delivery's round trip is reported as a deliver-stage observation.
-func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
+// tc, when it carries a non-zero TraceID, marks the originating publish as
+// sampled: each delivery's round trip is reported as a deliver-stage
+// observation plus a subscriber-deliver span chained under tc.Parent (the
+// cq-match span). The span is recorded by this (sending) node — subscribers
+// are client endpoints, not overlay nodes — with the push's queue wait and
+// network round trip; the matchMsg still carries the trace context so the
+// subscriber can correlate the notification with its publish.
+func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, tc spanRef) {
 	if len(matched) == 0 {
 		return
 	}
@@ -300,23 +392,32 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
 	}
 	n.mu.Unlock()
 	for _, t := range targets {
+		var spanID uint64
+		var enqueued time.Time
+		if tc.TraceID != 0 && n.obs.get() != nil {
+			spanID = n.nextSpanID()
+			enqueued = n.cfg.Clock.Now()
+		}
 		msg := &matchMsg{
-			QueryID:  t.id,
-			KeyValue: ev.Key.Value,
-			KeyBits:  ev.Key.Bits,
-			Attrs:    ev.Attrs,
-			Payload:  ev.Payload,
+			QueryID:    t.id,
+			KeyValue:   ev.Key.Value,
+			KeyBits:    ev.Key.Bits,
+			Attrs:      ev.Attrs,
+			Payload:    ev.Payload,
+			TraceID:    tc.TraceID,
+			ParentSpan: spanID,
+			Hop:        tc.Hop,
 		}
 		// Marshal synchronously: ev.Payload may alias the pooled request
 		// buffer, which the transport recycles once the publish handler
 		// returns. The marshalled frame is self-contained, so the async
 		// delivery goroutine only ever touches the copy.
 		payload := marshalMsg(msg)
-		deliver := func(sub string, payload []byte) {
+		deliver := func(sub, queryID string, payload []byte) {
 			defer wirecodec.PutBuf(payload)
 			obs := n.obs.get()
 			var start time.Time
-			if traceID != 0 && obs != nil {
+			if tc.TraceID != 0 && obs != nil {
 				start = n.cfg.Clock.Now()
 			}
 			// Match delivery is at-most-once (not idempotent), but the caller
@@ -325,19 +426,35 @@ func (n *Node) pushMatches(matched []cq.Query, ev cq.Event, traceID uint64) {
 			if _, err := n.caller.call(sub, TypeMatch, payload); err != nil {
 				atomic.AddInt64(&n.matchDrops, 1)
 			}
-			if traceID != 0 && obs != nil {
-				obs.OnTraceStage(TraceStageDeliver, n.cfg.Clock.Now().Sub(start).Microseconds())
+			if tc.TraceID != 0 && obs != nil {
+				rtt := n.cfg.Clock.Now().Sub(start).Microseconds()
+				obs.OnTraceStage(TraceStageDeliver, rtt)
+				if spanID == 0 {
+					// The observer appeared between enqueue and delivery; no
+					// span ID (or queue stamp) was drawn, so skip the span.
+					return
+				}
+				n.emitSpan(obs, Span{
+					TraceID:       tc.TraceID,
+					SpanID:        spanID,
+					Parent:        tc.Parent,
+					Hop:           tc.Hop,
+					Kind:          HopDeliver,
+					Detail:        "query=" + queryID,
+					QueueMicros:   start.Sub(enqueued).Microseconds(),
+					NetworkMicros: rtt,
+				})
 			}
 		}
 		if n.cfg.InlineMatchPush {
-			deliver(t.sub, payload)
+			deliver(t.sub, t.id, payload)
 			continue
 		}
 		n.wg.Add(1)
-		go func(sub string, payload []byte) {
+		go func(sub, queryID string, payload []byte) {
 			defer n.wg.Done()
-			deliver(sub, payload)
-		}(t.sub, payload)
+			deliver(sub, queryID, payload)
+		}(t.sub, t.id, payload)
 	}
 }
 

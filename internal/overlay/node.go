@@ -145,6 +145,11 @@ type Node struct {
 	obs      observerRef
 	draining atomic.Bool
 
+	// spanSalt/spanSeq mint node-unique span IDs for sampled publishes
+	// (nextSpanID).
+	spanSalt uint64
+	spanSeq  atomic.Uint64
+
 	// repMu serialises replica snapshot+version assignment (replicate), so
 	// concurrent pushes can't stamp an older snapshot with a newer version.
 	// Lock order: repMu before mu; never the reverse.
@@ -210,6 +215,7 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 		pending:     make(map[string]pendingTransfer),
 		replicas:    make(map[string]*replicaSet),
 		incarnation: uint64(cfg.Clock.Now().UnixNano()),
+		spanSalt:    uint64(cfg.Space.HashString(tr.Addr())) << 32,
 	}
 	// Replicas follow ring churn: whenever the successor list changes, the
 	// current snapshot is re-pushed so the new first-k successors hold it

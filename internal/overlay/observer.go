@@ -66,6 +66,65 @@ type TraceStage struct {
 	Micros int64  `json:"micros"`
 }
 
+// Hop kinds recorded in spans along a sampled publish's cross-node path.
+const (
+	// HopIngress is the first server an object's delivery contacts (the probe
+	// arrived with no parent span) — the root of the trace's span tree,
+	// whatever the probe's outcome.
+	HopIngress = "ingress"
+	// HopRouteForward is a later probe that landed (OK / OK_CORRECTED) on the
+	// responsible server.
+	HopRouteForward = "route-forward"
+	// HopResolve is a later probe answered INCORRECT_DEPTH — one
+	// split-resolution hop of the modified binary search.
+	HopResolve = "resolve"
+	// HopCQMatch is the continuous-query engine match on the landing server.
+	HopCQMatch = "cq-match"
+	// HopReplicaPush is a replica snapshot push a sampled registration
+	// triggered, recorded by the receiving successor.
+	HopReplicaPush = "replica-push"
+	// HopDeliver is one match notification push to a subscriber, recorded by
+	// the sending server (subscribers are client endpoints, not nodes).
+	HopDeliver = "subscriber-deliver"
+)
+
+// Span is one node's hop record along a sampled publish's path. SpanID is
+// unique per node (a node-salted counter); Parent references the span this
+// hop descends from — on the wire for cross-node hops, in-process for
+// same-node children — so a trace's spans from every node's ring assemble
+// into one tree rooted at the ingress hop (Parent 0). The per-stage timings
+// split the hop's cost: Codec is payload decode, Handler is state-machine /
+// engine time, Network is onward call round trips charged to this hop, and
+// Queue is in-node wait before deferred work ran (async fan-out paths; 0 for
+// hops executed synchronously in their frame handler).
+type Span struct {
+	TraceID uint64 `json:"traceId"`
+	SpanID  uint64 `json:"spanId"`
+	Parent  uint64 `json:"parent,omitempty"`
+	// Hop is the network hop count from the publishing client (0 at the
+	// client's first probe).
+	Hop    int    `json:"hop"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node"`
+	TimeMs int64  `json:"timeMs"`
+	// Detail is a human-readable supplement (landing group, match counts,
+	// push targets).
+	Detail        string `json:"detail,omitempty"`
+	QueueMicros   int64  `json:"queueMicros"`
+	CodecMicros   int64  `json:"codecMicros"`
+	HandlerMicros int64  `json:"handlerMicros"`
+	NetworkMicros int64  `json:"networkMicros"`
+}
+
+// spanRef is the in-process trace context a handler threads to the side
+// effects it triggers (match pushes, replica pushes): which trace, which
+// parent span, and the next hop count.
+type spanRef struct {
+	TraceID uint64
+	Parent  uint64
+	Hop     int
+}
+
 // TraceRecord is the server-side record of one sampled ACCEPT_OBJECT: where
 // it landed and how long each stage took. Stages along the path of one
 // object on one node; the per-stage histograms aggregate across records.
@@ -95,6 +154,8 @@ type Observer interface {
 	// record parsing, and for async stages like deliver that complete after
 	// the record was cut).
 	OnTraceStage(stage string, micros int64)
+	// OnSpan receives one hop span of a sampled publish's cross-node path.
+	OnSpan(Span)
 }
 
 // obsHolder wraps the interface for atomic.Pointer storage.
@@ -134,4 +195,23 @@ func (n *Node) emit(ev Event) {
 	ev.Node = n.Addr()
 	ev.TimeMs = n.cfg.Clock.Now().UnixMilli()
 	o.OnEvent(ev)
+}
+
+// nextSpanID draws a node-unique span identifier: the node's identity salt
+// XOR a sequence number, the same scheme the client uses for trace IDs, so
+// spans minted by different nodes cannot collide within a trace.
+func (n *Node) nextSpanID() uint64 {
+	id := n.spanSalt ^ n.spanSeq.Add(1)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// emitSpan publishes one hop span to o, stamping the node identity and
+// clock.
+func (n *Node) emitSpan(o Observer, sp Span) {
+	sp.Node = n.Addr()
+	sp.TimeMs = n.cfg.Clock.Now().UnixMilli()
+	o.OnSpan(sp)
 }

@@ -128,7 +128,12 @@ func (n *Node) snapshotReplicaGroups() []replicaGroupRec {
 // only once the node has ever held state or finished its recovery pull: a
 // restarted node must not wipe the successors' copy of its own pre-crash
 // state with the empty pushes its join triggers.
-func (n *Node) replicate() {
+func (n *Node) replicate() { n.replicateSpan(spanRef{}) }
+
+// replicateSpan is replicate with a trace context: when tc carries a sampled
+// registration's span, the push frames carry it so every replica holder
+// records a replica-push span chained under the registration's accept span.
+func (n *Node) replicateSpan(tc spanRef) {
 	targets := n.replicationTargets()
 	if len(targets) == 0 {
 		return
@@ -177,6 +182,9 @@ func (n *Node) replicate() {
 		Version:     n.repVersion,
 		Groups:      groups,
 		Loose:       loose,
+		TraceID:     tc.TraceID,
+		ParentSpan:  tc.Parent,
+		Hop:         tc.Hop,
 	}
 	n.mu.Unlock()
 	n.repMu.Unlock()
@@ -202,14 +210,47 @@ func (n *Node) replicate() {
 
 // handleReplicate stores a peer's replica set, replacing the previous copy
 // unless the push is older than what is already held (a delayed duplicate
-// from before a crash-restart or a reordered retry).
+// from before a crash-restart or a reordered retry). A push carrying a
+// sampled registration's trace context gets a replica-push span: this node
+// is one hop of that publish's cross-node path.
 func (n *Node) handleReplicate(payload []byte) ([]byte, error) {
+	obs := n.obs.get()
+	var codecStart time.Time
+	if obs != nil {
+		codecStart = n.cfg.Clock.Now()
+	}
 	var msg replicateMsg
 	if err := msg.UnmarshalWire(payload); err != nil {
 		return nil, err
 	}
+	traced := obs != nil && msg.TraceID != 0
+	var codecMicros int64
+	var handlerStart time.Time
+	if traced {
+		handlerStart = n.cfg.Clock.Now()
+		codecMicros = handlerStart.Sub(codecStart).Microseconds()
+	}
+	stored := n.storeReplica(&msg)
+	if traced {
+		n.emitSpan(obs, Span{
+			TraceID:       msg.TraceID,
+			SpanID:        n.nextSpanID(),
+			Parent:        msg.ParentSpan,
+			Hop:           msg.Hop,
+			Kind:          HopReplicaPush,
+			Detail:        fmt.Sprintf("origin=%s groups=%d stored=%t", msg.Origin, len(msg.Groups), stored),
+			CodecMicros:   codecMicros,
+			HandlerMicros: n.cfg.Clock.Now().Sub(handlerStart).Microseconds(),
+		})
+	}
+	return nil, nil
+}
+
+// storeReplica applies one replicate push, reporting whether the set was
+// stored (false: self/empty origin or stale version).
+func (n *Node) storeReplica(msg *replicateMsg) bool {
 	if msg.Origin == "" || msg.Origin == n.Addr() {
-		return nil, nil
+		return false
 	}
 	now := n.cfg.Clock.Now()
 	n.mu.Lock()
@@ -218,7 +259,7 @@ func (n *Node) handleReplicate(payload []byte) ([]byte, error) {
 		if msg.Incarnation < cur.incarnation ||
 			(msg.Incarnation == cur.incarnation && msg.Version < cur.version) {
 			cur.seen = now // stale content, but still proof the origin lives
-			return nil, nil
+			return false
 		}
 	}
 	// The decoded records alias the request payload, which lives in a pooled
@@ -240,7 +281,7 @@ func (n *Node) handleReplicate(payload []byte) ([]byte, error) {
 		groups:      msg.Groups,
 		loose:       msg.Loose,
 	}
-	return nil, nil
+	return true
 }
 
 // sortedKeys returns a map's keys in sorted order (deterministic iteration
@@ -575,7 +616,7 @@ func (n *Node) placeQuery(st queryState) error {
 		}
 		var reply core.AcceptObjectReplyMsg
 		if owner == self {
-			reply, _, err = n.acceptOne(&req)
+			reply, _, err = n.acceptOne(&req, 0)
 			if err != nil {
 				return core.AcceptObjectResult{}, err
 			}

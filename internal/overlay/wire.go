@@ -462,18 +462,31 @@ type matchMsg struct {
 	KeyBits  int                `json:"keyBits"`
 	Attrs    map[string]float64 `json:"attrs,omitempty"`
 	Payload  []byte             `json:"payload,omitempty"`
+	// TraceID/ParentSpan/Hop carry the sampled publish's trace context onto
+	// the subscriber-delivery hop so the receiving node's span joins the
+	// cross-node tree. All zero for untraced publishes and from pre-span
+	// writers. Appended after the original fields per the wire-evolution
+	// rule.
+	TraceID    uint64 `json:"traceId,omitempty"`
+	ParentSpan uint64 `json:"parentSpan,omitempty"`
+	Hop        int    `json:"hop,omitempty"`
 }
 
-// MarshalWire implements wireMsg.
+// MarshalWire implements wireMsg. The trace context is appended after the
+// original fields (append-only evolution: an old reader ignores it).
 func (m *matchMsg) MarshalWire(b []byte) []byte {
 	b = wirecodec.AppendString(b, m.QueryID)
 	b = wirecodec.AppendInt(b, m.KeyBits)
 	b = wirecodec.AppendUvarint(b, m.KeyValue)
 	b = appendAttrs(b, m.Attrs)
-	return wirecodec.AppendBytes(b, m.Payload)
+	b = wirecodec.AppendBytes(b, m.Payload)
+	b = wirecodec.AppendUvarint(b, m.TraceID)
+	b = wirecodec.AppendUvarint(b, m.ParentSpan)
+	return wirecodec.AppendInt(b, m.Hop)
 }
 
-// UnmarshalWire implements wireMsg. Payload aliases data.
+// UnmarshalWire implements wireMsg. Payload aliases data. A frame from an
+// old writer carries no trace context; it decodes as untraced.
 func (m *matchMsg) UnmarshalWire(data []byte) error {
 	r := wirecodec.NewReader(data)
 	m.QueryID = r.String()
@@ -485,6 +498,12 @@ func (m *matchMsg) UnmarshalWire(data []byte) error {
 		return err
 	}
 	m.Payload = r.Bytes()
+	m.TraceID, m.ParentSpan, m.Hop = 0, 0, 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.TraceID = r.Uvarint()
+		m.ParentSpan = r.Uvarint()
+		m.Hop = r.Int()
+	}
 	return r.Err()
 }
 
@@ -549,11 +568,19 @@ type replicateMsg struct {
 	Version     uint64            `json:"version"`
 	Groups      []replicaGroupRec `json:"groups,omitempty"`
 	Loose       [][]byte          `json:"loose,omitempty"`
+	// TraceID/ParentSpan/Hop carry a sampled publish's trace context onto the
+	// replica-push hop when the push was triggered while handling that
+	// publish, so the replica's span joins the cross-node tree. All zero for
+	// untriggered (maintenance) pushes and from pre-span writers. Appended
+	// after Loose per the wire-evolution rule.
+	TraceID    uint64 `json:"traceId,omitempty"`
+	ParentSpan uint64 `json:"parentSpan,omitempty"`
+	Hop        int    `json:"hop,omitempty"`
 }
 
 // MarshalWire implements wireMsg. Each group is a length-prefixed record
-// sharing the replicaGroupRec encoder; Loose is appended after the original
-// fields (append-only evolution).
+// sharing the replicaGroupRec encoder; Loose (PR 8) and the trace context
+// (PR 9) are appended after the original fields (append-only evolution).
 func (m *replicateMsg) MarshalWire(b []byte) []byte {
 	b = wirecodec.AppendString(b, m.Origin)
 	b = wirecodec.AppendUvarint(b, m.Incarnation)
@@ -569,7 +596,9 @@ func (m *replicateMsg) MarshalWire(b []byte) []byte {
 	for _, q := range m.Loose {
 		b = wirecodec.AppendBytes(b, q)
 	}
-	return b
+	b = wirecodec.AppendUvarint(b, m.TraceID)
+	b = wirecodec.AppendUvarint(b, m.ParentSpan)
+	return wirecodec.AppendInt(b, m.Hop)
 }
 
 // UnmarshalWire implements wireMsg. Nested byte fields alias data. A frame
@@ -604,6 +633,12 @@ func (m *replicateMsg) UnmarshalWire(data []byte) error {
 		for i := 0; i < k && r.Err() == nil; i++ {
 			m.Loose = append(m.Loose, r.Bytes())
 		}
+	}
+	m.TraceID, m.ParentSpan, m.Hop = 0, 0, 0
+	if r.Err() == nil && r.Len() > 0 {
+		m.TraceID = r.Uvarint()
+		m.ParentSpan = r.Uvarint()
+		m.Hop = r.Int()
 	}
 	return r.Err()
 }

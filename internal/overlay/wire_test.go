@@ -47,12 +47,19 @@ func TestOverlayMsgWireRejectsTruncation(t *testing.T) {
 		enc := msg.MarshalWire(nil)
 		for i := 0; i < len(enc); i++ {
 			got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(wireMsg)
-			if err := got.UnmarshalWire(enc[:i]); err == nil {
-				// Messages whose every field is optional-zero decode fine from
-				// a prefix only if that prefix is itself a valid encoding of a
-				// zero message; the empty dataMsg (attrs count 0, empty
-				// payload) is 2 bytes, so shorter prefixes must error.
-				t.Errorf("%T accepted %d-byte truncation of %d bytes", msg, i, len(enc))
+			err := got.UnmarshalWire(enc[:i])
+			if err == nil {
+				// The append-only evolution contract makes one class of
+				// truncation legal: a prefix that drops whole appended
+				// optional fields is exactly what an old writer would have
+				// sent. Such a prefix must decode back to the original
+				// message (the dropped fields were zero, so re-encoding
+				// reproduces the full frame); anything else is a malformed
+				// frame the decoder wrongly accepted.
+				if !bytes.Equal(got.MarshalWire(nil), enc) {
+					t.Errorf("%T accepted %d-byte truncation of %d bytes", msg, i, len(enc))
+				}
+				continue
 			}
 		}
 	}
@@ -283,10 +290,101 @@ func TestReplicateMsgWireRoundTrip(t *testing.T) {
 		t.Errorf("recover round trip = %+v, want %+v", gotR, r)
 	}
 
-	// A hostile group count must be rejected before allocation.
+	// A truncation cutting into the Loose section must error. (Dropping the
+	// trailing trace context alone is legal — that is an old writer's frame —
+	// so the cut reaches one byte further, into the last loose entry.)
 	bad := append([]byte(nil), m.MarshalWire(nil)...)
 	var trunc replicateMsg
-	if err := trunc.UnmarshalWire(bad[:len(bad)-3]); err == nil {
+	if err := trunc.UnmarshalWire(bad[:len(bad)-4]); err == nil {
 		t.Error("truncated replicateMsg decoded without error")
+	}
+}
+
+// TestOverlayTraceContextWire pins the PR 9 wire evolution of the two
+// overlay-local messages that carry a sampled publish's trace context:
+// matchMsg (behind Payload) and replicateMsg (behind the Loose section).
+// Frames from pre-span writers decode untraced, and pre-span readers of new
+// frames stop cleanly with the trace bytes left trailing.
+func TestOverlayTraceContextWire(t *testing.T) {
+	mm := matchMsg{QueryID: "q1", KeyValue: 0b1010, KeyBits: 16,
+		Attrs: map[string]float64{"speed": 61}, Payload: []byte("evt"),
+		TraceID: 0xAB, ParentSpan: 0xCD, Hop: 3}
+	var gotM matchMsg
+	if err := gotM.UnmarshalWire(mm.MarshalWire(nil)); err != nil {
+		t.Fatalf("matchMsg round trip: %v", err)
+	}
+	if !reflect.DeepEqual(gotM, mm) {
+		t.Errorf("matchMsg round trip = %+v, want %+v", gotM, mm)
+	}
+
+	// New decoder, old encoder: the pre-span layout stops after Payload.
+	old := wirecodec.AppendString(nil, mm.QueryID)
+	old = wirecodec.AppendInt(old, mm.KeyBits)
+	old = wirecodec.AppendUvarint(old, mm.KeyValue)
+	old = appendAttrs(old, mm.Attrs)
+	old = wirecodec.AppendBytes(old, mm.Payload)
+	var legacy matchMsg
+	if err := legacy.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy matchMsg decode: %v", err)
+	}
+	if legacy.TraceID != 0 || legacy.ParentSpan != 0 || legacy.Hop != 0 {
+		t.Errorf("legacy matchMsg decoded trace context (%d,%d,%d), want zeros",
+			legacy.TraceID, legacy.ParentSpan, legacy.Hop)
+	}
+	if legacy.QueryID != mm.QueryID || !bytes.Equal(legacy.Payload, mm.Payload) {
+		t.Errorf("legacy matchMsg = %+v, want pre-span fields of %+v", legacy, mm)
+	}
+
+	// Old decoder, new encoder: a pre-span reader stops after Payload and
+	// ignores the trailing trace bytes.
+	r := wirecodec.NewReader(mm.MarshalWire(nil))
+	_ = r.String()  // query id
+	_ = r.Int()     // key bits
+	_ = r.Uvarint() // key value
+	if _, err := readAttrs(r); err != nil {
+		t.Fatalf("old-shape matchMsg attrs: %v", err)
+	}
+	_ = r.Bytes() // payload
+	if err := r.Err(); err != nil {
+		t.Fatalf("old-shape decode of new matchMsg: %v", err)
+	}
+	if r.Len() == 0 {
+		t.Error("new matchMsg carries no trailing trace bytes to ignore")
+	}
+
+	rm := replicateMsg{Origin: "n1", Incarnation: 9, Version: 2,
+		Groups: []replicaGroupRec{{GroupValue: 1, GroupBits: 2, Queries: [][]byte{[]byte("q")}}},
+		Loose:  [][]byte{[]byte("lq")}, TraceID: 7, ParentSpan: 8, Hop: 1}
+	var gotR replicateMsg
+	if err := gotR.UnmarshalWire(rm.MarshalWire(nil)); err != nil {
+		t.Fatalf("replicateMsg round trip: %v", err)
+	}
+	if !reflect.DeepEqual(gotR, rm) {
+		t.Errorf("replicateMsg round trip = %+v, want %+v", gotR, rm)
+	}
+
+	// New decoder, Loose-era (pre-span) encoder: origin, incarnation,
+	// version, group records, loose entries — and nothing after.
+	old = wirecodec.AppendString(nil, rm.Origin)
+	old = wirecodec.AppendUvarint(old, rm.Incarnation)
+	old = wirecodec.AppendUvarint(old, rm.Version)
+	old = wirecodec.AppendInt(old, len(rm.Groups))
+	for i := range rm.Groups {
+		old = wirecodec.AppendBytes(old, rm.Groups[i].MarshalWire(nil))
+	}
+	old = wirecodec.AppendInt(old, len(rm.Loose))
+	for _, q := range rm.Loose {
+		old = wirecodec.AppendBytes(old, q)
+	}
+	var legacyR replicateMsg
+	if err := legacyR.UnmarshalWire(old); err != nil {
+		t.Fatalf("legacy replicateMsg decode: %v", err)
+	}
+	if legacyR.TraceID != 0 || legacyR.ParentSpan != 0 || legacyR.Hop != 0 {
+		t.Errorf("legacy replicateMsg decoded trace context (%d,%d,%d), want zeros",
+			legacyR.TraceID, legacyR.ParentSpan, legacyR.Hop)
+	}
+	if len(legacyR.Loose) != 1 || !bytes.Equal(legacyR.Loose[0], rm.Loose[0]) {
+		t.Errorf("legacy replicateMsg loose section = %v, want %v", legacyR.Loose, rm.Loose)
 	}
 }

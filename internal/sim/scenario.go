@@ -117,6 +117,12 @@ type Expect struct {
 	// invariant that one slow peer must not wedge everyone else's
 	// maintenance for a full legacy call timeout.
 	MaxHealthyTickMs float64 `json:"max_healthy_tick_ms,omitempty"`
+	// SpansComplete requires every sampled publish's hop spans to form one
+	// connected tree rooted at a single ingress span, and at least one trace
+	// to have been sampled (set Scenario.TraceEvery). Only meaningful on
+	// lossless links — a dropped-and-retried probe legitimately records two
+	// ingress spans.
+	SpansComplete bool `json:"spans_complete,omitempty"`
 	// EventsConsistent cross-checks the nodes' observer event stream against
 	// the protocol counters: split events bound the split counter from below
 	// (one split event covers one or more table subdivisions) and agree with
@@ -143,14 +149,18 @@ type Scenario struct {
 	Queries        int           `json:"queries"`
 	// Replicas overrides the overlay's key-group replication factor
 	// (0 = the overlay default; negative disables replication).
-	Replicas  int            `json:"replicas,omitempty"`
-	Link      link.Model     `json:"link"`
-	Phases    []Phase        `json:"phases"`
-	Churn     []ChurnEvent   `json:"churn,omitempty"`
-	Partition *PartitionSpec `json:"partition,omitempty"`
-	Slow      *SlowSpec      `json:"slow,omitempty"`
-	Asym      *AsymSpec      `json:"asym,omitempty"`
-	Expect    Expect         `json:"expect"`
+	Replicas int `json:"replicas,omitempty"`
+	// TraceEvery samples every Nth delivered object for request tracing
+	// (0 disables): sampled publishes carry a trace ID on the wire and every
+	// node on their path emits hop spans into the run's span collector.
+	TraceEvery int            `json:"trace_every,omitempty"`
+	Link       link.Model     `json:"link"`
+	Phases     []Phase        `json:"phases"`
+	Churn      []ChurnEvent   `json:"churn,omitempty"`
+	Partition  *PartitionSpec `json:"partition,omitempty"`
+	Slow       *SlowSpec      `json:"slow,omitempty"`
+	Asym       *AsymSpec      `json:"asym,omitempty"`
+	Expect     Expect         `json:"expect"`
 }
 
 // TotalTicks returns the scenario length in load-check periods.
@@ -250,17 +260,24 @@ type Result struct {
 	LostCQs             []string `json:"lost_cqs,omitempty"`
 	// Events counts the protocol events the nodes' observers reported over
 	// the whole run (boot included), by event type.
-	Events     map[string]int `json:"events,omitempty"`
-	Violations []string       `json:"violations"`
+	Events map[string]int `json:"events,omitempty"`
+	// Spans summarises the hop spans of the run's sampled publishes (present
+	// only when Scenario.TraceEvery is set and at least one span was emitted).
+	Spans      *SpanReport `json:"spans,omitempty"`
+	Violations []string    `json:"violations"`
 }
 
 // eventCounter is the simulator's overlay.Observer (the hub's role in a live
 // deployment): it counts protocol events by type across every node, so the
 // scenario assertions can cross-check the event stream against the protocol
-// counters. Traces are ignored — the virtual clock makes every stage zero.
+// counters, and collects every hop span the traced publishes emit so the
+// span-completeness invariant can be checked at the end of the run. Trace
+// records and stage timings are ignored — the virtual clock makes every
+// in-node stage zero.
 type eventCounter struct {
 	mu     sync.Mutex
 	counts map[string]int
+	spans  []overlay.Span
 }
 
 func newEventCounter() *eventCounter {
@@ -277,6 +294,15 @@ func (c *eventCounter) OnTrace(overlay.TraceRecord) {}
 
 func (c *eventCounter) OnTraceStage(string, int64) {}
 
+// OnSpan retains every hop span in emission order. The simulation is
+// single-threaded (InlineMatchPush), so the order — and with it the whole
+// span analysis — is deterministic for a given scenario and seed.
+func (c *eventCounter) OnSpan(sp overlay.Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, sp)
+	c.mu.Unlock()
+}
+
 func (c *eventCounter) snapshot() map[string]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -285,6 +311,12 @@ func (c *eventCounter) snapshot() map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+func (c *eventCounter) spanSnapshot() []overlay.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]overlay.Span(nil), c.spans...)
 }
 
 // simNode is one simulated overlay member.
@@ -461,6 +493,11 @@ func (r *runner) boot() error {
 		return err
 	}
 	r.client = client
+	// Sampling engages before the queries register, so registration traffic
+	// (and the replica pushes it fans out) is traced too.
+	if sc.TraceEvery > 0 {
+		client.SetTraceEvery(sc.TraceEvery)
+	}
 
 	spec := workload.SpecFor(sc.Workload)
 	spec.KeyBits = sc.KeyBits
@@ -868,6 +905,9 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 		res.SlowTickCostMs = &ms
 	}
 	res.Events = r.events.snapshot()
+	// The span report is built before the durability probes run, so — like
+	// the headline counters — it covers only the scenario's own traffic.
+	res.Spans = buildSpanReport(r.events.spanSnapshot(), r.net)
 	res.CoverageComplete, res.CoverageOverlaps = coverage(sc.KeyBits, groups)
 	res.RingDrift = r.ringDrift()
 	res.RingConverged = res.RingDrift == 0
@@ -927,6 +967,17 @@ func (r *runner) finish(res *Result, bootEnd time.Duration) {
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("healthy-node tick cost p99 %.1fms exceeds the allowed %.1fms",
 				res.TickCostMs.P99, ex.MaxHealthyTickMs))
+	}
+	if ex.SpansComplete {
+		switch {
+		case res.Spans == nil || res.Spans.Traces == 0:
+			res.Violations = append(res.Violations,
+				"no sampled traces recorded any hop spans")
+		case res.Spans.Complete != res.Spans.Traces:
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("%d of %d sampled traces have disconnected or multi-rooted span trees (e.g. %v)",
+					res.Spans.Traces-res.Spans.Complete, res.Spans.Traces, res.Spans.Incomplete))
+		}
 	}
 	if ex.EventsConsistent {
 		splitEvents := res.Events[overlay.EventSplit]

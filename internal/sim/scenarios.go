@@ -102,6 +102,9 @@ func splitMerge(nodes int, seed int64) Scenario {
 		{Name: "hot", Ticks: 5, Packets: hot},
 		{Name: "cool", Ticks: 11, Packets: hot / 100},
 	}
+	// Trace a sample of the publishes (links are lossless here, so every
+	// sampled publish's hop spans must assemble into one complete tree).
+	sc.TraceEvery = 16
 	sc.Expect = Expect{
 		MinSplits:           1,
 		MinMerges:           1,
@@ -109,6 +112,7 @@ func splitMerge(nodes int, seed int64) Scenario {
 		CoverageComplete:    true,
 		RingConverged:       true,
 		EventsConsistent:    true,
+		SpansComplete:       true,
 	}
 	return sc
 }
