@@ -1,0 +1,111 @@
+// Package analysis is a self-contained static-analysis framework modelled on
+// golang.org/x/tools/go/analysis, built only on the standard library's go/ast
+// and go/types so the repo stays dependency-free. It powers cmd/clashvet: a
+// multichecker that mechanically enforces the repo's concurrency, pooling,
+// clock and wire invariants (the rules PRs 3-9 established by comment and
+// hand-audit).
+//
+// An Analyzer inspects one type-checked package at a time through a Pass and
+// reports Diagnostics. Findings are suppressed per line with a
+//
+//	//clashvet:ignore <analyzer> <reason>
+//
+// directive; the reason is mandatory, so every suppression documents why the
+// invariant does not apply (see directive.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //clashvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects pass.Files and reports findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object resolutions.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding ("clashvet" for
+	// framework-level findings such as malformed ignore directives).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package, validates ignore directives,
+// filters suppressed findings and returns the rest ordered by position.
+// Framework findings (malformed directives) carry the analyzer name
+// "clashvet" and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = append(diags, dirs.apply(pkgDiags)...)
+		diags = append(diags, dirs.malformed()...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,168 @@
+// Package analysistest runs an analyzer over golden testdata packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Layout: <testdata>/src/<pkg>/... holds ordinary Go packages imported by
+// path relative to src (plus any standard-library imports). A line expecting
+// diagnostics carries a trailing comment of one or more quoted regular
+// expressions:
+//
+//	time.Sleep(d) // want `time\.Sleep is forbidden`
+//
+// Every diagnostic must be matched by a want expectation on its line and
+// every expectation must match at least one diagnostic, so a disabled or
+// broken analyzer fails the test by leaving expectations unmatched.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clash/internal/analysis"
+)
+
+// Run loads each named package from testdata/src, applies the analyzer (with
+// framework directive handling, exactly as cmd/clashvet does) and reports any
+// mismatch against the packages' // want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewTreeLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, d := range diags {
+		m := false
+		for _, w := range wants {
+			if w.pos.Filename == d.Pos.Filename && w.pos.Line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				m = true
+			}
+		}
+		if !m {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+		}
+	}
+}
+
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Line-comment form ("// want ...") or, for lines whose only
+				// line comment is the construct under test (e.g. a malformed
+				// directive), the block form ("/* want ... */" on the same
+				// line).
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					if t2, ok2 := strings.CutPrefix(c.Text, "/* want "); ok2 && strings.HasSuffix(t2, "*/") {
+						text, ok = strings.TrimSpace(strings.TrimSuffix(t2, "*/")), true
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWant extracts the quoted regexps from the text after "// want ".
+// Both backquoted and double-quoted Go string literals are accepted.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			break
+		}
+		var lit string
+		switch text[0] {
+		case '`':
+			end := strings.IndexByte(text[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			lit = text[1 : 1+end]
+			text = text[end+2:]
+		case '"':
+			rest := text[1:]
+			end := -1
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated \" in want comment")
+			}
+			var err error
+			lit, err = strconv.Unquote(text[:end+2])
+			if err != nil {
+				return nil, fmt.Errorf("bad want literal %s: %v", text[:end+2], err)
+			}
+			text = rest[end+1:]
+		default:
+			return nil, fmt.Errorf("want comment must hold quoted regexps, got %q", text)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		res = append(res, re)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return res, nil
+}

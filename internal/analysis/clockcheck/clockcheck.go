@@ -1,0 +1,93 @@
+// Package clockcheck forbids wall-clock reads in sim-driven packages.
+//
+// The discrete-event simulator (internal/sim) drives unmodified protocol code
+// at virtual time; the byte-determinism guarantee behind SIM_scenarios.json
+// and the CI diff gates holds only if no code on the simulated path touches
+// package time's clock. Sim-driven packages must take their time from an
+// injected clock.Clock (internal/clock) instead.
+//
+// Real-socket files (TCP deadlines, the in-memory fabric's real-time link
+// model) are outside the simulated path; their uses carry
+// //clashvet:ignore clockcheck <reason> directives.
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clash/internal/analysis"
+)
+
+// simSegments marks a package as sim-driven when any import-path segment
+// matches ("clash/internal/sim/link" via "sim", testdata's "chord" via
+// "chord").
+var simSegments = []string{"chord", "core", "cq", "load", "sim"}
+
+// simLastSegments marks packages sim-driven by final segment only: overlay
+// hosts the node/maintenance logic the simulator drives.
+var simLastSegments = []string{"overlay"}
+
+// forbidden maps the time-package functions that read or schedule against the
+// wall clock to the clock.Clock replacement to suggest.
+var forbidden = map[string]string{
+	"Now":       "clock.Clock.Now",
+	"Sleep":     "a clock.Clock.NewTimer wait",
+	"After":     "clock.Clock.NewTimer",
+	"AfterFunc": "clock.Clock.NewTimer",
+	"Tick":      "clock.Clock.NewTicker",
+	"NewTimer":  "clock.Clock.NewTimer",
+	"NewTicker": "clock.Clock.NewTicker",
+	"Since":     "clock.Clock.Now arithmetic",
+	"Until":     "clock.Clock.Now arithmetic",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcheck",
+	Doc:  "forbid time.Now/Sleep/After/NewTimer/NewTicker in sim-driven packages; inject clock.Clock instead",
+	Run:  run,
+}
+
+func simDriven(path string) bool {
+	for _, seg := range simSegments {
+		if analysis.HasPathSegment(path, seg) {
+			return true
+		}
+	}
+	for _, last := range simLastSegments {
+		if analysis.LastSegment(path) == last {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !simDriven(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			repl, bad := forbidden[sel.Sel.Name]
+			if !bad {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s is forbidden in sim-driven package %s (wall-clock reads break sim determinism; use %s)",
+				sel.Sel.Name, pass.Pkg.Path(), repl)
+			return true
+		})
+	}
+	return nil
+}

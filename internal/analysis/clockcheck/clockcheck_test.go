@@ -1,0 +1,14 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"clash/internal/analysis/analysistest"
+	"clash/internal/analysis/clockcheck"
+)
+
+func TestClockCheck(t *testing.T) {
+	// "chord" is sim-driven (violations + a justified ignore + a malformed
+	// directive); "tools" is not sim-driven, so its wall-clock use is legal.
+	analysistest.Run(t, "testdata", clockcheck.Analyzer, "chord", "tools")
+}

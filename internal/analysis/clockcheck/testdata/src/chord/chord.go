@@ -1,0 +1,53 @@
+// Package chord is a sim-driven testdata package: every wall-clock touch
+// must be flagged unless a justified ignore directive covers it.
+package chord
+
+import (
+	"time"
+	clk "time"
+)
+
+func violations() {
+	_ = time.Now()                  // want `time\.Now is forbidden in sim-driven package chord`
+	time.Sleep(time.Second)         // want `time\.Sleep is forbidden`
+	_ = time.After(time.Second)     // want `time\.After is forbidden`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer is forbidden`
+	_ = t
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker is forbidden`
+	tk.Stop()
+	_ = time.Since(time.Time{}) // want `time\.Since is forbidden`
+}
+
+// renamed imports are still caught: the check resolves the package, not the
+// identifier spelling.
+func renamed() {
+	_ = clk.Now() // want `time\.Now is forbidden`
+}
+
+// notTheClock proves only wall-clock entry points are flagged: durations,
+// formatting and time arithmetic are fine.
+func notTheClock(ts time.Time) string {
+	d := 5 * time.Millisecond
+	_ = ts.Add(d)
+	return ts.Format(time.RFC3339)
+}
+
+// suppressed carries a well-formed directive: no finding.
+func suppressed() {
+	//clashvet:ignore clockcheck testdata exercises the real-socket allowlist form
+	_ = time.Now()
+	time.Sleep(0) //clashvet:ignore clockcheck trailing-form suppression is allowed too
+}
+
+// wrongAnalyzer's directive names another analyzer, so it does not suppress.
+func wrongAnalyzer() {
+	//clashvet:ignore poolcheck wrong analyzer name does not suppress clockcheck
+	_ = time.Now() // want `time\.Now is forbidden`
+}
+
+// malformed directives (missing the mandatory reason) are findings themselves
+// and do not suppress anything.
+func malformed() {
+	/* want `malformed //clashvet:ignore directive: missing reason` */ //clashvet:ignore clockcheck
+	_ = time.Now()                                                     // want `time\.Now is forbidden`
+}

@@ -1,0 +1,12 @@
+// Package tools is not sim-driven: wall-clock reads are fine here.
+package tools
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//clashvet:ignore <analyzer> <reason>
+//
+// The directive suppresses <analyzer>'s findings on the directive's own line
+// and on the line immediately below it (so it can trail the offending
+// statement or sit on its own line above it). The reason is mandatory: a
+// suppression without a justification is itself a finding.
+const directivePrefix = "//clashvet:ignore"
+
+// directive is one parsed //clashvet:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	// bad holds the malformedness complaint, empty when well-formed.
+	bad string
+}
+
+// directiveSet indexes a package's directives by file and line.
+type directiveSet struct {
+	// byLine maps filename -> line -> analyzers suppressed on that line.
+	byLine map[string]map[int][]directive
+	all    []directive
+}
+
+// collectDirectives parses every //clashvet:ignore comment in the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	set := &directiveSet{byLine: make(map[string]map[int][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := parseDirective(c.Text)
+				d.pos = fset.Position(c.Pos())
+				set.all = append(set.all, d)
+				if d.bad != "" {
+					continue
+				}
+				lines := set.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]directive)
+					set.byLine[d.pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing form) and the
+				// next line (standalone form above the statement).
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return set
+}
+
+// parseDirective splits "//clashvet:ignore <analyzer> <reason>".
+func parseDirective(text string) directive {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //clashvet:ignoreclockcheck — not a directive of ours.
+		return directive{bad: "malformed //clashvet:ignore directive: expected \"//clashvet:ignore <analyzer> <reason>\""}
+	}
+	fields := strings.Fields(rest)
+	switch len(fields) {
+	case 0:
+		return directive{bad: "malformed //clashvet:ignore directive: missing analyzer and reason"}
+	case 1:
+		return directive{analyzer: fields[0], bad: "malformed //clashvet:ignore directive: missing reason (every suppression must say why)"}
+	}
+	return directive{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+}
+
+// apply filters out diagnostics suppressed by a matching directive.
+func (s *directiveSet) apply(diags []Diagnostic) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !s.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// malformed returns one framework diagnostic per malformed directive. These
+// carry the analyzer name "clashvet" and are never suppressible.
+func (s *directiveSet) malformed() []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range s.all {
+		if d.bad != "" {
+			diags = append(diags, Diagnostic{Analyzer: "clashvet", Pos: d.pos, Message: d.bad})
+		}
+	}
+	return diags
+}

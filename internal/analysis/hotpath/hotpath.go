@@ -1,0 +1,173 @@
+// Package hotpath keeps //clash:hotpath-annotated functions allocation-lean.
+//
+// The publish path (ACCEPT_OBJECT, batch, route lookup, CQ match) is
+// zero-alloc by construction (PR 8) but was enforced by exactly one dynamic
+// test. Functions whose doc comment carries a //clash:hotpath line may not:
+//
+//   - call into package fmt (every fmt call boxes its operands),
+//   - allocate a map (make or composite literal),
+//   - box a concrete value into an interface (argument passing, assignment,
+//     return, or explicit conversion).
+//
+// Values that are already interface-typed (stored errors, any-typed fields)
+// move without allocating and are not flagged; untyped nil never boxes.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clash/internal/analysis"
+)
+
+// Marker is the doc-comment line that opts a function into the check.
+const Marker = "//clash:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid fmt calls, map allocation and interface boxing in //clash:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Marker || strings.HasPrefix(text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, name, n)
+		case *ast.CompositeLit:
+			if _, isMap := pass.Info.TypeOf(n).Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(), "hot path %s allocates a map literal", name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, name, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, name, fd, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr) {
+	// fmt.* — every call formats through ...any and boxes.
+	if pkgPath, fn, ok := analysis.CalleePkgFunc(pass.Info, call); ok && pkgPath == "fmt" {
+		pass.Reportf(call.Pos(), "hot path %s calls fmt.%s (formats through ...any and allocates; use strconv or preformatted values)", name, fn)
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x) with T an interface boxes x.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pass, call.Args[0], tv.Type) {
+			pass.Reportf(call.Pos(), "hot path %s boxes %s into %s", name, pass.Info.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		// make(map[...]...) is the only allocating builtin we flag.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+			if _, isMap := pass.Info.TypeOf(call).Underlying().(*types.Map); isMap {
+				pass.Reportf(call.Pos(), "hot path %s allocates a map with make", name)
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(pass, arg, pt) {
+			pass.Reportf(arg.Pos(), "hot path %s boxes %s into %s argument", name, pass.Info.TypeOf(arg), pt)
+		}
+	}
+}
+
+func checkAssign(pass *analysis.Pass, name string, as *ast.AssignStmt) {
+	n := len(as.Rhs)
+	if n != len(as.Lhs) {
+		return // multi-value call unpacking: covered at the call's return site
+	}
+	for i := 0; i < n; i++ {
+		lt := pass.Info.TypeOf(as.Lhs[i])
+		if lt != nil && types.IsInterface(lt) && boxes(pass, as.Rhs[i], lt) {
+			pass.Reportf(as.Rhs[i].Pos(), "hot path %s boxes %s into %s", name, pass.Info.TypeOf(as.Rhs[i]), lt)
+		}
+	}
+}
+
+func checkReturn(pass *analysis.Pass, name string, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	ftype := pass.Info.TypeOf(fd.Name)
+	sig, ok := ftype.(*types.Signature)
+	if !ok || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if types.IsInterface(rt) && boxes(pass, res, rt) {
+			pass.Reportf(res.Pos(), "hot path %s boxes %s into %s return", name, pass.Info.TypeOf(res), rt)
+		}
+	}
+}
+
+// boxes reports whether storing expr into target (an interface type) performs
+// an allocating conversion: the expression's static type is concrete and the
+// value is not the untyped nil.
+func boxes(pass *analysis.Pass, expr ast.Expr, target types.Type) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false // interface-to-interface moves don't allocate a box
+	}
+	if _, isTP := tv.Type.(*types.TypeParam); isTP {
+		return false
+	}
+	return true
+}

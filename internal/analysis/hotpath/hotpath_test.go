@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"clash/internal/analysis/analysistest"
+	"clash/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+}

@@ -1,0 +1,72 @@
+// Package hot exercises the //clash:hotpath allocation rules.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type result struct {
+	n  int
+	ok bool
+}
+
+type sink struct {
+	last any
+	err  error
+}
+
+//clash:hotpath
+func flagged(s *sink, key uint64, bits int) (string, error) {
+	label := fmt.Sprintf("%d/%d", key, bits) // want `hot path flagged calls fmt\.Sprintf`
+	m := make(map[string]int)                // want `hot path flagged allocates a map with make`
+	m[label] = bits
+	counts := map[uint64]int{key: 1} // want `hot path flagged allocates a map literal`
+	_ = counts
+	s.last = bits      // want `hot path flagged boxes int into any`
+	_ = any(key)       // want `hot path flagged boxes uint64 into any`
+	take(result{n: 1}) // want `hot path flagged boxes hot\.result into any argument`
+	return label, nil
+}
+
+//clash:hotpath
+func flaggedReturn(v result) any {
+	return v // want `hot path flaggedReturn boxes hot\.result into any return`
+}
+
+// clean is marked but allocation-free: strconv, struct work, stored errors
+// and interface-to-interface moves are all fine.
+//
+//clash:hotpath
+func clean(s *sink, key uint64, prior error) (string, error) {
+	label := strconv.FormatUint(key, 10)
+	r := result{n: len(label), ok: true}
+	if r.ok {
+		s.err = prior // interface-to-interface, no box
+	}
+	var e error
+	e = prior
+	_ = e
+	take(s.last) // any-to-any, no box
+	return label, nil
+}
+
+// unmarked is identical to flagged but carries no marker: nothing reported.
+func unmarked(s *sink, key uint64) string {
+	s.last = key
+	return fmt.Sprintf("%d", key)
+}
+
+//clash:hotpath
+func suppressed(s *sink, key uint64) {
+	//clashvet:ignore hotpath cold error branch, runs at most once per split
+	s.last = key
+}
+
+//clash:hotpath
+func badDirective(s *sink, key uint64) {
+	/* want `malformed //clashvet:ignore directive: missing reason` */ //clashvet:ignore hotpath
+	s.last = key                                                       // want `hot path badDirective boxes uint64 into any`
+}
+
+func take(v any) {}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("clash/internal/core").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go toolchain: repo (or
+// testdata) packages are resolved to directories and checked from source,
+// everything else is delegated to the standard library's source importer
+// (which compiles nothing and works offline). One Loader shares a FileSet and
+// a package cache across loads.
+type Loader struct {
+	Fset *token.FileSet
+	// resolve maps a non-stdlib import path to its source directory.
+	// Returning ok=false delegates the path to the stdlib importer.
+	resolve func(path string) (dir string, ok bool)
+	std     types.Importer
+	pkgs    map[string]*Package
+	// loading guards against import cycles.
+	loading map[string]bool
+	// modRoot/modPath are set in module mode only (LoadAll needs them).
+	modRoot, modPath string
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// NewModuleLoader loads packages of the module rooted at root (the directory
+// holding go.mod). Module-internal import paths resolve to subdirectories;
+// all other paths must be standard library.
+func NewModuleLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	resolve := func(path string) (string, bool) {
+		if path == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	l := newLoader(resolve)
+	l.modRoot, l.modPath = root, modPath
+	return l, nil
+}
+
+// NewTreeLoader loads packages from a GOPATH-style source tree: import path
+// "p/q" resolves to srcRoot/p/q when that directory exists. Used by
+// analysistest over testdata/src trees.
+func NewTreeLoader(srcRoot string) *Loader {
+	return newLoader(func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+// Load type-checks the package with the given import path (and, recursively,
+// its dependencies), returning the cached result on repeat calls.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve package %q", path)
+	}
+	return l.loadDir(path, dir)
+}
+
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go source in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if pkg, err := l.Load(p); err == nil {
+			return pkg.Types, nil
+		} else if _, resolvable := l.resolve(p); resolvable {
+			return nil, err
+		}
+		return l.std.Import(p)
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll walks the module for every package directory (skipping testdata,
+// hidden and underscore directories) and loads each, mirroring "./...".
+// Module mode only.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	if l.modRoot == "" {
+		return nil, fmt.Errorf("LoadAll requires a module loader")
+	}
+	var paths []string
+	err := filepath.WalkDir(l.modRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.modRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.modRoot, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		path := l.modPath
+		if rel != "." {
+			path = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != path {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

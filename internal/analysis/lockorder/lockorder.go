@@ -1,0 +1,235 @@
+// Package lockorder enforces core's stripe-lock acquisition order.
+//
+// The sharded work table (PR 8) documents one global order: the shallow
+// stripe first, then the deep shards ascending — exactly what Server.lockAll
+// does — and single-stripe operations never take a second stripe. Holding a
+// stripe while acquiring another one that is not strictly later in that
+// order can deadlock against lockAll (or a mirrored pair of single-stripe
+// operations), so it is an error.
+//
+// Acquisitions recognised (by the serverShard/Server type names):
+//
+//	sh.lock(), sh.mu.Lock()  — one stripe (sh of type *serverShard)
+//	s.lockAll()              — every stripe, shallow first
+//
+// Ranks: s.shallow < s.shards[0] < s.shards[1] < ... A range loop over the
+// shards field acquires ascending by construction and is allowed while only
+// the shallow stripe is held (the canonical lockAll body). An acquisition
+// whose rank cannot be proven (arbitrary expression, non-constant index)
+// is only legal when nothing is held. TryLock never blocks and is ignored.
+package lockorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"clash/internal/analysis"
+)
+
+// stripeType and serverType are the type names the analyzer keys on; the
+// testdata mirrors core's naming.
+const (
+	stripeType = "serverShard"
+	serverType = "Server"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "stripe locks must follow the documented global order: shallow first, then shards ascending (Server.lockAll)",
+	Run:  run,
+}
+
+// rank orders one acquisition in the global lock order.
+type rank struct {
+	// kind: "shallow" (-1), "index" (shards[i], i constant), "loop"
+	// (ascending range over shards), "all" (lockAll), "unknown".
+	kind string
+	idx  int64
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody walks one function (or function literal) body in source order,
+// tracking held stripe locks. Function literals get their own fresh state:
+// they run on other goroutines or after the enclosing frame released.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var held []rank
+	// loopVars maps the value variable of an active `range x.shards` loop to
+	// that loop, so locking it is recognised as the ascending walk.
+	loopVars := make(map[types.Object]bool)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return; for ordering purposes the
+			// lock stays held for the rest of the body, which is exactly the
+			// default, so skip the call entirely.
+			return false
+		case *ast.RangeStmt:
+			if isShardsRange(pass, n) {
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						// The var's scope is the loop body, so leaving it in
+						// the map after the loop cannot misclassify anything.
+						loopVars[obj] = true
+					}
+				}
+			}
+			// Fall through: the range body is walked with the current state.
+			return true
+		case *ast.CallExpr:
+			if r, ok := acquisition(pass, n, loopVars); ok {
+				reportIfOutOfOrder(pass, n, r, held)
+				if r.kind != "loop" { // the loop var re-locks per iteration
+					held = append(held, r)
+				} else if len(held) == 0 || held[len(held)-1].kind != "loop" {
+					held = append(held, r)
+				}
+				return false
+			}
+			if isRelease(pass, n) {
+				if len(held) > 0 {
+					held = held[:len(held)-1]
+				}
+				return false
+			}
+			if isReleaseAll(pass, n) {
+				held = held[:0]
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func reportIfOutOfOrder(pass *analysis.Pass, call *ast.CallExpr, r rank, held []rank) {
+	if len(held) == 0 {
+		return
+	}
+	switch r.kind {
+	case "all":
+		pass.Reportf(call.Pos(), "lockAll acquired while already holding a stripe lock (documented order: shallow, then shards ascending; release first)")
+	case "loop":
+		for _, h := range held {
+			if h.kind != "shallow" {
+				pass.Reportf(call.Pos(), "ascending shard walk started while holding %s (documented order: shallow, then shards ascending)", describe(h))
+				return
+			}
+		}
+	case "shallow":
+		pass.Reportf(call.Pos(), "shallow stripe locked while holding %s (documented order: shallow, then shards ascending)", describe(held[len(held)-1]))
+	case "index":
+		for _, h := range held {
+			if h.kind == "shallow" {
+				continue // shallow ranks before every shard
+			}
+			if h.kind == "index" && h.idx < r.idx {
+				continue // strictly ascending is consistent with the global order
+			}
+			pass.Reportf(call.Pos(), "stripe shards[%d] locked while holding %s (documented order: shallow, then shards ascending)", r.idx, describe(h))
+			return
+		}
+	default: // unknown rank: only provable when nothing is held
+		pass.Reportf(call.Pos(), "second stripe lock acquired while holding %s; the order cannot be proven (documented order: shallow, then shards ascending — single-stripe operations never nest)", describe(held[len(held)-1]))
+	}
+}
+
+func describe(r rank) string {
+	switch r.kind {
+	case "shallow":
+		return "the shallow stripe"
+	case "index":
+		return "a deep stripe"
+	case "all":
+		return "every stripe (lockAll)"
+	default:
+		return "a stripe lock"
+	}
+}
+
+// acquisition classifies call as a stripe-lock acquisition and ranks it.
+func acquisition(pass *analysis.Pass, call *ast.CallExpr, loopVars map[types.Object]bool) (rank, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return rank{}, false
+	}
+	switch sel.Sel.Name {
+	case "lockAll":
+		if analysis.NamedTypeName(pass.Info.TypeOf(sel.X)) == serverType {
+			return rank{kind: "all"}, true
+		}
+	case "lock":
+		if analysis.NamedTypeName(pass.Info.TypeOf(sel.X)) == stripeType {
+			return classify(pass, sel.X, loopVars), true
+		}
+	case "Lock":
+		// sh.mu.Lock(): the receiver is the mu field of a stripe.
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" &&
+			analysis.NamedTypeName(pass.Info.TypeOf(inner.X)) == stripeType {
+			return classify(pass, inner.X, loopVars), true
+		}
+	}
+	return rank{}, false
+}
+
+// classify ranks the stripe expression itself.
+func classify(pass *analysis.Pass, e ast.Expr, loopVars map[types.Object]bool) rank {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "shallow" {
+			return rank{kind: "shallow"}
+		}
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "shards" {
+			if tv, ok := pass.Info.Types[e.Index]; ok && tv.Value != nil {
+				if i, exact := constant.Int64Val(tv.Value); exact {
+					return rank{kind: "index", idx: i}
+				}
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil && loopVars[obj] {
+			return rank{kind: "loop"}
+		}
+	}
+	return rank{kind: "unknown"}
+}
+
+// isShardsRange reports whether n ranges over a shards field.
+func isShardsRange(pass *analysis.Pass, n *ast.RangeStmt) bool {
+	sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "shards"
+}
+
+// isRelease matches sh.mu.Unlock() for a stripe.
+func isRelease(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Unlock" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "mu" &&
+		analysis.NamedTypeName(pass.Info.TypeOf(inner.X)) == stripeType
+}
+
+// isReleaseAll matches s.unlockAll().
+func isReleaseAll(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "unlockAll" &&
+		analysis.NamedTypeName(pass.Info.TypeOf(sel.X)) == serverType
+}

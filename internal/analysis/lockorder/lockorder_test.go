@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"clash/internal/analysis/analysistest"
+	"clash/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "core")
+}

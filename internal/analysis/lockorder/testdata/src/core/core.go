@@ -1,0 +1,135 @@
+// Package core mirrors the sharded work table's lock discipline: a shallow
+// stripe, then deep shards ascending, lockAll being the only multi-stripe path.
+package core
+
+import "sync"
+
+type serverShard struct {
+	mu        sync.Mutex
+	lockWaits int
+}
+
+func (sh *serverShard) lock() {
+	if sh.mu.TryLock() { // TryLock never blocks: ignored by the analyzer
+		return
+	}
+	sh.lockWaits++
+	sh.mu.Lock()
+}
+
+type Server struct {
+	shallow *serverShard
+	shards  []*serverShard
+}
+
+// lockAll is the canonical multi-stripe path: shallow, then ascending walk.
+func (s *Server) lockAll() {
+	s.shallow.lock()
+	for _, sh := range s.shards {
+		sh.lock()
+	}
+}
+
+func (s *Server) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	s.shallow.mu.Unlock()
+}
+
+// singleStripe is the blessed single-stripe pattern: one lock, never nested.
+func (s *Server) singleStripe(i int) {
+	sh := s.shards[i%len(s.shards)]
+	sh.lock()
+	defer sh.mu.Unlock()
+	sh.lockWaits++
+}
+
+// nestedSingleStripe grabs a second stripe while one is held; neither rank is
+// provable, so this can deadlock against a mirrored caller.
+func (s *Server) nestedSingleStripe(a, b int) {
+	x := s.shards[a%len(s.shards)]
+	y := s.shards[b%len(s.shards)]
+	x.lock()
+	defer x.mu.Unlock()
+	y.lock() // want `second stripe lock acquired while holding a stripe lock; the order cannot be proven`
+	defer y.mu.Unlock()
+}
+
+func (s *Server) descending() {
+	s.shards[2].mu.Lock()
+	s.shards[1].mu.Lock() // want `stripe shards\[1\] locked while holding a deep stripe`
+	s.shards[1].mu.Unlock()
+	s.shards[2].mu.Unlock()
+}
+
+func (s *Server) sameStripeTwice() {
+	s.shards[1].lock()
+	s.shards[1].lock() // want `stripe shards\[1\] locked while holding a deep stripe`
+	s.shards[1].mu.Unlock()
+	s.shards[1].mu.Unlock()
+}
+
+// ascendingConstants is consistent with the global order and therefore legal.
+func (s *Server) ascendingConstants() {
+	s.shallow.lock()
+	s.shards[0].lock()
+	s.shards[3].lock()
+	s.shards[3].mu.Unlock()
+	s.shards[0].mu.Unlock()
+	s.shallow.mu.Unlock()
+}
+
+func (s *Server) shallowLast() {
+	s.shards[0].lock()
+	s.shallow.lock() // want `shallow stripe locked while holding a deep stripe`
+	s.shallow.mu.Unlock()
+	s.shards[0].mu.Unlock()
+}
+
+func (s *Server) lockAllWhileHolding() {
+	s.shallow.lock()
+	s.lockAll() // want `lockAll acquired while already holding a stripe lock`
+}
+
+func (s *Server) walkWhileHoldingDeep() {
+	s.shards[0].lock()
+	for _, sh := range s.shards {
+		sh.lock() // want `ascending shard walk started while holding a deep stripe`
+	}
+}
+
+// releaseThenRelock is sequential, not nested: fine.
+func (s *Server) releaseThenRelock() {
+	s.shards[2].mu.Lock()
+	s.shards[2].mu.Unlock()
+	s.shards[0].mu.Lock()
+	s.shards[0].mu.Unlock()
+}
+
+// spawned goroutines are separate lock domains with their own state.
+func (s *Server) handoff() {
+	s.shards[3].lock()
+	go func() {
+		s.shards[0].lock()
+		s.shards[0].mu.Unlock()
+	}()
+	s.shards[3].mu.Unlock()
+}
+
+// suppressed documents a deliberate deviation with the mandatory reason.
+func (s *Server) suppressed() {
+	s.shards[1].lock()
+	//clashvet:ignore lockorder rebalance swap holds both stripes under the global rebalance mutex
+	s.shards[0].lock()
+	s.shards[0].mu.Unlock()
+	s.shards[1].mu.Unlock()
+}
+
+func (s *Server) badDirective() {
+	s.shards[1].lock()
+	/* want `malformed //clashvet:ignore directive: missing reason` */ //clashvet:ignore lockorder
+	s.shards[0].lock()                                                 // want `stripe shards\[0\] locked while holding a deep stripe`
+	s.shards[0].mu.Unlock()
+	s.shards[1].mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"clash/internal/analysis/analysistest"
+	"clash/internal/analysis/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer, "pool")
+}

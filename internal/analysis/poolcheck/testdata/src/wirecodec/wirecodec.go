@@ -1,0 +1,7 @@
+// Package wirecodec is a testdata stand-in for clash/internal/wirecodec: the
+// analyzers resolve it by the package path's final segment.
+package wirecodec
+
+func GetBuf() []byte { return make([]byte, 0, 512) }
+
+func PutBuf(b []byte) {}

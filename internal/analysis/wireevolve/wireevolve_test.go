@@ -1,0 +1,12 @@
+package wireevolve_test
+
+import (
+	"testing"
+
+	"clash/internal/analysis/analysistest"
+	"clash/internal/analysis/wireevolve"
+)
+
+func TestWireEvolve(t *testing.T) {
+	analysistest.Run(t, "testdata", wireevolve.Analyzer, "wire")
+}

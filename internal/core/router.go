@@ -169,6 +169,8 @@ func (r *Router) ForgetServer(server ServerID) {
 // key, if any. Because cached groups may be stale, the caller must be
 // prepared for the server to answer INCORRECT_DEPTH and then fall back to a
 // full depth resolution.
+//
+//clash:hotpath
 func (r *Router) Route(k bitkey.Key) (bitkey.Group, ServerID, bool) {
 	if r.shardBits > 0 && k.Bits >= r.shardBits {
 		if g, s, ok := r.shardFor(k).route(k); ok {

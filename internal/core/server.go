@@ -402,6 +402,8 @@ func (d *objDeltas) flush(sh *serverShard) {
 //
 // The routing decision reads the published table snapshot — no lock is taken
 // and nothing is allocated — so concurrent publishes scale across cores.
+//
+//clash:hotpath
 func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObjectResult, error) {
 	var d objDeltas
 	res, err := s.acceptOnSnapshot(s.snap.Load(), k, estimatedDepth, &d)
@@ -418,6 +420,8 @@ func (s *Server) HandleAcceptObject(k bitkey.Key, estimatedDepth int) (AcceptObj
 // per key, and no lock is held at any point. results[i] and errs[i] describe
 // keys[i]; a per-item validation failure fills errs[i] and leaves results[i]
 // zero without affecting the other items.
+//
+//clash:hotpath
 func (s *Server) HandleAcceptObjectBatch(keys []bitkey.Key, depths []int) (results []AcceptObjectResult, errs []error) {
 	if len(depths) != len(keys) {
 		panic("clash: batch keys/depths length mismatch")

@@ -139,6 +139,8 @@ func (t *Table) ActiveGroups() []bitkey.Group {
 // activeEntryFor returns the active entry whose group contains key k. At most
 // one can exist because active groups are prefix-free. One trie walk, zero
 // allocations.
+//
+//clash:hotpath
 func (t *Table) activeEntryFor(k bitkey.Key) (*Entry, bool) {
 	_, e, ok := t.entries.LongestMatchWhere(k, entryIsActive)
 	return e, ok
@@ -147,6 +149,8 @@ func (t *Table) activeEntryFor(k bitkey.Key) (*Entry, bool) {
 // longestPrefixMatch returns the length of the longest common prefix between
 // k and any entry's group prefix (the paper's dmin in the INCORRECT_DEPTH
 // reply). One trie walk, zero allocations.
+//
+//clash:hotpath
 func (t *Table) longestPrefixMatch(k bitkey.Key) int {
 	return t.entries.MaxCommonPrefix(k)
 }

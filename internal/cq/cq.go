@@ -134,6 +134,8 @@ func (q Query) IdentifierKey(keyBits int) (bitkey.Key, error) {
 }
 
 // Matches reports whether the query matches a data event.
+//
+//clash:hotpath
 func (q Query) Matches(ev Event) bool {
 	if !q.Region.Contains(ev.Key) {
 		return false
@@ -259,6 +261,8 @@ func (e *Engine) removeFromRegion(prefix bitkey.Key, id string) {
 
 // Match returns the queries matched by an event, ordered by query ID for
 // determinism.
+//
+//clash:hotpath
 func (e *Engine) Match(ev Event) []Query {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -271,8 +275,19 @@ func (e *Engine) Match(ev Event) []Query {
 		}
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sortQueriesByID(out)
 	return out
+}
+
+// sortQueriesByID orders queries by ID without the sort package's interface
+// boxing: match sets are small (often 0–2 queries), so an insertion sort on
+// the concrete slice beats sort.Slice's allocation on the publish hot path.
+func sortQueriesByID(qs []Query) {
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0 && qs[j].ID < qs[j-1].ID; j-- {
+			qs[j], qs[j-1] = qs[j-1], qs[j]
+		}
+	}
 }
 
 // All returns every registered query, ordered by ID. The simulator's

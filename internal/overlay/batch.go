@@ -222,11 +222,11 @@ func (b *Batcher) Close() error {
 
 func (b *Batcher) flushLoop(interval time.Duration) {
 	defer close(b.done)
-	t := time.NewTicker(interval)
+	t := b.c.clk.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-t.C:
+		case <-t.C():
 			b.Flush()
 		case <-b.stop:
 			return

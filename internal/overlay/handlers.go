@@ -84,6 +84,8 @@ func (n *Node) handleNotify(payload []byte) ([]byte, error) {
 // continuous queries (with async match push to subscribers); query
 // registrations are installed into the engine. Both only take effect when the
 // depth resolution has landed on the right server (status OK / OK_CORRECTED).
+//
+//clash:hotpath
 func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 	// The codec stage can only be attributed after the decode reveals the
 	// trace ID, so the clock is read up front whenever an observer is
@@ -115,7 +117,9 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 		// spans join the trace tree.
 		n.replicateSpan(spanRef{TraceID: req.TraceID, Parent: reply.SpanID, Hop: req.Hop + 1})
 	}
-	return marshalMsg(&reply), nil
+	// Direct call rather than marshalMsg: boxing the reply into wireMsg would
+	// heap-allocate it on every delivery.
+	return reply.MarshalWire(wirecodec.GetBuf()), nil
 }
 
 // handleAcceptBatch is the vectored ACCEPT_OBJECT path: all objects pass
@@ -123,6 +127,8 @@ func (n *Node) handleAcceptObject(payload []byte) ([]byte, error) {
 // the per-object side effects (metering, query matching, match push) run
 // outside the lock. The reply carries one entry per object in request order;
 // per-object failures fill that entry's Error instead of failing the frame.
+//
+//clash:hotpath
 func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 	var codecStart time.Time
 	if n.obs.get() != nil {
@@ -188,7 +194,9 @@ func (n *Node) handleAcceptBatch(payload []byte) ([]byte, error) {
 		// simply end at their accept span).
 		n.replicateSpan(regSpan)
 	}
-	return marshalMsg(&out), nil
+	// Direct call rather than marshalMsg: boxing the reply into wireMsg would
+	// heap-allocate it on every batch.
+	return out.MarshalWire(wirecodec.GetBuf()), nil
 }
 
 // acceptOne runs one object through the server state machine and its side

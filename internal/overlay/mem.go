@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clash/internal/clock"
 	"clash/internal/sim/link"
 	"clash/internal/wirecodec"
 )
@@ -31,15 +32,33 @@ type MemNetwork struct {
 	modeled atomic.Bool
 	link    link.Model
 	rng     *rand.Rand
+	clk     clock.Clock
 }
 
-// NewMemNetwork creates an empty fabric.
+// NewMemNetwork creates an empty fabric on the wall clock; SetClock swaps in
+// a virtual time source.
 func NewMemNetwork() *MemNetwork {
 	return &MemNetwork{
 		eps:   make(map[string]*MemEndpoint),
 		down:  make(map[string]bool),
 		calls: make(map[string]int),
+		clk:   clock.Real(),
 	}
+}
+
+// SetClock replaces the fabric's time source for link-model latencies and RTT
+// measurement. Call before traffic starts.
+func (n *MemNetwork) SetClock(clk clock.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clk = clk
+}
+
+// sleep waits out d on the fabric's clock.
+func (n *MemNetwork) sleep(d time.Duration) {
+	t := n.clk.NewTimer(d)
+	defer t.Stop()
+	<-t.C()
 }
 
 // Endpoint creates (or returns the existing) endpoint with the given address.
@@ -62,9 +81,10 @@ func (n *MemNetwork) SetDown(addr string, down bool) {
 }
 
 // SetLink installs a link model applied to every message crossing the fabric:
-// each direction of a Call sleeps a sampled one-way latency (real time —
-// MemNetwork runs on the wall clock; the virtual-time analogue lives in
-// internal/sim), and lost messages surface as ErrUnreachable after the
+// each direction of a Call sleeps a sampled one-way latency (on the fabric's
+// clock — the wall clock by default, SetClock injects a virtual source; the
+// event-driven analogue lives in internal/sim), and lost messages surface as
+// ErrUnreachable after the
 // model's drop timeout. The seed makes the latency/loss draws reproducible.
 // A zero model restores the instantaneous fabric.
 func (n *MemNetwork) SetLink(m link.Model, seed int64) error {
@@ -89,7 +109,8 @@ func (n *MemNetwork) sampleLink() (latency time.Duration, dropped bool) {
 	return n.link.Sample(n.rng)
 }
 
-// crossLink applies one direction of the link model in real time, reporting
+// crossLink applies one direction of the link model on the fabric's clock,
+// reporting
 // whether the message survived. The atomic fast path keeps the default
 // zero-RTT fabric off the mutex entirely. A non-nil budget is the caller's
 // remaining deadline: the sampled latency is charged against it, and a
@@ -102,14 +123,14 @@ func (n *MemNetwork) crossLink(budget *time.Duration) (ok, timedOut bool) {
 	latency, dropped := n.sampleLink()
 	if budget != nil {
 		if latency > *budget {
-			time.Sleep(*budget)
+			n.sleep(*budget)
 			*budget = 0
 			return false, true
 		}
 		*budget -= latency
 	}
 	if latency > 0 {
-		time.Sleep(latency)
+		n.sleep(latency)
 	}
 	return !dropped, false
 }
@@ -226,7 +247,7 @@ func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOp
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := e.net.clk.Now()
 	if ok, timedOut := e.net.crossLink(budget); !ok {
 		if timedOut {
 			return nil, timedOutErr()
@@ -269,7 +290,7 @@ func (e *MemEndpoint) CallOpts(addr, msgType string, payload []byte, opts CallOp
 		return nil, fmt.Errorf("%w: %s: reply lost", ErrUnreachable, addr)
 	}
 	if opts.RTT != nil {
-		*opts.RTT = time.Since(start)
+		*opts.RTT = e.net.clk.Now().Sub(start)
 	}
 	return rf.payload, nil
 }

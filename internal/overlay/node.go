@@ -196,6 +196,7 @@ func NewNode(tr Transport, cfg Config) (*Node, error) {
 	// preserving determinism).
 	var sleep func(time.Duration)
 	if cfg.Clock == clock.Real() {
+		//clashvet:ignore clockcheck real-clock branch only; the virtual-clock path leaves sleep nil
 		sleep = time.Sleep
 	}
 	callerSeed := cfg.Seed ^ int64(cfg.Space.HashString(tr.Addr()))

@@ -242,6 +242,7 @@ func (ws *writeScratch) drainWrite(conn net.Conn, stats *transportStats, first [
 	}
 write:
 	ws.bufs = append(ws.bufs[:0], ws.owned...)
+	//clashvet:ignore clockcheck kernel socket deadlines need the wall clock; TCP never runs under the simulator
 	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_, err := ws.bufs.WriteTo(conn) // writev: one syscall for the whole batch
 	for i, b := range ws.owned {
@@ -329,6 +330,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		}
 	}
 	for {
+		//clashvet:ignore clockcheck kernel socket deadlines need the wall clock; TCP never runs under the simulator
 		_ = conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
 		// Request payloads live in pooled buffers end-to-end: the socket read
 		// lands in a pooled buffer, the handler decodes it in place, and the
@@ -360,6 +362,7 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 			// Every dispatch slot is taken: wait a bounded time, then shed.
 			// The peer gets a distinct framed reply so it knows the handler
 			// never ran and a backed-off resend is safe.
+			//clashvet:ignore clockcheck real-socket overload shedding waits in wall time; TCP never runs under the simulator
 			shedTimer := time.NewTimer(t.cfg.ShedWait)
 			select {
 			case sem <- struct{}{}:
@@ -420,6 +423,8 @@ type muxConn struct {
 }
 
 // touch records activity for the idle reaper.
+//
+//clashvet:ignore clockcheck idle reaping of real sockets is wall-clock by nature; TCP never runs under the simulator
 func (m *muxConn) touch() { m.lastUsed.Store(time.Now().UnixNano()) }
 
 func newMuxConn(t *TCPTransport, addr string, conn net.Conn) *muxConn {
@@ -497,6 +502,7 @@ func (m *muxConn) writeLoop() {
 func (m *muxConn) readLoop() {
 	defer m.t.wg.Done()
 	for {
+		//clashvet:ignore clockcheck kernel socket deadlines need the wall clock; TCP never runs under the simulator
 		_ = m.conn.SetReadDeadline(time.Now().Add(tcpMuxIdle))
 		f, err := readFrame(m.conn)
 		if err != nil {
@@ -509,6 +515,7 @@ func (m *muxConn) readLoop() {
 			}
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				//clashvet:ignore clockcheck idle-window arithmetic against a socket deadline is wall-clock by nature
 				if since := time.Since(time.Unix(0, m.lastUsed.Load())); since < tcpMuxIdle {
 					// The deadline was armed before recent activity (a call
 					// registered late in the window); re-arm and keep going.
@@ -576,6 +583,7 @@ func (m *muxConn) call(typ byte, payload []byte, timeout time.Duration) ([]byte,
 	// closeCh means the request never left this goroutine and is safe to
 	// retry elsewhere.
 	select {
+	//clashvet:ignore poolcheck deliberate ownership handoff: the writer loop recycles the frame after writev (or the conn dies and errors the call)
 	case m.writeCh <- buf:
 	case <-m.closeCh:
 		wirecodec.PutBuf(buf)
@@ -583,6 +591,7 @@ func (m *muxConn) call(typ byte, payload []byte, timeout time.Duration) ([]byte,
 		return nil, errMuxClosed
 	}
 
+	//clashvet:ignore clockcheck real-RPC timeout on a kernel socket; TCP never runs under the simulator
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -689,6 +698,7 @@ func (t *TCPTransport) CallOpts(addr, msgType string, payload []byte, opts CallO
 	}
 	t.stats.inFlight.Add(1)
 	defer t.stats.inFlight.Add(-1)
+	//clashvet:ignore clockcheck RTT of a real socket call is wall-clock by definition
 	start := time.Now()
 	mc, fresh, err := t.getMux(addr)
 	if err != nil {
@@ -717,6 +727,7 @@ func (t *TCPTransport) CallOpts(addr, msgType string, payload []byte, opts CallO
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
 	}
 	if opts.RTT != nil {
+		//clashvet:ignore clockcheck RTT of a real socket call is wall-clock by definition
 		*opts.RTT = time.Since(start)
 	}
 	return reply, nil
